@@ -1,0 +1,1184 @@
+//! The elasticity controller (paper Sec. 3.2–3.3).
+//!
+//! A single controller per job — hosted on a reliable machine — tracks
+//! which resources participate, assigns input data to workers, starts new
+//! ActivePSs, selects the stage from the transient:reliable ratio, and
+//! orchestrates scale-up, warned evictions, and failure recovery.
+//!
+//! The controller is a pure event loop over its simnet mailbox: node
+//! `Hello`/`Ready`/`ClockDone` traffic, backup clock reports, and
+//! harness [`Command`]s. Mutating commands are serialized: while one
+//! elasticity action awaits `Ready` acknowledgements, later commands
+//! queue.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use proteus_mlapps::app::MlApp;
+use proteus_ps::{ClockTable, DenseVec, ParamKey, PartitionId, PartitionMap};
+use proteus_simnet::{Control, Incoming, NodeClass, NodeCtx, NodeId, RecvError};
+use proteus_simtime::rng::seeded_stream;
+
+use crate::config::AgileConfig;
+use crate::events::{JobEvent, JobStatus};
+use crate::job::ModelSnapshot;
+use crate::msg::{AgileMsg, Command, NodeAssignment, Values};
+use crate::stage::{select_stage, Stage};
+use crate::topology::{DataAssignment, Topology};
+
+/// Runs the elasticity controller until shut down.
+pub fn run_controller<A: MlApp>(
+    ctx: NodeCtx<AgileMsg>,
+    cfg: AgileConfig,
+    app: Arc<A>,
+    dataset_len: usize,
+    events: Sender<JobEvent>,
+    initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
+) {
+    let mut ctl = Controller::new(&ctx, cfg, app, dataset_len, events, initial_model);
+    loop {
+        match ctx.recv() {
+            Ok(Incoming::App(env)) => {
+                if !ctl.handle(env.from, env.msg, &ctx) {
+                    break;
+                }
+            }
+            Ok(Incoming::Control(Control::Shutdown)) => break,
+            Ok(Incoming::Control(_)) | Err(RecvError::Killed) => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Multi-step actions the controller may have in flight.
+#[derive(Debug)]
+enum Pending {
+    /// Initial start: waiting for every member's `Ready`.
+    StartJob,
+    /// Node addition: waiting for configured nodes' `Ready`.
+    AddNodes { added: Vec<NodeId> },
+    /// Failure recovery phase 1: collecting backup clock reports.
+    RecoveryQuery {
+        failed: Vec<NodeId>,
+        replies: BTreeMap<NodeId, u64>,
+        expect: BTreeSet<NodeId>,
+    },
+    /// Failure recovery phase 2: waiting for recovered owners' `Ready`.
+    RecoveryInstall { failed: Vec<NodeId>, clock: u64 },
+}
+
+/// In-flight snapshot collection.
+struct SnapshotCollect {
+    reply: Sender<ModelSnapshot>,
+    images: BTreeMap<PartitionId, Values>,
+    expect: BTreeSet<PartitionId>,
+}
+
+struct Controller<A: MlApp> {
+    cfg: AgileConfig,
+    app: Arc<A>,
+    layout: PartitionMap,
+
+    members: BTreeMap<NodeId, NodeClass>,
+    join_order: Vec<NodeId>,
+    helloed: BTreeSet<NodeId>,
+
+    clock: ClockTable,
+    epoch: u64,
+    started: bool,
+    last_min_broadcast: u64,
+
+    stage: Stage,
+    topo_version: u64,
+    partition_owner: Vec<NodeId>,
+    backup_owner: Vec<Option<NodeId>>,
+    active_hosts: BTreeSet<NodeId>,
+    assignment: Option<DataAssignment>,
+
+    pending: Option<Pending>,
+    pending_ready: BTreeSet<NodeId>,
+    queued: VecDeque<Command>,
+    snapshot: Option<SnapshotCollect>,
+    /// Parameter values to start from (checkpoint restore); `None`
+    /// means fresh random initialization.
+    initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
+
+    events: Sender<JobEvent>,
+}
+
+impl<A: MlApp> Controller<A> {
+    fn new(
+        ctx: &NodeCtx<AgileMsg>,
+        cfg: AgileConfig,
+        app: Arc<A>,
+        dataset_len: usize,
+        events: Sender<JobEvent>,
+        initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
+    ) -> Self {
+        let layout = PartitionMap::new(cfg.partitions).expect("validated config");
+        let _ = (ctx.id(), dataset_len); // Reserved for richer diagnostics.
+        Controller {
+            cfg,
+            app,
+            layout,
+            members: BTreeMap::new(),
+            join_order: Vec::new(),
+            helloed: BTreeSet::new(),
+            clock: ClockTable::new(cfg.slack),
+            epoch: 0,
+            started: false,
+            last_min_broadcast: 0,
+            stage: Stage::Stage1,
+            topo_version: 0,
+            partition_owner: Vec::new(),
+            backup_owner: Vec::new(),
+            active_hosts: BTreeSet::new(),
+            assignment: None,
+            pending: None,
+            pending_ready: BTreeSet::new(),
+            queued: VecDeque::new(),
+            snapshot: None,
+            initial_model,
+            events,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Membership helpers
+    // ------------------------------------------------------------------
+
+    fn reliable(&self) -> Vec<NodeId> {
+        self.join_order
+            .iter()
+            .filter(|n| self.members.get(n) == Some(&NodeClass::Reliable))
+            .copied()
+            .collect()
+    }
+
+    fn transient(&self) -> Vec<NodeId> {
+        self.join_order
+            .iter()
+            .filter(|n| self.members.get(n) == Some(&NodeClass::Transient))
+            .copied()
+            .collect()
+    }
+
+    /// Worker nodes under `stage`: transient always, reliable unless
+    /// stage 3.
+    fn worker_nodes(&self, stage: Stage) -> Vec<NodeId> {
+        self.join_order
+            .iter()
+            .filter(|n| match self.members.get(n) {
+                Some(NodeClass::Transient) => true,
+                Some(NodeClass::Reliable) => stage.workers_on_reliable(),
+                None => false,
+            })
+            .copied()
+            .collect()
+    }
+
+    fn pick_stage(&self) -> Stage {
+        if let Some(forced) = self.cfg.force_stage {
+            return forced;
+        }
+        select_stage(
+            self.transient().len(),
+            self.reliable().len(),
+            self.cfg.stage2_threshold,
+            self.cfg.stage3_threshold,
+        )
+    }
+
+    /// Target number of ActivePS hosts for the current transient pool.
+    fn target_active_count(&self) -> usize {
+        let t = self.transient().len();
+        ((t as f64 * self.cfg.activeps_fraction).ceil() as usize)
+            .clamp(usize::from(t > 0), t.max(1))
+    }
+
+    /// Extends `active_hosts` to the target count, preferring the
+    /// longest-running transient nodes without an ActivePS (paper
+    /// Sec. 3.3). Never shrinks the set.
+    fn grow_active_hosts(&mut self) {
+        let target = self.target_active_count();
+        let transient = self.transient();
+        self.active_hosts.retain(|n| self.members.contains_key(n));
+        for n in &transient {
+            if self.active_hosts.len() >= target {
+                break;
+            }
+            self.active_hosts.insert(*n);
+        }
+    }
+
+    /// Round-robin partition→owner map over `owners` (sorted by join
+    /// order for stability).
+    fn round_robin_owners(&self, owners: &[NodeId]) -> Vec<NodeId> {
+        assert!(!owners.is_empty(), "cannot place partitions on zero nodes");
+        (0..self.layout.count())
+            .map(|p| owners[(p as usize) % owners.len()])
+            .collect()
+    }
+
+    fn topology(&self, stage: Stage) -> Arc<Topology> {
+        Arc::new(Topology {
+            version: self.topo_version,
+            stage,
+            partition_owner: self.partition_owner.clone(),
+            backup_owner: self.backup_owner.clone(),
+            workers: self.worker_nodes(stage),
+        })
+    }
+
+    fn broadcast(&self, ctx: &NodeCtx<AgileMsg>, msg: &AgileMsg) {
+        for n in self.members.keys() {
+            let _ = ctx.send(*n, msg.clone());
+        }
+    }
+
+    fn emit(&self, ev: JobEvent) {
+        let _ = self.events.send(ev);
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    /// Handles one message; returns `false` to stop the controller.
+    fn handle(&mut self, from: NodeId, msg: AgileMsg, ctx: &NodeCtx<AgileMsg>) -> bool {
+        match msg {
+            AgileMsg::Hello { class } => {
+                self.helloed.insert(from);
+                // Classes must agree with what the driver announced.
+                debug_assert!(self.members.get(&from).map_or(true, |c| *c == class));
+                self.try_progress_membership(ctx);
+            }
+            AgileMsg::Ready => {
+                self.pending_ready.remove(&from);
+                self.try_finish_pending(ctx);
+            }
+            AgileMsg::ClockDone { clock, epoch } => {
+                if epoch != self.epoch {
+                    return true;
+                }
+                self.clock.advance(from.0, clock);
+                self.maybe_broadcast_min(ctx);
+            }
+            AgileMsg::BackupClockInfo { min_clock } => {
+                self.on_backup_clock_info(from, min_clock, ctx);
+            }
+            AgileMsg::InstallPartition {
+                partition, image, ..
+            } => {
+                // Snapshot collection replies land here.
+                if let Some(snap) = self.snapshot.as_mut() {
+                    if snap.expect.remove(&partition) {
+                        snap.images.insert(partition, image);
+                        if snap.expect.is_empty() {
+                            let snap = self.snapshot.take().expect("present");
+                            let mut params = BTreeMap::new();
+                            for (_, image) in snap.images {
+                                for (k, v) in image {
+                                    params.insert(k, v);
+                                }
+                            }
+                            let _ = snap.reply.send(ModelSnapshot {
+                                params,
+                                clock: self.clock.min_clock().unwrap_or(0),
+                            });
+                            self.drain_queue(ctx);
+                        }
+                    }
+                }
+            }
+            AgileMsg::Cmd(cmd) => return self.handle_command(cmd, ctx),
+            // Data-plane traffic never targets the controller.
+            _ => {}
+        }
+        true
+    }
+
+    fn busy(&self) -> bool {
+        self.pending.is_some() || self.snapshot.is_some()
+    }
+
+    fn handle_command(&mut self, cmd: Command, ctx: &NodeCtx<AgileMsg>) -> bool {
+        match cmd {
+            Command::Status { reply } => {
+                let _ = reply.send(JobStatus {
+                    stage: self.stage,
+                    reliable: self.reliable().len(),
+                    transient: self.transient().len(),
+                    active_ps: if self.stage.uses_backups() {
+                        self.active_hosts.len()
+                    } else {
+                        0
+                    },
+                    workers: self.clock.worker_count(),
+                    min_clock: self.clock.min_clock().unwrap_or(0),
+                });
+                true
+            }
+            Command::Shutdown { reply } => {
+                for n in self.members.keys() {
+                    let _ = ctx.send(*n, AgileMsg::Stop);
+                }
+                let _ = reply.send(());
+                false
+            }
+            cmd if self.busy() => {
+                self.queued.push_back(cmd);
+                true
+            }
+            Command::AddNodes { nodes } => {
+                for (n, class) in &nodes {
+                    if self.members.insert(*n, *class).is_none() {
+                        self.join_order.push(*n);
+                    }
+                }
+                if !self.started {
+                    self.pending = Some(Pending::StartJob);
+                } else {
+                    self.pending = Some(Pending::AddNodes {
+                        added: nodes.iter().map(|(n, _)| *n).collect(),
+                    });
+                }
+                self.try_progress_membership(ctx);
+                true
+            }
+            Command::EvictWarned { nodes } => {
+                self.handle_eviction(nodes, ctx);
+                true
+            }
+            Command::NodesFailed { nodes } => {
+                self.handle_failure(nodes, ctx);
+                true
+            }
+            Command::Snapshot { reply } => {
+                let expect: BTreeSet<PartitionId> = self.layout.partitions().collect();
+                let mut snap = SnapshotCollect {
+                    reply,
+                    images: BTreeMap::new(),
+                    expect,
+                };
+                for p in self.layout.partitions() {
+                    let owner = self.partition_owner[p.0 as usize];
+                    if ctx
+                        .send(owner, AgileMsg::ExportPartition { partition: p })
+                        .is_err()
+                    {
+                        // Owner died mid-request: deliver what we can.
+                        snap.expect.remove(&p);
+                    }
+                }
+                if snap.expect.is_empty() {
+                    let _ = snap.reply.send(ModelSnapshot {
+                        params: BTreeMap::new(),
+                        clock: self.clock.min_clock().unwrap_or(0),
+                    });
+                } else {
+                    self.snapshot = Some(snap);
+                }
+                true
+            }
+        }
+    }
+
+    fn drain_queue(&mut self, ctx: &NodeCtx<AgileMsg>) {
+        while !self.busy() {
+            match self.queued.pop_front() {
+                Some(cmd) => {
+                    if !self.handle_command(cmd, ctx) {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn maybe_broadcast_min(&mut self, ctx: &NodeCtx<AgileMsg>) {
+        if let Some(min) = self.clock.min_clock() {
+            if min > self.last_min_broadcast {
+                self.last_min_broadcast = min;
+                self.broadcast(
+                    ctx,
+                    &AgileMsg::GlobalClock {
+                        min,
+                        epoch: self.epoch,
+                    },
+                );
+                self.emit(JobEvent::ClockAdvanced { min });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Initial start & node addition
+    // ------------------------------------------------------------------
+
+    /// Runs whenever membership knowledge changes: begins the initial
+    /// layout or integrates added nodes once all expected `Hello`s are in.
+    fn try_progress_membership(&mut self, ctx: &NodeCtx<AgileMsg>) {
+        match &self.pending {
+            Some(Pending::StartJob) => {
+                if self.members.keys().all(|n| self.helloed.contains(n)) && !self.members.is_empty()
+                {
+                    self.initial_layout(ctx);
+                }
+            }
+            Some(Pending::AddNodes { added }) => {
+                let added = added.clone();
+                if added.iter().all(|n| self.helloed.contains(n)) {
+                    self.integrate_nodes(&added, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Computes the first layout, configures every member, and installs
+    /// the initial parameter images.
+    fn initial_layout(&mut self, ctx: &NodeCtx<AgileMsg>) {
+        let stage = self.pick_stage();
+        self.stage = stage;
+        let reliable = self.reliable();
+        assert!(
+            !reliable.is_empty(),
+            "AgileML requires at least one reliable node to hold solution state"
+        );
+        if stage.uses_backups() {
+            self.grow_active_hosts();
+            let actives: Vec<NodeId> = self
+                .join_order
+                .iter()
+                .filter(|n| self.active_hosts.contains(n))
+                .copied()
+                .collect();
+            self.partition_owner = self.round_robin_owners(&actives);
+            self.backup_owner = self
+                .round_robin_owners(&reliable)
+                .into_iter()
+                .map(Some)
+                .collect();
+        } else {
+            self.partition_owner = self.round_robin_owners(&reliable);
+            self.backup_owner = vec![None; self.layout.count() as usize];
+        }
+        let workers = self.worker_nodes(stage);
+        self.assignment = DataAssignment::new(self.cfg.data_blocks, &workers);
+        self.topo_version += 1;
+
+        // Configure every member; all state arrives via installs.
+        let topo = self.topology(stage);
+        self.pending_ready.clear();
+        for n in self.members.keys().copied().collect::<Vec<_>>() {
+            let serve = self.owned_by(n);
+            let backup = self.backed_by(n);
+            let blocks = self
+                .assignment
+                .as_ref()
+                .map(|a| a.blocks_of(n))
+                .unwrap_or_default();
+            let await_installs: Vec<PartitionId> =
+                serve.iter().chain(backup.iter()).copied().collect();
+            let assign = NodeAssignment {
+                serve_partitions: serve,
+                backup_partitions: backup,
+                is_active_ps: stage.uses_backups() && self.active_hosts.contains(&n),
+                data_blocks: blocks,
+                await_installs,
+                topology: Arc::clone(&topo),
+                resume_clock: 0,
+                epoch: self.epoch,
+            };
+            let _ = ctx.send(n, AgileMsg::Configure(Box::new(assign)));
+            self.pending_ready.insert(n);
+        }
+
+        // Generate and ship the initial parameter images.
+        let images = self.initial_images();
+        for (p, image) in images {
+            let owner = self.partition_owner[p.0 as usize];
+            let _ = ctx.send(
+                owner,
+                AgileMsg::InstallPartition {
+                    partition: p,
+                    image: image.clone(),
+                    clock: 0,
+                },
+            );
+            if let Some(backup) = self.backup_owner[p.0 as usize] {
+                let _ = ctx.send(
+                    backup,
+                    AgileMsg::InstallPartition {
+                        partition: p,
+                        image,
+                        clock: 0,
+                    },
+                );
+            }
+        }
+        // Register workers at clock zero.
+        for w in &workers {
+            self.clock.register(w.0);
+        }
+    }
+
+    /// Initial parameter values grouped by partition: the restored
+    /// checkpoint when one was provided (the paper's Sec. 3.3
+    /// reliable-resource checkpointing), the app's random initialization
+    /// otherwise. Keys absent from a checkpoint fall back to the
+    /// initializer so model-shape growth stays possible.
+    fn initial_images(&self) -> BTreeMap<PartitionId, Values> {
+        let mut rng = seeded_stream(self.cfg.seed, 0x1217);
+        let mut images: BTreeMap<PartitionId, Values> = BTreeMap::new();
+        for k in 0..self.app.key_count() {
+            let key = ParamKey(k);
+            let value: DenseVec = self
+                .initial_model
+                .as_ref()
+                .and_then(|m| m.get(&key).cloned())
+                .unwrap_or_else(|| self.app.init_value(key, &mut rng));
+            let p = self.layout.partition_of(key);
+            images.entry(p).or_default().push((key, value));
+        }
+        images
+    }
+
+    fn owned_by(&self, n: NodeId) -> Vec<PartitionId> {
+        self.partition_owner
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == n)
+            .map(|(i, _)| PartitionId(i as u32))
+            .collect()
+    }
+
+    fn backed_by(&self, n: NodeId) -> Vec<PartitionId> {
+        self.backup_owner
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == Some(n))
+            .map(|(i, _)| PartitionId(i as u32))
+            .collect()
+    }
+
+    /// Integrates added nodes into a running job: stage recheck, ActivePS
+    /// placement with migrations, data rebalance, reconfiguration.
+    fn integrate_nodes(&mut self, added: &[NodeId], ctx: &NodeCtx<AgileMsg>) {
+        let old_stage = self.stage;
+        let old_owner = self.partition_owner.clone();
+        let new_stage = self.pick_stage();
+        let reliable = self.reliable();
+
+        if new_stage.uses_backups() {
+            self.grow_active_hosts();
+            let actives: Vec<NodeId> = self
+                .join_order
+                .iter()
+                .filter(|n| self.active_hosts.contains(n))
+                .copied()
+                .collect();
+            self.partition_owner = self.round_robin_owners(&actives);
+            self.backup_owner = self
+                .round_robin_owners(&reliable)
+                .into_iter()
+                .map(Some)
+                .collect();
+        } else {
+            self.partition_owner = self.round_robin_owners(&reliable);
+            self.backup_owner = vec![None; self.layout.count() as usize];
+        }
+
+        // Data rebalance across the new worker set.
+        let workers = self.worker_nodes(new_stage);
+        match self.assignment.as_mut() {
+            Some(a) => {
+                a.rebalance(&workers);
+            }
+            None => self.assignment = DataAssignment::new(self.cfg.data_blocks, &workers),
+        }
+
+        self.stage = new_stage;
+        self.topo_version += 1;
+        let topo = self.topology(new_stage);
+        let resume = self.last_min_broadcast;
+
+        // Issue migrations for partitions whose owner changed.
+        let mut moves: BTreeMap<(NodeId, NodeId), Vec<PartitionId>> = BTreeMap::new();
+        for (i, (old, new)) in old_owner
+            .iter()
+            .zip(self.partition_owner.iter())
+            .enumerate()
+        {
+            if old != new {
+                moves
+                    .entry((*old, *new))
+                    .or_default()
+                    .push(PartitionId(i as u32));
+            }
+        }
+        let mut awaits: BTreeMap<NodeId, Vec<PartitionId>> = BTreeMap::new();
+        for ((old, new), parts) in &moves {
+            // A reliable old owner handing partitions to a new ActivePS
+            // retains them as the backup copy (stage 1→2 transition).
+            let retain =
+                self.members.get(old) == Some(&NodeClass::Reliable) && new_stage.uses_backups();
+            let _ = ctx.send(
+                *old,
+                AgileMsg::MigratePartitions {
+                    to: *new,
+                    partitions: parts.clone(),
+                    retain_as_backup: retain,
+                },
+            );
+            awaits
+                .entry(*new)
+                .or_default()
+                .extend(parts.iter().copied());
+        }
+
+        // Reconfigure every member with its new duties.
+        self.pending_ready.clear();
+        for n in self.members.keys().copied().collect::<Vec<_>>() {
+            let serve = self.owned_by(n);
+            let backup = self.backed_by(n);
+            let blocks = self
+                .assignment
+                .as_ref()
+                .map(|a| a.blocks_of(n))
+                .unwrap_or_default();
+            let await_installs = awaits.get(&n).cloned().unwrap_or_default();
+            if !await_installs.is_empty() || added.contains(&n) {
+                self.pending_ready.insert(n);
+            }
+            let assign = NodeAssignment {
+                serve_partitions: serve,
+                backup_partitions: backup,
+                is_active_ps: new_stage.uses_backups() && self.active_hosts.contains(&n),
+                data_blocks: blocks,
+                await_installs,
+                topology: Arc::clone(&topo),
+                resume_clock: resume,
+                epoch: self.epoch,
+            };
+            let _ = ctx.send(n, AgileMsg::Configure(Box::new(assign)));
+        }
+
+        if old_stage != new_stage {
+            self.emit(JobEvent::StageChanged {
+                from: old_stage,
+                to: new_stage,
+            });
+        }
+        // Register new workers (and deregister reliable ones on 2→3).
+        for w in &workers {
+            if self.clock.clock_of(w.0).is_none() {
+                self.clock.register(w.0);
+                self.clock.advance(w.0, resume);
+            }
+        }
+        let worker_set: BTreeSet<NodeId> = workers.iter().copied().collect();
+        let registered: Vec<u32> = self
+            .members
+            .keys()
+            .filter(|n| !worker_set.contains(n))
+            .map(|n| n.0)
+            .collect();
+        for w in registered {
+            self.clock.deregister(w);
+        }
+        self.maybe_broadcast_min(ctx);
+
+        if self.pending_ready.is_empty() {
+            self.finish_add(added.to_vec(), ctx);
+        } else {
+            self.pending = Some(Pending::AddNodes {
+                added: added.to_vec(),
+            });
+        }
+    }
+
+    fn finish_add(&mut self, added: Vec<NodeId>, ctx: &NodeCtx<AgileMsg>) {
+        self.pending = None;
+        self.topo_version += 1;
+        let topo = self.topology(self.stage);
+        self.broadcast(ctx, &AgileMsg::Topology(topo));
+        self.broadcast(ctx, &AgileMsg::Start);
+        self.emit(JobEvent::NodesAdded { nodes: added });
+        self.drain_queue(ctx);
+    }
+
+    fn try_finish_pending(&mut self, ctx: &NodeCtx<AgileMsg>) {
+        if !self.pending_ready.is_empty() {
+            return;
+        }
+        match self.pending.take() {
+            Some(Pending::StartJob) => {
+                self.started = true;
+                self.topo_version += 1;
+                let topo = self.topology(self.stage);
+                self.broadcast(ctx, &AgileMsg::Topology(topo));
+                self.broadcast(ctx, &AgileMsg::Start);
+                self.broadcast(
+                    ctx,
+                    &AgileMsg::GlobalClock {
+                        min: 0,
+                        epoch: self.epoch,
+                    },
+                );
+                self.emit(JobEvent::Started {
+                    nodes: self.members.len(),
+                });
+                self.drain_queue(ctx);
+            }
+            Some(Pending::AddNodes { added }) => self.finish_add(added, ctx),
+            Some(Pending::RecoveryInstall { failed, clock }) => {
+                self.broadcast(ctx, &AgileMsg::Start);
+                self.broadcast(
+                    ctx,
+                    &AgileMsg::GlobalClock {
+                        min: clock,
+                        epoch: self.epoch,
+                    },
+                );
+                self.emit(JobEvent::NodesFailedRecovered {
+                    nodes: failed,
+                    rolled_back_to: clock,
+                });
+                self.drain_queue(ctx);
+            }
+            other => self.pending = other,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Eviction (warned) path
+    // ------------------------------------------------------------------
+
+    fn handle_eviction(&mut self, nodes: Vec<NodeId>, ctx: &NodeCtx<AgileMsg>) {
+        let victims: Vec<NodeId> = nodes
+            .into_iter()
+            .filter(|n| self.members.contains_key(n))
+            .collect();
+        if victims.is_empty() {
+            // Nothing to do (unknown or already-gone nodes); report the
+            // no-op so drivers waiting on the eviction don't hang.
+            self.emit(JobEvent::NodesEvicted { nodes: Vec::new() });
+            return;
+        }
+        let old_stage = self.stage;
+
+        // Compute post-eviction membership.
+        for v in &victims {
+            self.members.remove(v);
+        }
+        self.join_order.retain(|n| !victims.contains(n));
+        self.helloed.retain(|n| !victims.contains(n));
+
+        let new_stage = self.pick_stage();
+        let victim_actives: Vec<NodeId> = victims
+            .iter()
+            .filter(|v| self.active_hosts.contains(v))
+            .copied()
+            .collect();
+        self.active_hosts.retain(|n| !victims.contains(n));
+        // Partitions in flight to each surviving new owner: those nodes
+        // buffer updates and defer exports until the image lands.
+        let mut migrating_to: BTreeMap<NodeId, Vec<PartitionId>> = BTreeMap::new();
+
+        if old_stage.uses_backups() && !new_stage.uses_backups() {
+            // Full fall-back to stage 1: every ActivePS (evicted or not)
+            // drains to its backup, then backups promote to ParamServs.
+            let drain_set: Vec<NodeId> = victim_actives
+                .iter()
+                .chain(self.active_hosts.iter())
+                .copied()
+                .collect();
+            for a in &drain_set {
+                let _ = ctx.send(*a, AgileMsg::DrainToBackup);
+            }
+            self.active_hosts.clear();
+            self.partition_owner = self
+                .backup_owner
+                .iter()
+                .map(|b| b.expect("stage 2/3 always has backups"))
+                .collect();
+            self.backup_owner = vec![None; self.layout.count() as usize];
+        } else if old_stage.uses_backups() && !victim_actives.is_empty() {
+            // Partial eviction in stage 2/3: migrate victims' partitions
+            // to surviving transient nodes, preferring ones without an
+            // ActivePS (paper Sec. 3.3).
+            let survivors_without: Vec<NodeId> = self
+                .transient()
+                .into_iter()
+                .filter(|n| !self.active_hosts.contains(n))
+                .collect();
+            let mut fresh = survivors_without.into_iter();
+            for victim in &victim_actives {
+                let parts = self.owned_by(*victim);
+                if parts.is_empty() {
+                    continue;
+                }
+                let new_owner = fresh.next().unwrap_or_else(|| {
+                    // Merge into the surviving ActivePS with the fewest
+                    // partitions.
+                    *self
+                        .active_hosts
+                        .iter()
+                        .min_by_key(|n| self.owned_by(**n).len())
+                        .expect("partial eviction leaves surviving actives")
+                });
+                self.active_hosts.insert(new_owner);
+                let _ = ctx.send(
+                    *victim,
+                    AgileMsg::MigratePartitions {
+                        to: new_owner,
+                        partitions: parts.clone(),
+                        retain_as_backup: false,
+                    },
+                );
+                migrating_to
+                    .entry(new_owner)
+                    .or_default()
+                    .extend(parts.iter().copied());
+                for p in parts {
+                    self.partition_owner[p.0 as usize] = new_owner;
+                }
+            }
+        } else if !old_stage.uses_backups() {
+            // Stage 1: parameter state lives on reliable nodes; evicted
+            // transient nodes are workers only. Owners are unchanged
+            // unless a reliable node was (incorrectly) named - filtered
+            // by class above.
+            debug_assert!(victims.iter().all(|v| !self.partition_owner.contains(v)));
+        }
+
+        // Data blocks fall back to previous owners.
+        let workers = self.worker_nodes(new_stage);
+        if let Some(a) = self.assignment.as_mut() {
+            for v in &victims {
+                a.remove_worker(*v, &workers);
+            }
+            a.rebalance(&workers);
+        }
+
+        // Deregister victim workers; reliable workers too on 2→3 flips,
+        // re-register them on 3→2 flips.
+        for v in &victims {
+            self.clock.deregister(v.0);
+        }
+        let worker_set: BTreeSet<NodeId> = workers.iter().copied().collect();
+        for n in self.members.keys() {
+            if worker_set.contains(n) {
+                if self.clock.clock_of(n.0).is_none() {
+                    self.clock.register(n.0);
+                    self.clock.advance(n.0, self.last_min_broadcast);
+                }
+            } else {
+                self.clock.deregister(n.0);
+            }
+        }
+
+        self.stage = new_stage;
+        self.topo_version += 1;
+        let topo = self.topology(new_stage);
+        let resume = self.last_min_broadcast;
+
+        // Reconfigure all survivors with their (possibly promoted) roles.
+        for n in self.members.keys().copied().collect::<Vec<_>>() {
+            let serve = self.owned_by(n);
+            let backup = self.backed_by(n);
+            let blocks = self
+                .assignment
+                .as_ref()
+                .map(|a| a.blocks_of(n))
+                .unwrap_or_default();
+            let assign = NodeAssignment {
+                serve_partitions: serve,
+                backup_partitions: backup,
+                is_active_ps: new_stage.uses_backups() && self.active_hosts.contains(&n),
+                data_blocks: blocks,
+                // Migrated-in partitions stream in concurrently; marking
+                // them awaited makes the recipient buffer their updates
+                // and defer exports until the image lands. The eviction
+                // itself does not gate on the resulting `Ready` (the
+                // controller has no pending action here).
+                await_installs: migrating_to.get(&n).cloned().unwrap_or_default(),
+                topology: Arc::clone(&topo),
+                resume_clock: resume,
+                epoch: self.epoch,
+            };
+            let _ = ctx.send(n, AgileMsg::Configure(Box::new(assign)));
+        }
+        self.broadcast(ctx, &AgileMsg::Topology(Arc::clone(&topo)));
+        self.broadcast(ctx, &AgileMsg::Start);
+
+        // Victims: stop after their drain/migration work (per-sender
+        // FIFO guarantees ordering).
+        for v in &victims {
+            let _ = ctx.send(*v, AgileMsg::Stop);
+        }
+
+        if old_stage != new_stage {
+            self.emit(JobEvent::StageChanged {
+                from: old_stage,
+                to: new_stage,
+            });
+        }
+        self.emit(JobEvent::NodesEvicted { nodes: victims });
+        self.maybe_broadcast_min(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Failure path
+    // ------------------------------------------------------------------
+
+    fn handle_failure(&mut self, nodes: Vec<NodeId>, ctx: &NodeCtx<AgileMsg>) {
+        let victims: Vec<NodeId> = nodes
+            .into_iter()
+            .filter(|n| self.members.contains_key(n))
+            .collect();
+        if victims.is_empty() {
+            return;
+        }
+        assert!(
+            victims
+                .iter()
+                .all(|v| self.members.get(v) == Some(&NodeClass::Transient)),
+            "reliable-node failures require external checkpointing (paper Sec. 3.3) \
+             and are not recoverable by the elasticity controller"
+        );
+        let owners_lost = victims.iter().any(|v| self.partition_owner.contains(v));
+
+        for v in &victims {
+            self.members.remove(v);
+            self.clock.deregister(v.0);
+        }
+        self.join_order.retain(|n| !victims.contains(n));
+        self.helloed.retain(|n| !victims.contains(n));
+        self.active_hosts.retain(|n| !victims.contains(n));
+
+        if !owners_lost {
+            // Workers only: reassign data, continue without rollback.
+            let workers = self.worker_nodes(self.stage);
+            if let Some(a) = self.assignment.as_mut() {
+                for v in &victims {
+                    a.remove_worker(*v, &workers);
+                }
+            }
+            self.topo_version += 1;
+            let topo = self.topology(self.stage);
+            for n in self.members.keys().copied().collect::<Vec<_>>() {
+                let blocks = self
+                    .assignment
+                    .as_ref()
+                    .map(|a| a.blocks_of(n))
+                    .unwrap_or_default();
+                let assign = NodeAssignment {
+                    serve_partitions: self.owned_by(n),
+                    backup_partitions: self.backed_by(n),
+                    is_active_ps: self.stage.uses_backups() && self.active_hosts.contains(&n),
+                    data_blocks: blocks,
+                    await_installs: Vec::new(),
+                    topology: Arc::clone(&topo),
+                    resume_clock: self.last_min_broadcast,
+                    epoch: self.epoch,
+                };
+                let _ = ctx.send(n, AgileMsg::Configure(Box::new(assign)));
+            }
+            self.broadcast(ctx, &AgileMsg::Topology(topo));
+            self.broadcast(ctx, &AgileMsg::Start);
+            self.emit(JobEvent::NodesFailedRecovered {
+                nodes: victims,
+                rolled_back_to: self.last_min_broadcast,
+            });
+            self.maybe_broadcast_min(ctx);
+            return;
+        }
+
+        // Phase 1: ask every backup holder for its consistent clock.
+        let backups: BTreeSet<NodeId> = self.backup_owner.iter().flatten().copied().collect();
+        assert!(
+            !backups.is_empty(),
+            "partition owners failed but no backups exist; stage 2/3 always has backups"
+        );
+        for b in &backups {
+            let _ = ctx.send(*b, AgileMsg::BackupClockQuery);
+        }
+        self.pending = Some(Pending::RecoveryQuery {
+            failed: victims,
+            replies: BTreeMap::new(),
+            expect: backups,
+        });
+    }
+
+    fn on_backup_clock_info(&mut self, from: NodeId, min_clock: u64, ctx: &NodeCtx<AgileMsg>) {
+        let (failed, done, target) = match self.pending.as_mut() {
+            Some(Pending::RecoveryQuery {
+                failed,
+                replies,
+                expect,
+            }) => {
+                if !expect.contains(&from) {
+                    return;
+                }
+                replies.insert(from, min_clock);
+                if replies.len() == expect.len() {
+                    let target = replies.values().copied().min().unwrap_or(0);
+                    (failed.clone(), true, target)
+                } else {
+                    return;
+                }
+            }
+            _ => return,
+        };
+        if done {
+            self.run_recovery(failed, target, ctx);
+        }
+    }
+
+    /// Phase 2 of failure recovery: new owners, rollback-aligned images
+    /// from backups, epoch bump, worker restart.
+    fn run_recovery(&mut self, failed: Vec<NodeId>, target: u64, ctx: &NodeCtx<AgileMsg>) {
+        self.epoch += 1;
+        let transient = self.transient();
+
+        if transient.is_empty() {
+            // All transient resources failed at once (the paper's "all
+            // or most of the transient resources fail" case, Sec. 3.3):
+            // the BackupPSs roll back to the last consistent state and
+            // become the serving ParamServs; the reliable workers redo
+            // the lost iterations. The job degenerates to stage 1.
+            let old_stage = self.stage;
+            self.active_hosts.clear();
+            self.partition_owner = self
+                .backup_owner
+                .iter()
+                .map(|b| b.expect("stage 2/3 always has backups"))
+                .collect();
+            self.backup_owner = vec![None; self.layout.count() as usize];
+            self.stage = Stage::Stage1;
+            if old_stage != Stage::Stage1 {
+                self.emit(JobEvent::StageChanged {
+                    from: old_stage,
+                    to: Stage::Stage1,
+                });
+            }
+        } else {
+            // Reassign dead partitions to surviving transient nodes.
+            let dead_partitions: Vec<PartitionId> = self
+                .partition_owner
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| !self.members.contains_key(o))
+                .map(|(i, _)| PartitionId(i as u32))
+                .collect();
+            let fresh: Vec<NodeId> = transient
+                .iter()
+                .filter(|n| !self.active_hosts.contains(n))
+                .copied()
+                .collect();
+            let mut fresh_iter = fresh.iter();
+            for p in &dead_partitions {
+                let new_owner = fresh_iter.next().copied().unwrap_or_else(|| {
+                    *self
+                        .active_hosts
+                        .iter()
+                        .min_by_key(|n| self.owned_by(**n).len())
+                        .expect("surviving actives exist")
+                });
+                self.active_hosts.insert(new_owner);
+                self.partition_owner[p.0 as usize] = new_owner;
+            }
+        }
+
+        // Data blocks of dead workers fall back.
+        let workers = self.worker_nodes(self.stage);
+        if let Some(a) = self.assignment.as_mut() {
+            for v in &failed {
+                a.remove_worker(*v, &workers);
+            }
+        }
+
+        // Reset clocks: every worker resumes from the target.
+        self.clock = ClockTable::new(self.cfg.slack);
+        for w in &workers {
+            self.clock.register(w.0);
+            self.clock.advance(w.0, target);
+        }
+        self.last_min_broadcast = target;
+
+        self.topo_version += 1;
+        let topo = self.topology(self.stage);
+
+        // Everything restarts from the recovered clock in the new epoch.
+        self.broadcast(
+            ctx,
+            &AgileMsg::RestartFrom {
+                clock: target,
+                epoch: self.epoch,
+            },
+        );
+
+        // Backups roll back to the target and ship recovery images.
+        // This is sent BEFORE the reconfiguration so that a backup that
+        // is itself being promoted to the serving owner (full transient
+        // loss) rolls back while the partitions are still in its backup
+        // store (per-sender FIFO guarantees the node processes this
+        // first).
+        let mut by_pair: BTreeMap<(NodeId, NodeId), Vec<PartitionId>> = BTreeMap::new();
+        for p in self.layout.partitions() {
+            let owner = self.partition_owner[p.0 as usize];
+            let source = self.backup_owner[p.0 as usize].unwrap_or(owner);
+            by_pair.entry((source, owner)).or_default().push(p);
+        }
+        for ((backup, owner), parts) in by_pair {
+            let _ = ctx.send(
+                backup,
+                AgileMsg::RecoverPartitions {
+                    partitions: parts,
+                    new_owner: owner,
+                    clock: target,
+                },
+            );
+        }
+
+        // Reconfigure with awaits: every serving owner re-installs all
+        // its partitions from backup so serving state is exactly the
+        // rolled-back backup state.
+        self.pending_ready.clear();
+        for n in self.members.keys().copied().collect::<Vec<_>>() {
+            let serve = self.owned_by(n);
+            let backup = self.backed_by(n);
+            let blocks = self
+                .assignment
+                .as_ref()
+                .map(|a| a.blocks_of(n))
+                .unwrap_or_default();
+            if !serve.is_empty() {
+                self.pending_ready.insert(n);
+            }
+            let assign = NodeAssignment {
+                serve_partitions: serve.clone(),
+                backup_partitions: backup,
+                is_active_ps: self.stage.uses_backups() && self.active_hosts.contains(&n),
+                data_blocks: blocks,
+                await_installs: serve,
+                topology: Arc::clone(&topo),
+                resume_clock: target,
+                epoch: self.epoch,
+            };
+            let _ = ctx.send(n, AgileMsg::Configure(Box::new(assign)));
+        }
+        self.broadcast(ctx, &AgileMsg::Topology(Arc::clone(&topo)));
+
+        self.pending = Some(Pending::RecoveryInstall {
+            failed,
+            clock: target,
+        });
+        self.try_finish_pending(ctx);
+    }
+}

@@ -1,0 +1,63 @@
+//! Observable job events and status, surfaced to the driver.
+
+use proteus_simnet::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::stage::Stage;
+
+/// Events the controller emits to the driver's event channel as the job
+/// runs — the raw material of the elasticity timeline (paper Fig. 16).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// All initially expected nodes are ready and iteration began.
+    Started {
+        /// Nodes participating at start.
+        nodes: usize,
+    },
+    /// The global minimum clock advanced (an "iteration" completed).
+    ClockAdvanced {
+        /// The new minimum clock.
+        min: u64,
+    },
+    /// The controller switched stages.
+    StageChanged {
+        /// Previous stage.
+        from: Stage,
+        /// New stage.
+        to: Stage,
+    },
+    /// Nodes were integrated into the computation.
+    NodesAdded {
+        /// The new nodes.
+        nodes: Vec<NodeId>,
+    },
+    /// Nodes were drained and removed after an eviction warning.
+    NodesEvicted {
+        /// The removed nodes.
+        nodes: Vec<NodeId>,
+    },
+    /// Nodes failed and rollback recovery ran.
+    NodesFailedRecovered {
+        /// The failed nodes.
+        nodes: Vec<NodeId>,
+        /// The consistent clock the job rolled back to.
+        rolled_back_to: u64,
+    },
+}
+
+/// A point-in-time status snapshot of the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Current stage.
+    pub stage: Stage,
+    /// Reliable node count.
+    pub reliable: usize,
+    /// Transient node count.
+    pub transient: usize,
+    /// Number of nodes currently hosting an ActivePS (0 in stage 1).
+    pub active_ps: usize,
+    /// Number of live workers.
+    pub workers: usize,
+    /// Minimum completed clock across workers.
+    pub min_clock: u64,
+}

@@ -1,0 +1,351 @@
+//! The driver-facing job handle.
+//!
+//! [`AgileMlJob`] owns the simulated cluster: it spawns the controller and
+//! the machine nodes, forwards elasticity actions (add / evict / fail) to
+//! the controller, and exposes model snapshots, objective evaluation, and
+//! the job event stream. This is the API the Proteus driver (and every
+//! test, example, and benchmark) uses to run elastic training.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver};
+use proteus_mlapps::app::{MlApp, ParamReader};
+use proteus_ps::{DenseVec, ParamKey};
+use proteus_simnet::{Cluster, ClusterHandle, NodeClass, NodeId};
+
+use crate::config::AgileConfig;
+use crate::controller::run_controller;
+use crate::events::{JobEvent, JobStatus};
+use crate::msg::{AgileMsg, Command};
+use crate::node::run_node;
+
+/// Default timeout for driver-side waits.
+const WAIT: Duration = Duration::from_secs(60);
+
+/// A point-in-time copy of the full model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    /// Every materialized parameter.
+    pub params: BTreeMap<ParamKey, DenseVec>,
+    /// The minimum worker clock when the snapshot was taken.
+    pub clock: u64,
+}
+
+impl ModelSnapshot {
+    /// A [`ParamReader`] over this snapshot, falling back to zeros of the
+    /// app's declared dimension for unmaterialized keys.
+    pub fn reader<'a, A: MlApp>(&'a self, app: &'a A) -> SnapshotReader<'a, A> {
+        SnapshotReader { snap: self, app }
+    }
+}
+
+/// Reader adapter over a [`ModelSnapshot`].
+pub struct SnapshotReader<'a, A: MlApp> {
+    snap: &'a ModelSnapshot,
+    app: &'a A,
+}
+
+impl<'a, A: MlApp> ParamReader for SnapshotReader<'a, A> {
+    fn get(&self, key: ParamKey) -> DenseVec {
+        self.snap
+            .params
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| DenseVec::zeros(self.app.value_dim(key)))
+    }
+}
+
+/// A running elastic training job.
+pub struct AgileMlJob<A: MlApp> {
+    cluster: Cluster<AgileMsg>,
+    handle: ClusterHandle<AgileMsg>,
+    controller: NodeId,
+    app: Arc<A>,
+    dataset: Arc<Vec<A::Datum>>,
+    cfg: AgileConfig,
+    events: Receiver<JobEvent>,
+    event_log: Vec<JobEvent>,
+}
+
+impl<A: MlApp> AgileMlJob<A> {
+    /// Launches a job on `reliable` + `transient` fresh machines and
+    /// blocks until training has started.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid configuration, zero reliable machines, or start
+    /// timeout.
+    pub fn launch(
+        app: A,
+        dataset: Vec<A::Datum>,
+        cfg: AgileConfig,
+        reliable: usize,
+        transient: usize,
+    ) -> Result<Self, String> {
+        Self::launch_with_model(app, dataset, cfg, reliable, transient, None)
+    }
+
+    /// Like [`AgileMlJob::launch`] but restores parameter state from a
+    /// checkpointed [`ModelSnapshot`] instead of random initialization —
+    /// the paper's Sec. 3.3 checkpointing of reliable resources, which
+    /// in stage 3 costs no training throughput because no workers run on
+    /// those machines.
+    pub fn launch_from_checkpoint(
+        app: A,
+        dataset: Vec<A::Datum>,
+        cfg: AgileConfig,
+        reliable: usize,
+        transient: usize,
+        checkpoint: ModelSnapshot,
+    ) -> Result<Self, String> {
+        Self::launch_with_model(
+            app,
+            dataset,
+            cfg,
+            reliable,
+            transient,
+            Some(checkpoint.params),
+        )
+    }
+
+    fn launch_with_model(
+        app: A,
+        dataset: Vec<A::Datum>,
+        cfg: AgileConfig,
+        reliable: usize,
+        transient: usize,
+        initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if reliable == 0 {
+            return Err("AgileML needs at least one reliable machine".into());
+        }
+        let app = Arc::new(app);
+        let dataset = Arc::new(dataset);
+        let mut cluster: Cluster<AgileMsg> = Cluster::new();
+        let (ev_tx, ev_rx) = unbounded();
+
+        // The controller runs on reliable infrastructure (node 0).
+        let controller = {
+            let cfg = cfg;
+            let app = Arc::clone(&app);
+            let len = dataset.len();
+            cluster.spawn(NodeClass::Reliable, move |ctx| {
+                run_controller(ctx, cfg, app, len, ev_tx, initial_model)
+            })
+        };
+
+        let mut job = AgileMlJob {
+            handle: cluster.handle(),
+            cluster,
+            controller,
+            app,
+            dataset,
+            cfg,
+            events: ev_rx,
+            event_log: Vec::new(),
+        };
+
+        let mut nodes = job.spawn_machines(NodeClass::Reliable, reliable);
+        nodes.extend(job.spawn_machines(NodeClass::Transient, transient));
+        job.send_cmd(Command::AddNodes { nodes })?;
+        job.wait_for_event(|e| matches!(e, JobEvent::Started { .. }), WAIT)?;
+        Ok(job)
+    }
+
+    fn spawn_machines(&mut self, class: NodeClass, count: usize) -> Vec<(NodeId, NodeClass)> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let app = Arc::clone(&self.app);
+            let dataset = Arc::clone(&self.dataset);
+            let cfg = self.cfg;
+            let controller = self.controller;
+            let id = self.cluster.spawn(class, move |ctx| {
+                run_node(ctx, controller, app, dataset, cfg)
+            });
+            out.push((id, class));
+        }
+        out
+    }
+
+    fn send_cmd(&self, cmd: Command) -> Result<(), String> {
+        self.handle
+            .send_as_harness(self.controller, AgileMsg::Cmd(cmd))
+            .map_err(|e| format!("controller unreachable: {e}"))
+    }
+
+    /// Adds `count` machines of `class` to the running job; blocks until
+    /// the controller integrated them. Returns the new node ids.
+    pub fn add_machines(&mut self, class: NodeClass, count: usize) -> Result<Vec<NodeId>, String> {
+        let nodes = self.spawn_machines(class, count);
+        let ids: Vec<NodeId> = nodes.iter().map(|(n, _)| *n).collect();
+        self.send_cmd(Command::AddNodes { nodes })?;
+        let want = ids.clone();
+        self.wait_for_event(
+            move |e| matches!(e, JobEvent::NodesAdded { nodes } if *nodes == want),
+            WAIT,
+        )?;
+        Ok(ids)
+    }
+
+    /// Delivers an eviction warning for `nodes` and blocks until the
+    /// controller drained and removed them (the machines shut themselves
+    /// down after draining, like spot instances racing their two-minute
+    /// warning).
+    pub fn evict_with_warning(&mut self, nodes: &[NodeId]) -> Result<(), String> {
+        self.send_cmd(Command::EvictWarned {
+            nodes: nodes.to_vec(),
+        })?;
+        let want: Vec<NodeId> = nodes.to_vec();
+        self.wait_for_event(
+            // The controller reports the subset it actually evicted
+            // (unknown nodes are filtered; an empty report means the
+            // whole request was a no-op).
+            move |e| {
+                matches!(e, JobEvent::NodesEvicted { nodes }
+                if nodes.iter().all(|n| want.contains(n)))
+            },
+            WAIT,
+        )
+        // No kill here: the victims drain (final backup pushes,
+        // partition migrations) and then stop themselves on the
+        // controller's `Stop`, which is FIFO-ordered after the drain
+        // orders — exactly the work the two-minute warning window
+        // exists for. Killing eagerly could destroy a migration still
+        // sitting in a victim's mailbox. Abrupt revocation (warning too
+        // late to drain) is modelled by [`AgileMlJob::fail_nodes`].
+    }
+
+    /// Kills `nodes` abruptly (no warning) and blocks until rollback
+    /// recovery completes. Returns the clock the job rolled back to.
+    pub fn fail_nodes(&mut self, nodes: &[NodeId]) -> Result<u64, String> {
+        for n in nodes {
+            self.cluster.kill(*n);
+        }
+        self.send_cmd(Command::NodesFailed {
+            nodes: nodes.to_vec(),
+        })?;
+        let want: Vec<NodeId> = nodes.to_vec();
+        let mut rolled = 0;
+        self.wait_for_event(
+            |e| match e {
+                JobEvent::NodesFailedRecovered {
+                    nodes,
+                    rolled_back_to,
+                } if *nodes == want => {
+                    rolled = *rolled_back_to;
+                    true
+                }
+                _ => false,
+            },
+            WAIT,
+        )?;
+        Ok(rolled)
+    }
+
+    /// Blocks until the global minimum clock reaches `clock`.
+    pub fn wait_clock(&mut self, clock: u64) -> Result<(), String> {
+        if self
+            .event_log
+            .iter()
+            .any(|e| matches!(e, JobEvent::ClockAdvanced { min } if *min >= clock))
+        {
+            return Ok(());
+        }
+        self.wait_for_event(
+            |e| matches!(e, JobEvent::ClockAdvanced { min } if *min >= clock),
+            WAIT,
+        )
+    }
+
+    /// Fetches a full model snapshot from the serving parameter servers.
+    pub fn snapshot(&self) -> Result<ModelSnapshot, String> {
+        let (tx, rx) = bounded(1);
+        self.send_cmd(Command::Snapshot { reply: tx })?;
+        rx.recv_timeout(WAIT)
+            .map_err(|_| "snapshot timed out".to_string())
+    }
+
+    /// The training objective of the current model over `data`.
+    pub fn objective(&self, data: &[A::Datum]) -> Result<f64, String> {
+        let snap = self.snapshot()?;
+        Ok(self.app.objective(data, &snap.reader(self.app.as_ref())))
+    }
+
+    /// Controller status (stage, counts, clock).
+    pub fn status(&self) -> Result<JobStatus, String> {
+        let (tx, rx) = bounded(1);
+        self.send_cmd(Command::Status { reply: tx })?;
+        rx.recv_timeout(WAIT)
+            .map_err(|_| "status timed out".to_string())
+    }
+
+    /// Every job event observed so far (drains the channel).
+    pub fn events(&mut self) -> &[JobEvent] {
+        while let Ok(e) = self.events.try_recv() {
+            self.event_log.push(e);
+        }
+        &self.event_log
+    }
+
+    /// The application under training.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// The training dataset.
+    pub fn dataset(&self) -> &[A::Datum] {
+        &self.dataset
+    }
+
+    /// Delivered-message counts per (sender, receiver) pair — lets tests
+    /// assert traffic-direction properties (e.g. backup streams flow
+    /// toward reliable machines only).
+    pub fn traffic_matrix(&self) -> Vec<((NodeId, NodeId), u64)> {
+        self.cluster.traffic_matrix()
+    }
+
+    /// Messages delivered from `from` to `to`.
+    pub fn traffic_between(&self, from: NodeId, to: NodeId) -> u64 {
+        self.cluster.traffic_between(from, to)
+    }
+
+    /// Stops every node and tears the cluster down.
+    pub fn shutdown(self) -> Result<(), String> {
+        let (tx, rx) = bounded(1);
+        self.send_cmd(Command::Shutdown { reply: tx })?;
+        rx.recv_timeout(WAIT)
+            .map_err(|_| "shutdown timed out".to_string())?;
+        self.cluster.join();
+        Ok(())
+    }
+
+    /// Waits until an event matching `pred` arrives (events seen along
+    /// the way are logged).
+    fn wait_for_event(
+        &mut self,
+        mut pred: impl FnMut(&JobEvent) -> bool,
+        timeout: Duration,
+    ) -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        // Check already-logged events first.
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err("timed out waiting for job event".into());
+            }
+            match self.events.recv_timeout(deadline - now) {
+                Ok(e) => {
+                    let hit = pred(&e);
+                    self.event_log.push(e);
+                    if hit {
+                        return Ok(());
+                    }
+                }
+                Err(_) => return Err("timed out waiting for job event".into()),
+            }
+        }
+    }
+}

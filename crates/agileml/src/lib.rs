@@ -1,0 +1,43 @@
+//! AgileML — the paper's elastic parameter-server framework (Sec. 3).
+//!
+//! AgileML organizes machines into **tiers of reliability** and deploys
+//! different functional components to different tiers so that ML training
+//! can exploit cheap transient machines without ever risking solution
+//! state:
+//!
+//! * **Stage 1** — parameter servers (`ParamServ`) only on reliable
+//!   machines; transient machines run only workers. Safe but the few
+//!   reliable machines bottleneck at high transient:reliable ratios.
+//! * **Stage 2** — an **ActivePS** primary runs on transient machines
+//!   (sharded, serving all reads/updates) and streams coalesced updates in
+//!   the background to a **BackupPS** hot standby on reliable machines.
+//! * **Stage 3** — additionally removes workers from reliable machines,
+//!   whose background backup traffic otherwise turns those workers into
+//!   stragglers (beyond ~15:1 ratios).
+//!
+//! The [`ElasticityController`](controller) tracks membership, assigns
+//! input-data blocks to workers, picks the stage from the
+//! transient:reliable ratio, and orchestrates bulk scale-up, warned
+//! evictions (drain-to-backup within the warning window), and failures
+//! (online rollback to the last backup-consistent clock).
+//!
+//! Everything runs for real over [`proteus_simnet`]: one thread per
+//! simulated machine, message passing only, faults injected by the
+//! harness. The entry point is [`job::AgileMlJob`].
+
+pub mod config;
+pub mod controller;
+pub mod events;
+pub mod job;
+pub mod msg;
+pub mod node;
+pub mod server;
+pub mod stage;
+pub mod topology;
+pub mod worker;
+
+pub use config::AgileConfig;
+pub use events::JobEvent;
+pub use job::{AgileMlJob, ModelSnapshot};
+pub use stage::Stage;
+pub use topology::Topology;

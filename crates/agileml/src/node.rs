@@ -1,0 +1,413 @@
+//! The per-machine behavior: one event loop multiplexing the server role
+//! (ParamServ / ActivePS / BackupPS duties) and the worker role.
+//!
+//! Real AgileML runs one process per machine with worker threads per core
+//! plus optional server threads; here one simnet thread per machine runs
+//! both roles through a single message loop, which preserves every
+//! protocol interaction (including compute/serving interference on a
+//! shared machine) while keeping the runtime dependency-free.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use proteus_mlapps::app::MlApp;
+use proteus_ps::{PartitionId, PartitionMap};
+use proteus_simnet::{Control, Incoming, NodeCtx, NodeId, RecvError};
+use proteus_simtime::rng::seeded_stream;
+
+use crate::config::AgileConfig;
+use crate::msg::{AgileMsg, Values};
+use crate::server::ServerState;
+use crate::topology::Topology;
+use crate::worker::WorkerState;
+
+/// Runs an AgileML node until stopped, killed, or shut down.
+///
+/// The node introduces itself to the controller with `Hello`, then obeys
+/// `Configure` / `Topology` / elasticity messages while serving parameter
+/// traffic and iterating as a worker.
+pub fn run_node<A: MlApp>(
+    ctx: NodeCtx<AgileMsg>,
+    controller: NodeId,
+    app: Arc<A>,
+    dataset: Arc<Vec<A::Datum>>,
+    cfg: AgileConfig,
+) {
+    let layout = PartitionMap::new(cfg.partitions).expect("validated config");
+    let me = ctx.id();
+    let rng = seeded_stream(cfg.seed, 0x4000 + u64::from(me.0));
+    let mut node = NodeState {
+        server: ServerState::new(layout),
+        worker: WorkerState::new(
+            Arc::clone(&app),
+            dataset,
+            cfg.data_blocks,
+            layout,
+            cfg.slack,
+            rng,
+            controller,
+            me,
+        ),
+        topology: None,
+        forward: BTreeMap::new(),
+        awaiting: BTreeSet::new(),
+        ready_pending: false,
+        pending_updates: Vec::new(),
+        pending_exports: Vec::new(),
+        epoch: 0,
+        configured_once: false,
+        last_push_min: 0,
+        controller,
+    };
+
+    let _ = ctx.send(controller, AgileMsg::Hello { class: ctx.class() });
+
+    loop {
+        match ctx.recv() {
+            Ok(Incoming::App(env)) => {
+                if !node.handle(env.from, env.msg, &ctx) {
+                    break;
+                }
+            }
+            Ok(Incoming::Control(Control::Shutdown)) => break,
+            Ok(Incoming::Control(Control::EvictionWarning { .. })) => {
+                // Eviction orchestration is controller-driven; the
+                // warning itself needs no local action.
+            }
+            Ok(Incoming::Control(Control::Kill)) | Err(RecvError::Killed) => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// All mutable state of one node.
+struct NodeState<A: MlApp> {
+    server: ServerState,
+    worker: WorkerState<A>,
+    topology: Option<Arc<Topology>>,
+    /// Partitions migrated away: destination for late traffic.
+    forward: BTreeMap<PartitionId, NodeId>,
+    /// Partitions whose images are still in flight.
+    awaiting: BTreeSet<PartitionId>,
+    /// Whether a `Ready` is owed once `awaiting` drains.
+    ready_pending: bool,
+    /// Updates buffered for partitions in `awaiting`.
+    pending_updates: Vec<(PartitionId, Values)>,
+    /// Export requests deferred until the awaited image arrives.
+    pending_exports: Vec<(PartitionId, NodeId)>,
+    epoch: u64,
+    configured_once: bool,
+    /// Global clock of the last backup push taken.
+    last_push_min: u64,
+    controller: NodeId,
+}
+
+impl<A: MlApp> NodeState<A> {
+    /// Handles one message; returns `false` to stop the node.
+    fn handle(&mut self, from: NodeId, msg: AgileMsg, ctx: &NodeCtx<AgileMsg>) -> bool {
+        match msg {
+            AgileMsg::Configure(assign) => {
+                if !self.configured_once {
+                    self.worker.set_clock(assign.resume_clock);
+                    self.epoch = assign.epoch;
+                    self.configured_once = true;
+                }
+                self.server.reconfigure(
+                    &assign.serve_partitions,
+                    &assign.backup_partitions,
+                    assign.is_active_ps,
+                );
+                self.worker.assign_blocks(&assign.data_blocks);
+                // Routing may have changed: abandon reads owed by nodes
+                // that may have left, and reissue them.
+                self.worker.abort_inflight_reads();
+                self.topology = Some(Arc::clone(&assign.topology));
+                self.awaiting = assign.await_installs.iter().copied().collect();
+                if self.awaiting.is_empty() {
+                    let _ = ctx.send(self.controller, AgileMsg::Ready);
+                } else {
+                    self.ready_pending = true;
+                }
+                self.progress_worker(ctx);
+            }
+            AgileMsg::Topology(t) => {
+                let newer = self
+                    .topology
+                    .as_ref()
+                    .map_or(true, |cur| t.version > cur.version);
+                if newer {
+                    self.topology = Some(t);
+                    self.worker.abort_inflight_reads();
+                }
+                self.progress_worker(ctx);
+            }
+            AgileMsg::Start => {
+                self.worker.start();
+                self.progress_worker(ctx);
+            }
+            AgileMsg::Stop => return false,
+            AgileMsg::GlobalClock { min, epoch } => {
+                self.worker.on_global_clock(min, epoch);
+                if epoch == self.epoch && self.server.is_active() && min > self.last_push_min {
+                    self.last_push_min = min;
+                    self.push_to_backups(min, false, ctx);
+                }
+                self.progress_worker(ctx);
+            }
+            AgileMsg::ReadReq { token, keys } => {
+                let values = self.server.handle_read(&keys);
+                let _ = ctx.send(from, AgileMsg::ReadResp { token, values });
+            }
+            AgileMsg::ReadResp { token, values } => {
+                if let Some(topo) = self.topology.clone() {
+                    let out = self.worker.on_read_resp(token, values, &topo);
+                    self.dispatch(out, ctx);
+                }
+            }
+            AgileMsg::UpdateBatch {
+                partition,
+                clock,
+                epoch,
+                updates,
+            } => {
+                if epoch < self.epoch {
+                    return true; // Stale pre-recovery traffic.
+                }
+                if self.awaiting.contains(&partition) {
+                    self.pending_updates.push((partition, updates));
+                } else if !self.server.handle_updates(partition, &updates) {
+                    // Not served here: forward to the migration target or
+                    // the topology owner.
+                    let dest = self.forward.get(&partition).copied().or_else(|| {
+                        self.topology.as_ref().and_then(|t| {
+                            let owner = t.owner_of(partition);
+                            (owner != ctx.id()).then_some(owner)
+                        })
+                    });
+                    if let Some(dest) = dest {
+                        let _ = ctx.send(
+                            dest,
+                            AgileMsg::UpdateBatch {
+                                partition,
+                                clock,
+                                epoch,
+                                updates,
+                            },
+                        );
+                    }
+                }
+            }
+            AgileMsg::BackupPush {
+                partition,
+                clock,
+                deltas,
+                end_of_life,
+            } => {
+                self.server
+                    .apply_push(partition, clock, deltas, end_of_life);
+            }
+            AgileMsg::InstallPartition {
+                partition, image, ..
+            } => {
+                self.server.install_image(partition, image);
+                self.awaiting.remove(&partition);
+                // Apply updates buffered while the image was in flight.
+                let buffered: Vec<(PartitionId, Values)> =
+                    std::mem::take(&mut self.pending_updates);
+                for (p, updates) in buffered {
+                    if p == partition {
+                        self.server.handle_updates(p, &updates);
+                    } else {
+                        self.pending_updates.push((p, updates));
+                    }
+                }
+                // Serve exports that were waiting for this image.
+                let deferred: Vec<(PartitionId, NodeId)> =
+                    std::mem::take(&mut self.pending_exports);
+                for (p, requester) in deferred {
+                    if p == partition {
+                        let image = self.server.export_serving(p);
+                        let _ = ctx.send(
+                            requester,
+                            AgileMsg::InstallPartition {
+                                partition: p,
+                                image,
+                                clock: self.last_push_min,
+                            },
+                        );
+                    } else {
+                        self.pending_exports.push((p, requester));
+                    }
+                }
+                if self.awaiting.is_empty() && self.ready_pending {
+                    self.ready_pending = false;
+                    let _ = ctx.send(self.controller, AgileMsg::Ready);
+                }
+            }
+            AgileMsg::MigratePartitions {
+                to,
+                partitions,
+                retain_as_backup,
+            } => {
+                // Bring backups current before the handoff so the new
+                // owner's dirty tracking starts from a pushed boundary.
+                if self.server.is_active() {
+                    self.push_to_backups(self.last_push_min, false, ctx);
+                }
+                for p in &partitions {
+                    let image = self.server.export_serving(*p);
+                    let _ = ctx.send(
+                        to,
+                        AgileMsg::InstallPartition {
+                            partition: *p,
+                            image,
+                            clock: self.last_push_min,
+                        },
+                    );
+                    self.forward.insert(*p, to);
+                }
+                // Recompute roles: stop serving the moved partitions,
+                // optionally retaining them as backup copies.
+                let new_serve: Vec<PartitionId> = self
+                    .server
+                    .served_partitions()
+                    .into_iter()
+                    .filter(|p| !partitions.contains(p))
+                    .collect();
+                // Current backup set is whatever the server already backs
+                // up, plus (optionally) the migrated partitions.
+                let mut new_backup: Vec<PartitionId> = (0..self.server.layout().count())
+                    .map(PartitionId)
+                    .filter(|p| self.server.backs_up(*p))
+                    .collect();
+                if retain_as_backup {
+                    new_backup.extend(partitions.iter().copied());
+                }
+                new_backup.sort();
+                new_backup.dedup();
+                let was_active = self.server.is_active();
+                self.server.reconfigure(&new_serve, &new_backup, was_active);
+            }
+            AgileMsg::DrainToBackup => {
+                self.push_to_backups(self.last_push_min, true, ctx);
+                self.server.reconfigure(&[], &[], false);
+            }
+            AgileMsg::RollbackDirty => {
+                self.server.rollback_dirty();
+            }
+            AgileMsg::BackupClockQuery => {
+                let min_clock = self
+                    .server
+                    .backup_consistent_clock()
+                    .unwrap_or(self.last_push_min);
+                let _ = ctx.send(from, AgileMsg::BackupClockInfo { min_clock });
+            }
+            AgileMsg::RecoverPartitions {
+                partitions,
+                new_owner,
+                clock,
+            } => {
+                self.server.backup_rollback_to(clock);
+                for p in partitions {
+                    let image = self.server.export_backup(p);
+                    let _ = ctx.send(
+                        new_owner,
+                        AgileMsg::InstallPartition {
+                            partition: p,
+                            image,
+                            clock,
+                        },
+                    );
+                }
+            }
+            AgileMsg::RestartFrom { clock, epoch } => {
+                self.epoch = epoch;
+                self.last_push_min = clock;
+                self.worker.restart_from(clock, epoch);
+            }
+            AgileMsg::ExportPartition { partition } => {
+                if self.awaiting.contains(&partition) {
+                    // The image for this partition is still in flight
+                    // (migration); answer once it lands so snapshots
+                    // never observe an empty freshly-migrated partition.
+                    self.pending_exports.push((partition, from));
+                } else {
+                    let image = self.server.export_serving(partition);
+                    let _ = ctx.send(
+                        from,
+                        AgileMsg::InstallPartition {
+                            partition,
+                            image,
+                            clock: self.last_push_min,
+                        },
+                    );
+                }
+            }
+            // Controller-only traffic; harmless if misdelivered.
+            AgileMsg::Hello { .. }
+            | AgileMsg::Ready
+            | AgileMsg::ClockDone { .. }
+            | AgileMsg::BackupClockInfo { .. }
+            | AgileMsg::Cmd(_) => {}
+        }
+        true
+    }
+
+    /// Streams the coalesced dirty deltas of every served partition to
+    /// its backup owner.
+    fn push_to_backups(&mut self, clock: u64, end_of_life: bool, ctx: &NodeCtx<AgileMsg>) {
+        let Some(topo) = self.topology.clone() else {
+            return;
+        };
+        let served = self.server.served_partitions();
+        let mut pushed: BTreeMap<PartitionId, Values> =
+            self.server.take_push(clock).into_iter().collect();
+        for p in served {
+            let deltas = pushed.remove(&p).unwrap_or_default();
+            if deltas.is_empty() && !end_of_life {
+                continue;
+            }
+            if let Some(backup) = topo.backup_of(p) {
+                let _ = ctx.send(
+                    backup,
+                    AgileMsg::BackupPush {
+                        partition: p,
+                        clock,
+                        deltas,
+                        end_of_life,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Drives the worker and dispatches whatever it wants sent.
+    fn progress_worker(&mut self, ctx: &NodeCtx<AgileMsg>) {
+        let Some(topo) = self.topology.clone() else {
+            return;
+        };
+        let out = self.worker.poll(&topo);
+        self.dispatch(out, ctx);
+    }
+
+    /// Sends worker outbox messages, feeding send failures (evicted
+    /// destinations) back into the worker so it never deadlocks.
+    fn dispatch(&mut self, out: Vec<(NodeId, AgileMsg)>, ctx: &NodeCtx<AgileMsg>) {
+        let mut queue: VecDeque<(NodeId, AgileMsg)> = out.into();
+        while let Some((dst, msg)) = queue.pop_front() {
+            let failed_token = match &msg {
+                AgileMsg::ReadReq { token, .. } => Some(*token),
+                _ => None,
+            };
+            if ctx.send(dst, msg).is_err() {
+                if let (Some(token), Some(topo)) = (failed_token, self.topology.clone()) {
+                    let more = self.worker.on_read_failed(token, &topo);
+                    queue.extend(more);
+                }
+                // Failed updates/clocks are dropped: updates are lost work
+                // (tolerated), ClockDone to the controller cannot fail
+                // while the job is alive.
+            }
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Worker-side iteration machinery.
+//!
+//! A worker processes its assigned input-data blocks once per clock:
+//! it reads the parameters its data needs from the serving PSs, runs the
+//! application's `process` over every datum (buffering updates in the
+//! write-back cache), flushes coalesced update batches to the partition
+//! owners, and reports `ClockDone` to the controller. Progress is gated
+//! by the SSP condition against the controller-broadcast global minimum
+//! clock.
+//!
+//! [`WorkerState`] is a pure state machine: it *returns* the messages to
+//! send instead of sending them, so iteration logic is unit-testable
+//! without threads; `node.rs` performs the actual I/O.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proteus_mlapps::app::{MlApp, ParamReader};
+use proteus_ps::{DenseVec, ParamKey, PartitionId, PartitionMap, WorkerCache};
+use proteus_simnet::NodeId;
+use rand::rngs::StdRng;
+
+use crate::msg::{AgileMsg, Values};
+use crate::topology::{block_ranges, BlockId, Topology};
+
+/// Where the worker is within its iteration cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerPhase {
+    /// Not iterating (before `Start`, after `Stop`, or no data assigned).
+    Idle,
+    /// Gated on the SSP barrier.
+    WaitBarrier,
+    /// Waiting for `pending` read responses with the given token.
+    WaitReads {
+        /// Read token outstanding.
+        token: u64,
+        /// Responses still missing.
+        pending: usize,
+    },
+}
+
+/// Messages a worker wants sent, as `(destination, message)` pairs.
+pub type Outbox = Vec<(NodeId, AgileMsg)>;
+
+/// The worker half of an AgileML node.
+pub struct WorkerState<A: MlApp> {
+    app: Arc<A>,
+    /// The full dataset ("S3"); blocks are loaded (cloned) from here.
+    dataset: Arc<Vec<A::Datum>>,
+    /// Block → index range table, fixed at job start.
+    ranges: Vec<(usize, usize)>,
+    /// Loaded blocks with their (mutable, scratch-bearing) data.
+    local: BTreeMap<BlockId, Vec<A::Datum>>,
+    layout: PartitionMap,
+    cache: WorkerCache<DenseVec>,
+    rng: StdRng,
+    /// Completed iteration count.
+    clock: u64,
+    /// Latest `GlobalClock.min` accepted.
+    global_min: u64,
+    slack: u64,
+    epoch: u64,
+    started: bool,
+    phase: WorkerPhase,
+    next_token: u64,
+    controller: NodeId,
+}
+
+/// Cache-backed parameter reader with a zero fallback of the app's
+/// declared dimension.
+struct CacheReader<'a, A: MlApp> {
+    app: &'a A,
+    cache: &'a WorkerCache<DenseVec>,
+}
+
+impl<'a, A: MlApp> ParamReader for CacheReader<'a, A> {
+    fn get(&self, key: ParamKey) -> DenseVec {
+        self.cache
+            .read(key)
+            .cloned()
+            .unwrap_or_else(|| DenseVec::zeros(self.app.value_dim(key)))
+    }
+}
+
+impl<A: MlApp> WorkerState<A> {
+    /// Creates an idle worker.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        app: Arc<A>,
+        dataset: Arc<Vec<A::Datum>>,
+        data_blocks: u32,
+        layout: PartitionMap,
+        slack: u64,
+        rng: StdRng,
+        controller: NodeId,
+        _me: NodeId,
+    ) -> Self {
+        let ranges = block_ranges(dataset.len(), data_blocks);
+        WorkerState {
+            app,
+            dataset,
+            ranges,
+            local: BTreeMap::new(),
+            layout,
+            cache: WorkerCache::new(layout),
+            rng,
+            clock: 0,
+            global_min: 0,
+            slack,
+            epoch: 0,
+            started: false,
+            phase: WorkerPhase::Idle,
+            next_token: 0,
+            controller,
+        }
+    }
+
+    /// Completed iterations.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Current phase (diagnostics).
+    pub fn phase(&self) -> WorkerPhase {
+        self.phase
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether this worker currently has data to process.
+    pub fn has_data(&self) -> bool {
+        !self.local.is_empty()
+    }
+
+    /// Applies a (re)assignment of data blocks: loads newly assigned
+    /// blocks from the dataset, drops removed ones (keeping scratch state
+    /// of retained blocks).
+    pub fn assign_blocks(&mut self, blocks: &[BlockId]) {
+        let wanted: std::collections::BTreeSet<BlockId> = blocks.iter().copied().collect();
+        self.local.retain(|b, _| wanted.contains(b));
+        for b in blocks {
+            if !self.local.contains_key(b) {
+                let (lo, hi) = self.ranges.get(b.0 as usize).copied().unwrap_or((0, 0));
+                self.local.insert(*b, self.dataset[lo..hi].to_vec());
+            }
+        }
+        if self.local.is_empty() && matches!(self.phase, WorkerPhase::WaitBarrier) {
+            self.phase = WorkerPhase::Idle;
+        }
+    }
+
+    /// Sets the clock to resume from (first configuration or recovery).
+    pub fn set_clock(&mut self, clock: u64) {
+        self.clock = clock;
+        self.global_min = self.global_min.max(clock);
+    }
+
+    /// Marks the worker started (controller `Start`).
+    pub fn start(&mut self) {
+        self.started = true;
+        if matches!(self.phase, WorkerPhase::Idle) && self.has_data() {
+            self.phase = WorkerPhase::WaitBarrier;
+        }
+    }
+
+    /// Stops iterating (stage-3 reliable nodes, job end).
+    pub fn stop(&mut self) {
+        self.started = false;
+        self.phase = WorkerPhase::Idle;
+    }
+
+    /// Handles a `GlobalClock` broadcast.
+    pub fn on_global_clock(&mut self, min: u64, epoch: u64) {
+        if epoch == self.epoch && min > self.global_min {
+            self.global_min = min;
+        }
+    }
+
+    /// Handles failure recovery: clears cached parameters, rewinds to
+    /// `clock`, enters the new epoch, and pauses until `Start`.
+    pub fn restart_from(&mut self, clock: u64, epoch: u64) {
+        self.cache.clear();
+        self.clock = clock;
+        self.global_min = clock;
+        self.epoch = epoch;
+        self.started = false;
+        self.phase = WorkerPhase::Idle;
+    }
+
+    /// Aborts an in-flight read round (no updates were flushed yet), so
+    /// the iteration restarts against fresh routing. Called on topology
+    /// changes: a pending response may be owed by a machine that just
+    /// left the computation.
+    pub fn abort_inflight_reads(&mut self) {
+        if matches!(self.phase, WorkerPhase::WaitReads { .. }) {
+            self.phase = WorkerPhase::WaitBarrier;
+        }
+    }
+
+    /// Whether the SSP condition admits starting the next iteration.
+    fn may_proceed(&self) -> bool {
+        self.clock.saturating_sub(self.global_min) <= self.slack
+    }
+
+    /// Drives the state machine forward; returns messages to send.
+    ///
+    /// Call after any event that may unblock the worker (start, clock
+    /// broadcast, block assignment).
+    pub fn poll(&mut self, topology: &Topology) -> Outbox {
+        if !self.started || !self.has_data() || self.phase != WorkerPhase::WaitBarrier {
+            // WaitReads progresses via `on_read_resp`; Idle via `start`.
+            if self.started && self.has_data() && self.phase == WorkerPhase::Idle {
+                self.phase = WorkerPhase::WaitBarrier;
+            } else {
+                return Vec::new();
+            }
+        }
+        if !self.may_proceed() {
+            return Vec::new();
+        }
+        self.begin_reads(topology)
+    }
+
+    /// Issues the read requests for this iteration.
+    fn begin_reads(&mut self, topology: &Topology) -> Outbox {
+        // Union of keys needed by all local data, grouped by owner.
+        let mut keys: Vec<ParamKey> = Vec::new();
+        for data in self.local.values() {
+            for datum in data {
+                keys.extend(self.app.keys_for(datum));
+            }
+        }
+        keys.sort();
+        keys.dedup();
+
+        let mut by_owner: BTreeMap<NodeId, Vec<ParamKey>> = BTreeMap::new();
+        for k in keys {
+            let p = self.layout.partition_of(k);
+            let owner = topology.owner_of(PartitionId(p.0));
+            by_owner.entry(owner).or_default().push(k);
+        }
+
+        let token = self.next_token;
+        self.next_token += 1;
+        let pending = by_owner.len();
+        if pending == 0 {
+            // No parameters needed (degenerate); complete immediately.
+            self.phase = WorkerPhase::WaitReads { token, pending: 0 };
+            return self.finish_iteration(topology);
+        }
+        self.phase = WorkerPhase::WaitReads { token, pending };
+        by_owner
+            .into_iter()
+            .map(|(owner, keys)| (owner, AgileMsg::ReadReq { token, keys }))
+            .collect()
+    }
+
+    /// Handles a read response; when the last one lands, processes the
+    /// data and returns the flush + clock messages.
+    pub fn on_read_resp(&mut self, token: u64, values: Values, topology: &Topology) -> Outbox {
+        match self.phase {
+            WorkerPhase::WaitReads { token: t, pending } if t == token => {
+                for (k, v) in values {
+                    self.cache.refresh(k, v);
+                }
+                let left = pending.saturating_sub(1);
+                self.phase = WorkerPhase::WaitReads {
+                    token,
+                    pending: left,
+                };
+                if left == 0 {
+                    self.finish_iteration(topology)
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(), // Stale response from a previous iteration.
+        }
+    }
+
+    /// A read request failed (owner unreachable mid-eviction): count it
+    /// as an empty response so the iteration proceeds on cached values.
+    pub fn on_read_failed(&mut self, token: u64, topology: &Topology) -> Outbox {
+        self.on_read_resp(token, Vec::new(), topology)
+    }
+
+    /// Processes all local data and emits update batches + `ClockDone`.
+    fn finish_iteration(&mut self, topology: &Topology) -> Outbox {
+        // Process every datum, buffering updates in the cache.
+        let mut local = std::mem::take(&mut self.local);
+        for data in local.values_mut() {
+            for datum in data.iter_mut() {
+                let updates = {
+                    let reader = CacheReader {
+                        app: self.app.as_ref(),
+                        cache: &self.cache,
+                    };
+                    self.app.process(datum, &reader, &mut self.rng)
+                };
+                for (k, d) in updates {
+                    self.cache.update(k, &d);
+                }
+            }
+        }
+        self.local = local;
+
+        // Flush coalesced batches to partition owners.
+        let mut out: Outbox = Vec::new();
+        for (partition, updates) in self.cache.flush() {
+            let owner = topology.owner_of(partition);
+            out.push((
+                owner,
+                AgileMsg::UpdateBatch {
+                    partition,
+                    clock: self.clock,
+                    epoch: self.epoch,
+                    updates,
+                },
+            ));
+        }
+
+        self.clock += 1;
+        out.push((
+            self.controller,
+            AgileMsg::ClockDone {
+                clock: self.clock,
+                epoch: self.epoch,
+            },
+        ));
+        self.phase = WorkerPhase::WaitBarrier;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_mlapps::mf::{MatrixFactorization, MfConfig, Rating};
+    use proteus_simtime::rng::seeded;
+    use std::sync::Arc;
+
+    fn mini_app() -> Arc<MatrixFactorization> {
+        Arc::new(MatrixFactorization::new(MfConfig {
+            rows: 4,
+            cols: 4,
+            rank: 2,
+            learning_rate: 0.1,
+            reg: 0.0,
+            init_scale: 0.1,
+        }))
+    }
+
+    fn mini_data() -> Arc<Vec<Rating>> {
+        Arc::new(vec![
+            Rating {
+                row: 0,
+                col: 0,
+                value: 1.0,
+            },
+            Rating {
+                row: 1,
+                col: 1,
+                value: -1.0,
+            },
+            Rating {
+                row: 2,
+                col: 2,
+                value: 0.5,
+            },
+            Rating {
+                row: 3,
+                col: 3,
+                value: 0.2,
+            },
+        ])
+    }
+
+    fn topo(owner: NodeId) -> Topology {
+        Topology {
+            version: 1,
+            stage: crate::stage::Stage::Stage1,
+            partition_owner: vec![owner; 2],
+            backup_owner: vec![None; 2],
+            workers: vec![NodeId(5)],
+        }
+    }
+
+    fn worker() -> WorkerState<MatrixFactorization> {
+        WorkerState::new(
+            mini_app(),
+            mini_data(),
+            2,
+            PartitionMap::new(2).unwrap(),
+            0,
+            seeded(1),
+            NodeId(0),
+            NodeId(5),
+        )
+    }
+
+    #[test]
+    fn idle_until_started_and_assigned() {
+        let mut w = worker();
+        let t = topo(NodeId(1));
+        assert!(w.poll(&t).is_empty());
+        w.start();
+        assert!(w.poll(&t).is_empty(), "no data yet");
+        w.assign_blocks(&[BlockId(0), BlockId(1)]);
+        let out = w.poll(&t);
+        assert!(!out.is_empty(), "reads should be issued");
+        assert!(matches!(w.phase(), WorkerPhase::WaitReads { .. }));
+    }
+
+    #[test]
+    fn iteration_flow_reads_then_updates_then_clock() {
+        let mut w = worker();
+        let t = topo(NodeId(1));
+        w.assign_blocks(&[BlockId(0), BlockId(1)]);
+        w.start();
+        let reads = w.poll(&t);
+        assert_eq!(reads.len(), 1, "single owner gets one read");
+        let (dst, msg) = &reads[0];
+        assert_eq!(*dst, NodeId(1));
+        let token = match msg {
+            AgileMsg::ReadReq { token, keys } => {
+                assert!(!keys.is_empty());
+                *token
+            }
+            other => panic!("expected ReadReq, got {other:?}"),
+        };
+        let out = w.on_read_resp(token, Vec::new(), &t);
+        // Updates to owner plus ClockDone to controller.
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, AgileMsg::UpdateBatch { .. })));
+        let clock_done = out
+            .iter()
+            .find(|(_, m)| matches!(m, AgileMsg::ClockDone { .. }))
+            .expect("clock done");
+        assert_eq!(clock_done.0, NodeId(0));
+        assert_eq!(w.clock(), 1);
+    }
+
+    #[test]
+    fn ssp_barrier_blocks_until_global_clock() {
+        let mut w = worker();
+        let t = topo(NodeId(1));
+        w.assign_blocks(&[BlockId(0)]);
+        w.start();
+        // Complete iteration 0.
+        let reads = w.poll(&t);
+        let token = match &reads[0].1 {
+            AgileMsg::ReadReq { token, .. } => *token,
+            _ => unreachable!(),
+        };
+        w.on_read_resp(token, Vec::new(), &t);
+        assert_eq!(w.clock(), 1);
+        // Slack 0: cannot start clock 1 until global min reaches 1.
+        assert!(w.poll(&t).is_empty());
+        w.on_global_clock(1, 0);
+        assert!(!w.poll(&t).is_empty());
+    }
+
+    #[test]
+    fn stale_read_responses_are_ignored() {
+        let mut w = worker();
+        let t = topo(NodeId(1));
+        w.assign_blocks(&[BlockId(0)]);
+        w.start();
+        let reads = w.poll(&t);
+        let token = match &reads[0].1 {
+            AgileMsg::ReadReq { token, .. } => *token,
+            _ => unreachable!(),
+        };
+        assert!(w.on_read_resp(token + 99, Vec::new(), &t).is_empty());
+        assert_eq!(w.clock(), 0);
+        assert!(!w.on_read_resp(token, Vec::new(), &t).is_empty());
+    }
+
+    #[test]
+    fn restart_rewinds_and_pauses() {
+        let mut w = worker();
+        let t = topo(NodeId(1));
+        w.assign_blocks(&[BlockId(0)]);
+        w.start();
+        let reads = w.poll(&t);
+        let token = match &reads[0].1 {
+            AgileMsg::ReadReq { token, .. } => *token,
+            _ => unreachable!(),
+        };
+        w.on_read_resp(token, Vec::new(), &t);
+        assert_eq!(w.clock(), 1);
+        w.restart_from(0, 1);
+        assert_eq!(w.clock(), 0);
+        assert_eq!(w.epoch(), 1);
+        assert!(w.poll(&t).is_empty(), "paused until Start");
+        // Old-epoch clock broadcasts are ignored after restart.
+        w.on_global_clock(50, 0);
+        w.start();
+        let out = w.poll(&t);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn block_reassignment_preserves_loaded_blocks() {
+        let mut w = worker();
+        w.assign_blocks(&[BlockId(0), BlockId(1)]);
+        assert!(w.has_data());
+        w.assign_blocks(&[BlockId(1)]);
+        assert!(w.has_data());
+        w.assign_blocks(&[]);
+        assert!(!w.has_data());
+    }
+}

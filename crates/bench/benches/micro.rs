@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks for the performance-critical substrates:
+//! parameter-server shard operations, market stepping, β training,
+//! BidBrain decision evaluation, and the perfmodel kernel.
+//!
+//! ```text
+//! cargo bench -p proteus-bench
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use proteus_bidbrain::{AllocView, AppParams, BetaEstimator, BidBrain, BidBrainConfig};
+use proteus_market::{catalog, CloudProvider, MarketKey, MarketModel, TraceGenerator, Zone};
+use proteus_perfmodel::{presets, time_per_iteration, ClusterSpec, Layout};
+use proteus_ps::{DenseVec, ParamKey, PartitionMap, ShardStore, WorkerCache};
+use proteus_simtime::{SimDuration, SimTime};
+
+fn market_key() -> MarketKey {
+    MarketKey::new(catalog::c4_xlarge(), Zone(0))
+}
+
+fn bench_ps_shard(c: &mut Criterion) {
+    let layout = PartitionMap::new(32).expect("nonzero");
+    c.bench_function("ps/shard_apply_update_1k_keys", |b| {
+        let mut store: ShardStore<DenseVec> = ShardStore::new(layout);
+        for k in 0..1000u64 {
+            store.install(ParamKey(k), DenseVec::zeros(32));
+        }
+        let delta = DenseVec::from(vec![0.5; 32]);
+        let mut k = 0u64;
+        b.iter(|| {
+            store.apply_update(ParamKey(k % 1000), black_box(&delta));
+            k += 1;
+        });
+    });
+
+    c.bench_function("ps/export_partition_1k_keys", |b| {
+        let mut store: ShardStore<DenseVec> = ShardStore::new(layout);
+        for k in 0..1000u64 {
+            store.install(ParamKey(k), DenseVec::zeros(32));
+        }
+        b.iter(|| black_box(store.export_partition(proteus_ps::PartitionId(0))));
+    });
+
+    c.bench_function("ps/worker_cache_flush_256_updates", |b| {
+        let delta = DenseVec::from(vec![0.1; 32]);
+        b.iter(|| {
+            let mut cache: WorkerCache<DenseVec> = WorkerCache::new(layout);
+            for k in 0..256u64 {
+                cache.update(ParamKey(k), &delta);
+            }
+            black_box(cache.flush())
+        });
+    });
+}
+
+fn bench_market(c: &mut Criterion) {
+    c.bench_function("market/generate_week_trace", |b| {
+        let gen = TraceGenerator::new(7, MarketModel::default());
+        b.iter(|| black_box(gen.generate(market_key(), SimDuration::from_hours(24 * 7))));
+    });
+
+    c.bench_function("market/provider_advance_24h_4_allocs", |b| {
+        let gen = TraceGenerator::new(7, MarketModel::default());
+        let keys = catalog::paper_markets();
+        let traces = gen.generate_set(&keys, SimDuration::from_hours(30));
+        b.iter(|| {
+            let mut p = CloudProvider::new(traces.clone());
+            for k in keys.iter().take(4) {
+                let price = p.spot_price(*k).expect("trace");
+                let _ = p.request_spot(*k, 8, price + 0.05);
+            }
+            black_box(p.advance_to(SimTime::from_hours(24)).expect("forward"))
+        });
+    });
+}
+
+fn bench_bidbrain(c: &mut Criterion) {
+    let gen = TraceGenerator::new(7, MarketModel::default());
+    let horizon = SimDuration::from_hours(24 * 30);
+    let trace = gen.generate(market_key(), horizon);
+
+    c.bench_function("bidbrain/train_beta_30_days", |b| {
+        b.iter(|| {
+            let mut est = BetaEstimator::new();
+            est.train(
+                market_key(),
+                black_box(&trace),
+                SimTime::EPOCH,
+                SimTime::EPOCH + horizon,
+                SimDuration::from_mins(60),
+                &BetaEstimator::default_deltas(),
+            );
+            black_box(est)
+        });
+    });
+
+    let mut est = BetaEstimator::new();
+    est.train(
+        market_key(),
+        &trace,
+        SimTime::EPOCH,
+        SimTime::EPOCH + horizon,
+        SimDuration::from_mins(60),
+        &BetaEstimator::default_deltas(),
+    );
+    let brain = BidBrain::new(AppParams::default(), est, BidBrainConfig::default());
+    let footprint: Vec<AllocView> = (0..6)
+        .map(|i| AllocView {
+            market: market_key(),
+            count: 16,
+            hourly_price: 0.05 + 0.001 * f64::from(i),
+            bid_delta: Some(0.01),
+            time_remaining: SimDuration::from_mins(40),
+            work_rate: 4.0,
+        })
+        .collect();
+    let prices: Vec<(MarketKey, f64)> = catalog::paper_markets()
+        .into_iter()
+        .map(|m| (m, 0.05))
+        .collect();
+    c.bench_function("bidbrain/consider_acquisition_8_markets", |b| {
+        b.iter(|| {
+            black_box(brain.consider_acquisition(
+                black_box(&footprint),
+                black_box(&prices),
+                SimTime::EPOCH,
+            ))
+        });
+    });
+}
+
+fn bench_perfmodel(c: &mut Criterion) {
+    let spec = ClusterSpec::cluster_a();
+    let app = presets::mf_netflix_rank1000();
+    c.bench_function("perfmodel/time_per_iteration_stage2", |b| {
+        b.iter(|| {
+            black_box(time_per_iteration(
+                spec,
+                app,
+                Layout::Stage2 {
+                    reliable: 4,
+                    transient: 60,
+                    active_ps: 32,
+                },
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ps_shard,
+    bench_market,
+    bench_bidbrain,
+    bench_perfmodel
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation — ActivePS fraction.
+//!
+//! AgileML "achieves best performance when running ActivePSs on half of
+//! the resources" (Sec. 3.3). This sweep varies the fraction of
+//! transient machines hosting an ActivePS at the Fig. 12 configuration
+//! (4 reliable + 60 transient) and at 63:1.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin ablate_activeps_ratio
+//! ```
+
+use proteus_bench::header;
+use proteus_perfmodel::{presets, time_per_iteration, ClusterSpec, Layout};
+
+fn sweep(reliable: u32, transient: u32) {
+    let spec = ClusterSpec::cluster_a();
+    let app = presets::mf_netflix_rank1000();
+    println!("\n{reliable} reliable + {transient} transient:");
+    println!("{:>12} {:>12} {:>12}", "fraction", "ActivePSs", "sec/iter");
+    let mut best = (0.0f64, f64::INFINITY);
+    for pct in [12.5f64, 25.0, 37.5, 50.0, 62.5, 75.0, 87.5, 100.0] {
+        let active = (((transient as f64) * pct / 100.0).round() as u32).clamp(1, transient);
+        let t = time_per_iteration(
+            spec,
+            app,
+            Layout::Stage2 {
+                reliable,
+                transient,
+                active_ps: active,
+            },
+        );
+        if t < best.1 {
+            best = (pct, t);
+        }
+        println!("{:>11.1}% {:>12} {:>12.2}", pct, active, t);
+    }
+    println!("best fraction: {:.1}% (paper: ~50%)", best.0);
+}
+
+fn main() {
+    header(
+        "Ablation",
+        "fraction of transient machines hosting an ActivePS (stage 2, MF)",
+    );
+    sweep(4, 60);
+    sweep(1, 63);
+}

@@ -1,0 +1,102 @@
+//! Extension — BidBrain beyond the EC2 spot market (paper Sec. 7).
+//!
+//! The paper argues BidBrain's mathematical framework transfers to other
+//! providers: on Google preemptible instances the price is a fixed 70 %
+//! discount (no bidding, no free-compute refunds) and β comes from an
+//! exogenous preemption process rather than price history. This binary
+//! evaluates the same cost-per-work objective on a GCE-style provider
+//! and quantifies how much of Proteus' EC2 win comes from AWS-specific
+//! refund farming versus plain transient-discount exploitation.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin ablate_gce
+//! ```
+
+use proteus_bench::{header, standard_study};
+use proteus_costsim::{SchemeKind, StudyEnv};
+use proteus_market::gce::{GceMarket, PreemptionModel, GCE_DISCOUNT};
+use proteus_simtime::SimDuration;
+
+fn main() {
+    header(
+        "Extension",
+        "cost-per-work on GCE preemptible instances vs EC2 spot (2-hour jobs)",
+    );
+
+    // --- EC2 side: the full Proteus study (refunds + multi-market). ---
+    let env = StudyEnv::new(standard_study(2.0, 50));
+    let ec2 = env.run_scheme(SchemeKind::paper_proteus());
+    let od_baseline = env.on_demand_baseline().cost;
+
+    // --- GCE side: fixed 70 % discount, Poisson preemptions, no
+    // refunds. Cost is deterministic given machine-hours; preemptions
+    // cost λ pauses exactly as on EC2. ---
+    let gce = GceMarket::new(2016, PreemptionModel::default());
+    let market = env.on_demand_market;
+    let od_price = market.instance_type().on_demand_price;
+    let gce_price = gce.price(market);
+    let lambda = SimDuration::from_secs(240);
+
+    // Simulate: keep 384 preemptible instances (1536 cores / 4) plus 3
+    // on-demand. Preemptions across the fleet form a Poisson process of
+    // rate 384 × per-instance rate; each costs a λ progress pause, and
+    // the preempted instance is replaced immediately (no bidding on
+    // GCE). β for a one-hour horizon comes straight from the model —
+    // the analogue the paper sketches in Sec. 7.
+    let beta_hour = gce.preemption_probability(SimDuration::from_hours(1));
+    let phi = 0.97f64;
+    let fleet = 384.0f64;
+    let cores: f64 = fleet * 4.0 + 12.0;
+    let rate = cores * phi.powf(cores.log2()); // φ-scaled core-hours/hour.
+    let work_needed = 512.0 * 2.0 * phi.powf(512f64.log2());
+    let fleet_rate_per_hour = fleet * PreemptionModel::default().preemptions_per_day / 24.0;
+
+    let mut rng = proteus_simtime::rng::seeded(2016);
+    let exp_interval = |rng: &mut rand::rngs::StdRng| -> f64 {
+        let u: f64 = rand::Rng::gen_range(rng, 1e-12..1.0);
+        -u.ln() / fleet_rate_per_hour
+    };
+    let mut preemptions = 0u32;
+    let mut t_hours = 0.0f64;
+    let step = 1.0 / 30.0; // Two-minute steps.
+    let mut work = 0.0;
+    let mut next_preempt = exp_interval(&mut rng);
+    let mut paused_until = 0.0f64;
+    while work < work_needed && t_hours < 48.0 {
+        if t_hours >= next_preempt {
+            preemptions += 1;
+            paused_until = t_hours + lambda.as_hours_f64();
+            next_preempt = t_hours + exp_interval(&mut rng);
+        }
+        if t_hours >= paused_until {
+            work += rate * step;
+        }
+        t_hours += step;
+    }
+    let gce_cost = fleet * gce_price * t_hours + 3.0 * od_price * t_hours;
+    println!("per-instance one-hour preemption probability β = {beta_hour:.4}\n");
+
+    println!(
+        "{:>28} {:>10} {:>14} {:>10} {:>12}",
+        "provider", "cost $", "% of on-demand", "hours", "preemptions"
+    );
+    println!(
+        "{:>28} {:>10.2} {:>14.1} {:>10.2} {:>12.2}",
+        "EC2 spot (Proteus)",
+        ec2.mean_cost,
+        100.0 * ec2.mean_cost / od_baseline,
+        ec2.mean_runtime_hours,
+        ec2.mean_evictions
+    );
+    println!(
+        "{:>28} {:>10.2} {:>14.1} {:>10.2} {:>12}",
+        format!("GCE preemptible ({:.0}% off)", GCE_DISCOUNT * 100.0),
+        gce_cost,
+        100.0 * gce_cost / od_baseline,
+        t_hours,
+        preemptions
+    );
+    println!("\nEC2 refund farming contributes the gap between the two rows; the bulk of");
+    println!("the savings — the transient discount itself — transfers to any provider");
+    println!("(the paper's Sec. 7 argument).");
+}

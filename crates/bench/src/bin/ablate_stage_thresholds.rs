@@ -1,0 +1,74 @@
+//! Ablation — stage-switch threshold sensitivity.
+//!
+//! AgileML switches stages at transient:reliable ratios of 1:1 and 15:1
+//! (Sec. 3.3), but the paper notes "perfect threshold settings are not
+//! required". This sweep evaluates the model across the full ratio axis
+//! and reports where each stage actually wins, validating that the
+//! paper's thresholds sit in the right neighbourhood and that the
+//! penalty for a mis-set threshold is modest.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin ablate_stage_thresholds
+//! ```
+
+use proteus_bench::header;
+use proteus_perfmodel::{presets, time_per_iteration, ClusterSpec, Layout};
+
+fn main() {
+    header(
+        "Ablation",
+        "best stage per transient:reliable ratio (MF, 64 machines)",
+    );
+    let spec = ClusterSpec::cluster_a();
+    let app = presets::mf_netflix_rank1000();
+    let total = 64u32;
+
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "ratio", "stage1 s", "stage2 s", "stage3 s", "best"
+    );
+    for reliable in [32u32, 16, 8, 4, 2, 1] {
+        let transient = total - reliable;
+        let ratio = transient as f64 / reliable as f64;
+        let active = (transient / 2).max(1);
+        let s1 = time_per_iteration(
+            spec,
+            app,
+            Layout::Stage1 {
+                reliable_ps: reliable,
+                total,
+            },
+        );
+        let s2 = time_per_iteration(
+            spec,
+            app,
+            Layout::Stage2 {
+                reliable,
+                transient,
+                active_ps: active,
+            },
+        );
+        let s3 = time_per_iteration(
+            spec,
+            app,
+            Layout::Stage3 {
+                reliable,
+                transient,
+                active_ps: active,
+            },
+        );
+        let best = if s1 <= s2 && s1 <= s3 {
+            "stage1"
+        } else if s2 <= s3 {
+            "stage2"
+        } else {
+            "stage3"
+        };
+        println!(
+            "{:>9.1}:1 {:>10.2} {:>10.2} {:>10.2} {:>10}",
+            ratio, s1, s2, s3, best
+        );
+    }
+    println!("\npaper thresholds: stage 2 above 1:1, stage 3 above 15:1. The crossovers");
+    println!("in this sweep should bracket those values, with flat penalties nearby.");
+}

@@ -1,0 +1,74 @@
+//! Extra — multi-market exploitation signature.
+//!
+//! BidBrain watches several (instance type × zone) markets whose prices
+//! "move relatively independently" (Sec. 1) and buys wherever
+//! cost-per-work is lowest. This binary shows where a long Proteus job
+//! actually bought capacity versus the standard strategy's cheapest-at-
+//! restart concentration.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin extra_market_mix
+//! ```
+
+use std::collections::BTreeMap;
+
+use proteus_bench::{header, standard_study};
+use proteus_costsim::{run_job, Scheme, SchemeKind, StudyEnv};
+use proteus_simtime::SimDuration;
+
+fn mix_of(kind: SchemeKind, env: &StudyEnv) -> (BTreeMap<String, u32>, u32) {
+    let mut mix: BTreeMap<String, u32> = BTreeMap::new();
+    let mut evictions = 0;
+    for &start in env.starts.iter().take(8) {
+        let out = run_job(
+            &Scheme {
+                kind: kind.clone(),
+                job: env.job(),
+            },
+            &env.traces,
+            &env.beta,
+            start,
+            SimDuration::from_hours(96),
+        );
+        evictions += out.evictions;
+        for (m, c) in out.market_mix {
+            *mix.entry(m).or_insert(0) += c;
+        }
+    }
+    (mix, evictions)
+}
+
+fn print_mix(label: &str, mix: &BTreeMap<String, u32>) {
+    let total: u32 = mix.values().sum();
+    println!(
+        "\n{label} ({} instances total, {} markets):",
+        total,
+        mix.len()
+    );
+    for (m, c) in mix {
+        println!(
+            "  {:>24} {:>6} ({:>4.1}%)",
+            m,
+            c,
+            100.0 * f64::from(*c) / f64::from(total.max(1))
+        );
+    }
+}
+
+fn main() {
+    header(
+        "Extra",
+        "where 20-hour jobs buy capacity: Proteus vs the standard strategy",
+    );
+    let env = StudyEnv::new(standard_study(20.0, 8));
+    let (proteus_mix, pe) = mix_of(SchemeKind::paper_proteus(), &env);
+    let (standard_mix, se) = mix_of(SchemeKind::paper_standard_agileml(), &env);
+    print_mix("Proteus", &proteus_mix);
+    print_mix("Standard strategy", &standard_mix);
+    println!(
+        "\nevictions over 8 jobs: Proteus {pe}, standard {se} — Proteus accepts\n\
+         evictions where the refund math favours them; the standard strategy\n\
+         avoids them by bidding the on-demand price but cannot shop across\n\
+         markets mid-job."
+    );
+}

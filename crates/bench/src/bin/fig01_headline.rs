@@ -1,0 +1,55 @@
+//! Fig. 1 — Cost and time benefits of Proteus (MLR-scale job).
+//!
+//! The paper's headline figure: average cost ($, left axis) and runtime
+//! (hours, right axis) for an MLR job on 128 on-demand machines, the
+//! standard+checkpointing scheme, and Proteus (3 on-demand + spot).
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin fig01_headline
+//! ```
+
+use proteus_bench::{bar, header, standard_study};
+use proteus_costsim::{SchemeKind, StudyEnv};
+
+fn main() {
+    header(
+        "Fig. 1",
+        "cost ($) and runtime (h): MLR-scale 4-hour job, 128-machine fleet",
+    );
+    // The paper's MLR run takes ~4 hours on the on-demand fleet.
+    let env = StudyEnv::new(standard_study(4.0, 60));
+    let schemes = [
+        SchemeKind::AllOnDemand { machines: 128 },
+        SchemeKind::paper_checkpoint(),
+        SchemeKind::paper_proteus(),
+    ];
+    let results: Vec<_> = schemes.iter().map(|k| env.run_scheme(k.clone())).collect();
+
+    let max_cost = results.iter().map(|r| r.mean_cost).fold(0.0, f64::max);
+    println!(
+        "{:>22} {:>10} {:>10}  cost bar",
+        "config", "cost $", "time h"
+    );
+    for r in &results {
+        println!(
+            "{:>22} {:>10.2} {:>10.2}  {}",
+            r.scheme,
+            r.mean_cost,
+            r.mean_runtime_hours,
+            bar(r.mean_cost, max_cost)
+        );
+    }
+    let od = &results[0];
+    let ckpt = &results[1];
+    let proteus = &results[2];
+    println!(
+        "\nProteus cost reduction: {:.0}% vs on-demand (paper: ~85%), {:.0}% vs checkpointing (paper: ~50%)",
+        100.0 * (1.0 - proteus.mean_cost / od.mean_cost),
+        100.0 * (1.0 - proteus.mean_cost / ckpt.mean_cost),
+    );
+    println!(
+        "Proteus runtime reduction: {:.0}% vs on-demand (paper: 24%), {:.0}% vs checkpointing (paper: 32-43%)",
+        100.0 * (1.0 - proteus.mean_runtime_hours / od.mean_runtime_hours),
+        100.0 * (1.0 - proteus.mean_runtime_hours / ckpt.mean_runtime_hours),
+    );
+}

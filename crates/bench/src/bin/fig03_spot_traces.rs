@@ -1,0 +1,64 @@
+//! Fig. 3 — AWS spot prices over time.
+//!
+//! The paper shows six days of spot prices for c4.2xlarge and c4.xlarge
+//! (doubled, so all lines are price per 8 cores) against the unchanging
+//! c4.2xlarge on-demand price. This binary prints the synthetic
+//! equivalent: hourly samples plus summary statistics showing the same
+//! character — a cheap, mildly-jittering floor punctuated by sharp
+//! spikes above on-demand.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin fig03_spot_traces
+//! ```
+
+use proteus_bench::header;
+use proteus_market::{catalog, MarketKey, MarketModel, TraceGenerator, Zone};
+use proteus_simtime::{SimDuration, SimTime};
+
+fn main() {
+    header("Fig. 3", "six days of synthetic spot prices, c4 family");
+    let days = 6u64;
+    let horizon = SimDuration::from_hours(24 * days);
+    let gen = TraceGenerator::new(2016, MarketModel::default());
+
+    let small = MarketKey::new(catalog::c4_xlarge(), Zone(0));
+    let big = MarketKey::new(catalog::c4_2xlarge(), Zone(0));
+    let t_small = gen.generate(small, horizon);
+    let t_big = gen.generate(big, horizon);
+    let od_big = big.instance_type().on_demand_price;
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "hour", "2x c4.xlarge", "c4.2xlarge", "on-demand"
+    );
+    let step = SimDuration::from_hours(2);
+    for (i, (t, p_small)) in t_small
+        .sample(SimTime::EPOCH, SimTime::EPOCH + horizon, step)
+        .into_iter()
+        .enumerate()
+    {
+        let p_big = t_big.price_at(t);
+        // Like the paper, double the 4-core price so all columns price
+        // the same number of cores.
+        println!(
+            "{:>8} {:>14.3} {:>14.3} {:>12.3}",
+            i * 2,
+            2.0 * p_small,
+            p_big,
+            od_big
+        );
+    }
+
+    let end = SimTime::EPOCH + horizon;
+    for (name, trace, scale) in [
+        ("c4.xlarge(x2)", &t_small, 2.0),
+        ("c4.2xlarge", &t_big, 1.0),
+    ] {
+        println!(
+            "\n{name}: mean ${:.3}/8-cores-h ({:.0}% of on-demand), above on-demand {:.1}% of the time",
+            scale * trace.mean_price(SimTime::EPOCH, end),
+            100.0 * scale * trace.mean_price(SimTime::EPOCH, end) / od_big,
+            100.0 * trace.fraction_above(od_big / scale, SimTime::EPOCH, end),
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Fig. 8 — 2-hour jobs: cost savings (a) and runtime (b).
+//!
+//! Cost is normalized to running the same job on 64 on-demand machines
+//! (the paper's Cluster-A reference); three spot schemes are compared
+//! across random start times in every zone.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin fig08_cost_2hr
+//! ```
+
+use proteus_bench::{bar, header, standard_study};
+use proteus_costsim::{run_study, StudyResult};
+
+fn print_study(results: &[StudyResult]) {
+    let spot: Vec<&StudyResult> = results
+        .iter()
+        .filter(|r| r.scheme != "AllOnDemand")
+        .collect();
+    println!("(a) cost, % of on-demand");
+    let maxc = spot
+        .iter()
+        .map(|r| r.cost_pct_of_on_demand)
+        .fold(0.0, f64::max);
+    for r in &spot {
+        println!(
+            "{:>22} {:>8.1}%  {}",
+            r.scheme,
+            r.cost_pct_of_on_demand,
+            bar(r.cost_pct_of_on_demand, maxc)
+        );
+    }
+    println!("\n(b) runtime, hours");
+    let maxt = spot
+        .iter()
+        .map(|r| r.mean_runtime_hours)
+        .fold(0.0, f64::max);
+    for r in &spot {
+        println!(
+            "{:>22} {:>8.2}h  {}",
+            r.scheme,
+            r.mean_runtime_hours,
+            bar(r.mean_runtime_hours, maxt)
+        );
+    }
+    let pct = |label: &str| {
+        results
+            .iter()
+            .find(|r| r.scheme == label)
+            .map(|r| (r.cost_pct_of_on_demand, r.mean_runtime_hours))
+            .expect("scheme present")
+    };
+    let (p_cost, p_rt) = pct("Proteus");
+    let (c_cost, c_rt) = pct("Standard+Checkpoint");
+    println!(
+        "\nProteus: {:.0}% cheaper than on-demand (paper: 83-85%), {:.0}% cheaper than checkpointing (paper: 42-47%), {:.0}% faster than checkpointing (paper: 32-43%)",
+        100.0 - p_cost,
+        100.0 * (1.0 - p_cost / c_cost),
+        100.0 * (1.0 - p_rt / c_rt)
+    );
+}
+
+fn main() {
+    header("Fig. 8", "2-hour jobs: cost (% of on-demand) and runtime");
+    let results = run_study(standard_study(2.0, 120));
+    print_study(&results);
+}

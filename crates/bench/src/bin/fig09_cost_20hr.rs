@@ -1,0 +1,60 @@
+//! Fig. 9 — 20-hour jobs: cost savings (a) and runtime (b).
+//!
+//! Same methodology as Fig. 8 with the long-job duration representative
+//! of hyperparameter-exploration sequences.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin fig09_cost_20hr
+//! ```
+
+use proteus_bench::{bar, header, standard_study};
+use proteus_costsim::run_study;
+
+fn main() {
+    header("Fig. 9", "20-hour jobs: cost (% of on-demand) and runtime");
+    let results = run_study(standard_study(20.0, 40));
+
+    let spot: Vec<_> = results
+        .iter()
+        .filter(|r| r.scheme != "AllOnDemand")
+        .collect();
+    println!("(a) cost, % of on-demand");
+    let maxc = spot
+        .iter()
+        .map(|r| r.cost_pct_of_on_demand)
+        .fold(0.0, f64::max);
+    for r in &spot {
+        println!(
+            "{:>22} {:>8.1}%  {}",
+            r.scheme,
+            r.cost_pct_of_on_demand,
+            bar(r.cost_pct_of_on_demand, maxc)
+        );
+    }
+    println!("\n(b) runtime, hours");
+    let maxt = spot
+        .iter()
+        .map(|r| r.mean_runtime_hours)
+        .fold(0.0, f64::max);
+    for r in &spot {
+        println!(
+            "{:>22} {:>8.2}h  {}",
+            r.scheme,
+            r.mean_runtime_hours,
+            bar(r.mean_runtime_hours, maxt)
+        );
+    }
+    let proteus = spot
+        .iter()
+        .find(|r| r.scheme == "Proteus")
+        .expect("present");
+    let ckpt = spot
+        .iter()
+        .find(|r| r.scheme == "Standard+Checkpoint")
+        .expect("present");
+    println!(
+        "\nProteus: {:.0}% below on-demand (paper: 83-85%), {:.0}% below checkpointing (paper: 42-47%)",
+        100.0 - proteus.cost_pct_of_on_demand,
+        100.0 * (1.0 - proteus.cost_pct_of_on_demand / ckpt.cost_pct_of_on_demand)
+    );
+}

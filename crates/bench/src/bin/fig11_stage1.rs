@@ -1,0 +1,45 @@
+//! Fig. 11 — AgileML stage 1 time-per-iteration with 4–32 reliable
+//! ParamServ machines out of 64 total, compared to the traditional
+//! all-reliable layout (MF, Netflix rank 1000, Cluster-A).
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin fig11_stage1
+//! ```
+
+use proteus_bench::{bar, header};
+use proteus_perfmodel::{presets, time_per_iteration, ClusterSpec, Layout};
+
+fn main() {
+    header(
+        "Fig. 11",
+        "stage 1 time-per-iteration vs ParamServ count (MF, 64 machines)",
+    );
+    let spec = ClusterSpec::cluster_a();
+    let app = presets::mf_netflix_rank1000();
+    let trad = time_per_iteration(spec, app, Layout::Traditional { machines: 64 });
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for ps in [4u32, 16, 32] {
+        let t = time_per_iteration(
+            spec,
+            app,
+            Layout::Stage1 {
+                reliable_ps: ps,
+                total: 64,
+            },
+        );
+        rows.push((format!("{ps} ParamServs"), t));
+    }
+    rows.push(("Traditional (High Cost)".to_string(), trad));
+
+    let max = rows.iter().map(|(_, t)| *t).fold(0.0, f64::max);
+    println!("{:>26} {:>10}  bar", "configuration", "sec/iter");
+    for (name, t) in &rows {
+        println!("{:>26} {:>10.2}  {}", name, t, bar(*t, max));
+    }
+    let ps4 = rows[0].1;
+    println!(
+        "\n4 ParamServs slow MF by {:.0}% relative to traditional (paper: over 85%)",
+        100.0 * (1.0 - trad / ps4)
+    );
+}

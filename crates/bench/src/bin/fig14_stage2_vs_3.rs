@@ -1,0 +1,57 @@
+//! Fig. 14 — AgileML on 8 reliable + 8 transient machines in stage 2
+//! versus stage 3 mode: per-iteration series showing stage 2 is better
+//! at low transient-to-reliable ratios.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin fig14_stage2_vs_3
+//! ```
+
+use proteus_bench::header;
+use proteus_perfmodel::{elasticity_timeline, presets, ClusterSpec, Layout, TimelinePhase};
+
+fn main() {
+    header(
+        "Fig. 14",
+        "stage 2 vs stage 3 per-iteration time at 8 reliable + 8 transient (MF)",
+    );
+    let spec = ClusterSpec::cluster_a();
+    let app = presets::mf_netflix_rank1000();
+    let iters = 40u32;
+    let s2 = elasticity_timeline(
+        spec,
+        app,
+        &[TimelinePhase {
+            layout: Layout::Stage2 {
+                reliable: 8,
+                transient: 8,
+                active_ps: 4,
+            },
+            iterations: iters,
+            entry_blip: 0.0,
+        }],
+    );
+    let s3 = elasticity_timeline(
+        spec,
+        app,
+        &[TimelinePhase {
+            layout: Layout::Stage3 {
+                reliable: 8,
+                transient: 8,
+                active_ps: 4,
+            },
+            iterations: iters,
+            entry_blip: 0.0,
+        }],
+    );
+
+    println!("{:>6} {:>12} {:>12}", "iter", "stage2 s", "stage3 s");
+    for i in (0..iters as usize).step_by(4) {
+        println!("{:>6} {:>12.2} {:>12.2}", i, s2[i], s3[i]);
+    }
+    println!(
+        "\nstage 2 mean {:.2}s vs stage 3 mean {:.2}s — stage 2 is {:.0}% faster at 1:1 (paper: stage 2 clearly best)",
+        s2[0],
+        s3[0],
+        100.0 * (1.0 - s2[0] / s3[0])
+    );
+}

@@ -1,0 +1,40 @@
+//! Fig. 15 — AgileML scalability for LDA: time-per-iteration from 4 to
+//! 64 machines against the ideal curve (perfect scaling of the
+//! 4-machine case).
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin fig15_scaling
+//! ```
+
+use proteus_bench::header;
+use proteus_perfmodel::{presets, scaling_curve, ClusterSpec};
+
+fn main() {
+    header("Fig. 15", "LDA strong scaling, 4 to 64 machines, vs ideal");
+    let pts = scaling_curve(
+        ClusterSpec::cluster_a(),
+        presets::lda_nytimes(),
+        &[4, 8, 16, 32, 64],
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "machines", "AgileML s", "ideal s", "efficiency"
+    );
+    for (m, t, ideal) in &pts {
+        println!(
+            "{:>10} {:>12.1} {:>12.1} {:>11.0}%",
+            m,
+            t,
+            ideal,
+            100.0 * ideal / t
+        );
+    }
+    let worst = pts
+        .iter()
+        .map(|(_, t, ideal)| ideal / t)
+        .fold(1.0f64, f64::min);
+    println!(
+        "\nworst-case parallel efficiency {:.0}% across the sweep (paper: near-ideal scaling)",
+        100.0 * worst
+    );
+}

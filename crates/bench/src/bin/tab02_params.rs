@@ -1,0 +1,48 @@
+//! Table 2 — Summary of parameters used by BidBrain, with a live
+//! evaluation showing how each one enters the Eq. 1–4 math.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin tab02_params
+//! ```
+
+use proteus_bench::header;
+use proteus_bidbrain::{AllocView, AppParams, BetaEstimator, BidBrain, BidBrainConfig};
+use proteus_market::{catalog, MarketKey, Zone};
+use proteus_simtime::SimDuration;
+
+fn main() {
+    header("Tab. 2", "summary of parameters used by BidBrain");
+    for (symbol, meaning) in AppParams::table2() {
+        println!("{symbol:>4}  {meaning}");
+    }
+
+    // A live footprint evaluation showing the parameters at work.
+    let params = AppParams::default();
+    let brain = BidBrain::new(params, BetaEstimator::new(), BidBrainConfig::default());
+    let market = MarketKey::new(catalog::c4_xlarge(), Zone(0));
+    let footprint = [
+        AllocView::on_demand(market, 3, 0.0),
+        AllocView {
+            market,
+            count: 32,
+            hourly_price: 0.05,
+            bid_delta: Some(0.01),
+            time_remaining: SimDuration::from_mins(40),
+            work_rate: 4.0,
+        },
+    ];
+    let eval = brain.evaluate(&footprint, false);
+    println!("\nlive evaluation of a 3 on-demand + 32 spot footprint (β untrained → 0.5):");
+    println!(
+        "  C_A = ${:.3}  (Eq. 1: eviction-refund-weighted cost)",
+        eval.expected_cost
+    );
+    println!(
+        "  W_A = {:.1} core-hours  (Eqs. 2-3: ω − eviction/scale overheads, φ-scaled)",
+        eval.expected_work
+    );
+    println!(
+        "  E_A = ${:.4} per core-hour  (Eq. 4)",
+        eval.cost_per_work()
+    );
+}

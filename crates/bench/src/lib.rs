@@ -1,0 +1,58 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that prints the corresponding rows/series; this library
+//! holds the formatting and the common study configurations so results
+//! stay comparable across binaries. `EXPERIMENTS.md` records paper-vs-
+//! measured values produced by these binaries.
+
+use proteus_costsim::StudyConfig;
+
+/// Standard study configuration shared by the cost figures (Figs. 1,
+/// 8–10). Fewer starts than the paper's 1000 keeps regeneration to
+/// seconds; raise `starts` for tighter confidence.
+pub fn standard_study(job_hours: f64, starts: usize) -> StudyConfig {
+    StudyConfig {
+        seed: 2016,
+        train_days: 14,
+        eval_days: 28,
+        starts,
+        job_hours,
+        market_model: proteus_market::MarketModel::default(),
+        max_job_hours: (job_hours * 24.0).max(72.0),
+    }
+}
+
+/// Prints a simple ASCII bar.
+pub fn bar(value: f64, scale: f64) -> String {
+    let n = ((value / scale.max(1e-12)) * 50.0)
+        .round()
+        .clamp(0.0, 120.0) as usize;
+    "#".repeat(n.max(1))
+}
+
+/// Prints a figure header.
+pub fn header(id: &str, caption: &str) {
+    println!("================================================================");
+    println!("{id}: {caption}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(1.0, 1.0).len(), 50);
+        assert_eq!(bar(0.0, 1.0).len(), 1);
+        assert!(bar(100.0, 1.0).len() <= 120);
+    }
+
+    #[test]
+    fn standard_study_tracks_job_hours() {
+        let c = standard_study(20.0, 10);
+        assert_eq!(c.job_hours, 20.0);
+        assert!(c.max_job_hours >= 100.0);
+    }
+}

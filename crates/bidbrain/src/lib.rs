@@ -1,0 +1,36 @@
+//! BidBrain — Proteus' resource-allocation component (paper Sec. 4).
+//!
+//! BidBrain tracks current and historical spot-market prices for multiple
+//! instance types, and makes allocation decisions that minimize expected
+//! **cost per unit work**:
+//!
+//! * it estimates the probability β that an allocation at a given *bid
+//!   delta* (bid minus market price) is evicted within its billing hour,
+//!   by replaying historical price traces ([`beta`]);
+//! * it computes the expected cost of a footprint with eviction refunds
+//!   priced in (Eq. 1), the expected useful compute time net of eviction
+//!   and scaling overheads (Eq. 2), the expected work (Eq. 3), and their
+//!   ratio (Eq. 4) ([`policy`]);
+//! * it acquires a new allocation only when doing so lowers the
+//!   footprint's expected cost-per-work, and terminates allocations
+//!   before their next billing hour when renewal would raise it;
+//! * "free compute" — work done in an hour that the provider later
+//!   refunds on eviction — is explicitly part of the objective, which is
+//!   why moderately aggressive bids beat both timid (never-evicted) and
+//!   reckless (constantly-evicted) ones.
+//!
+//! [`standard`] implements the baseline the paper compares against:
+//! always pick the currently cheapest market and bid the on-demand price
+//! (the EC2 Spot Fleet default policy).
+
+pub mod beta;
+pub mod objective;
+pub mod params;
+pub mod policy;
+pub mod standard;
+
+pub use beta::{BetaEstimator, BetaPoint, BetaTable};
+pub use objective::Objective;
+pub use params::AppParams;
+pub use policy::{AllocView, AllocationRequest, BidBrain, BidBrainConfig, FootprintEval};
+pub use standard::StandardStrategy;

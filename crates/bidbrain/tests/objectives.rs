@@ -1,0 +1,103 @@
+//! Integration tests for the alternative-objective extension
+//! (Sec. 4.3): the same policy engine serving batch and deadline-driven
+//! jobs.
+
+use proteus_bidbrain::{AllocView, AppParams, BetaEstimator, BidBrain, BidBrainConfig, Objective};
+use proteus_market::{catalog, MarketKey, Zone};
+use proteus_simtime::{SimDuration, SimTime};
+
+fn market() -> MarketKey {
+    MarketKey::new(catalog::c4_xlarge(), Zone(0))
+}
+
+fn brain(objective: Objective, target_cores: u32) -> BidBrain {
+    BidBrain::new(
+        AppParams {
+            phi_per_doubling: 1.0,
+            sigma: SimDuration::ZERO,
+            lambda: SimDuration::ZERO,
+        },
+        BetaEstimator::new(),
+        BidBrainConfig {
+            target_cores,
+            max_alloc_instances: 8,
+            bid_deltas: vec![0.4],
+            min_improvement: 0.02,
+            objective,
+        },
+    )
+}
+
+fn holding(count: u32, price: f64) -> AllocView {
+    AllocView {
+        market: market(),
+        count,
+        hourly_price: price,
+        bid_delta: None, // β pinned to zero for deterministic arithmetic.
+        time_remaining: SimDuration::from_hours(1),
+        work_rate: 4.0,
+    }
+}
+
+#[test]
+fn throughput_objective_buys_up_to_the_budget() {
+    // $2/h budget; instances at $0.05/h. 8-instance chunks cost $0.40/h
+    // and add work, so acquisition should proceed while affordable.
+    let b = brain(
+        Objective::ThroughputUnderBudget {
+            max_dollars_per_hour: 2.0,
+        },
+        512,
+    );
+    let req = b
+        .consider_acquisition(&[holding(8, 0.05)], &[(market(), 0.05)], SimTime::EPOCH)
+        .expect("budget allows more capacity");
+    assert!(req.count > 0);
+}
+
+#[test]
+fn throughput_objective_stops_at_the_budget() {
+    // Holdings already spend ~$1.9/h; adding 8 × $0.05 = $0.40 would
+    // cross the $2/h cap, so the objective must refuse.
+    let b = brain(
+        Objective::ThroughputUnderBudget {
+            max_dollars_per_hour: 2.0,
+        },
+        4096,
+    );
+    let footprint = [holding(38, 0.05)]; // $1.90/h.
+    assert!(b
+        .consider_acquisition(&footprint, &[(market(), 0.05)], SimTime::EPOCH)
+        .is_none());
+}
+
+#[test]
+fn objectives_disagree_when_capacity_is_pricey() {
+    // Spot near the on-demand price: cost-per-work refuses to dilute a
+    // cheap footprint, but a deadline-driven job under budget still
+    // buys the throughput.
+    let pricey = market().instance_type().on_demand_price * 0.95;
+    let footprint = [holding(8, 0.02)];
+    let markets = [(market(), pricey)];
+
+    let batch = brain(Objective::CostPerWork, 512);
+    assert!(
+        batch
+            .consider_acquisition(&footprint, &markets, SimTime::EPOCH)
+            .is_none(),
+        "cost-per-work declines expensive capacity"
+    );
+
+    let deadline = brain(
+        Objective::ThroughputUnderBudget {
+            max_dollars_per_hour: 50.0,
+        },
+        512,
+    );
+    assert!(
+        deadline
+            .consider_acquisition(&footprint, &markets, SimTime::EPOCH)
+            .is_some(),
+        "a deadline job under budget takes the throughput anyway"
+    );
+}

@@ -1,0 +1,111 @@
+//! Session configuration.
+
+use proteus_agileml::AgileConfig;
+use proteus_bidbrain::{AppParams, BidBrainConfig};
+use proteus_market::{catalog, MarketKey, MarketModel};
+use proteus_simtime::SimDuration;
+
+/// Configuration of a [`Proteus`](crate::Proteus) session.
+#[derive(Debug, Clone)]
+pub struct ProteusConfig {
+    /// Elastic-training configuration (stages, partitions, slack, seed).
+    pub agile: AgileConfig,
+    /// BidBrain policy tuning (core target, bid deltas, hysteresis).
+    pub brain: BidBrainConfig,
+    /// Application characteristics BidBrain's formulas use (φ, σ, λ).
+    pub params: AppParams,
+    /// Reliable (on-demand) machine count, held for the whole job.
+    pub reliable_machines: u32,
+    /// On-demand anchor market (instance type + zone).
+    pub on_demand_market: MarketKey,
+    /// Spot markets BidBrain watches and bids in.
+    pub spot_markets: Vec<MarketKey>,
+    /// Synthetic market statistics for the session's provider.
+    pub market_model: MarketModel,
+    /// Price-history horizon to synthesize (covers β-training plus the
+    /// live run).
+    pub market_horizon: SimDuration,
+    /// Portion of the history used to train β before the job starts.
+    pub beta_training: SimDuration,
+    /// Cap on instances a session will hold concurrently (keeps the
+    /// threaded cluster laptop-sized; the paper ran up to 192 machines).
+    pub max_machines: u32,
+}
+
+impl Default for ProteusConfig {
+    fn default() -> Self {
+        ProteusConfig {
+            agile: AgileConfig {
+                partitions: 8,
+                data_blocks: 32,
+                ..AgileConfig::default()
+            },
+            brain: BidBrainConfig {
+                target_cores: 48,
+                max_alloc_instances: 4,
+                ..BidBrainConfig::default()
+            },
+            params: AppParams::default(),
+            reliable_machines: 1,
+            on_demand_market: MarketKey::new(catalog::c4_xlarge(), proteus_market::Zone(0)),
+            spot_markets: catalog::paper_markets(),
+            market_model: MarketModel::default(),
+            market_horizon: SimDuration::from_hours(24 * 21),
+            beta_training: SimDuration::from_hours(24 * 14),
+            max_machines: 12,
+        }
+    }
+}
+
+impl ProteusConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.agile.validate()?;
+        if self.reliable_machines == 0 {
+            return Err("Proteus needs at least one reliable machine".into());
+        }
+        if self.spot_markets.is_empty() {
+            return Err("BidBrain needs at least one spot market".into());
+        }
+        if self.beta_training + SimDuration::from_hours(1) > self.market_horizon {
+            return Err("market horizon must extend beyond the β-training window".into());
+        }
+        if self.max_machines <= self.reliable_machines {
+            return Err("max_machines must leave room for transient machines".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ProteusConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = ProteusConfig {
+            reliable_machines: 0,
+            ..ProteusConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.reliable_machines = 1;
+        c.spot_markets.clear();
+        assert!(c.validate().is_err());
+        c = ProteusConfig {
+            beta_training: SimDuration::from_hours(100),
+            market_horizon: SimDuration::from_hours(50),
+            ..ProteusConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c = ProteusConfig {
+            max_machines: 1,
+            ..ProteusConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! End-of-session reporting.
+
+use proteus_market::UsageBreakdown;
+use proteus_simtime::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What a finished [`Proteus`](crate::Proteus) session spent and
+/// achieved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProteusReport {
+    /// Net dollars billed (hour charges minus eviction refunds).
+    pub cost: f64,
+    /// Simulated market time the session spanned.
+    pub market_time: SimDuration,
+    /// Machine-hour breakdown (on-demand / paid spot / free).
+    pub usage: UsageBreakdown,
+    /// Spot evictions weathered.
+    pub evictions: u32,
+    /// Spot allocations acquired.
+    pub allocations: u32,
+    /// Training iterations (global clocks) completed.
+    pub clocks: u64,
+    /// Final training objective over the full dataset (lower is better).
+    pub final_objective: f64,
+}
+
+impl ProteusReport {
+    /// The cost this session *would* have paid running the same
+    /// machine-hours entirely on-demand at `od_price` per instance-hour —
+    /// the baseline of the paper's Fig. 1 comparison.
+    pub fn on_demand_equivalent(&self, od_price: f64) -> f64 {
+        self.usage.total_hours() * od_price
+    }
+
+    /// Fraction of machine-hours that were free compute.
+    pub fn free_fraction(&self) -> f64 {
+        self.usage.free_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_demand_equivalent_prices_all_hours() {
+        let report = ProteusReport {
+            cost: 1.0,
+            market_time: SimDuration::from_hours(2),
+            usage: UsageBreakdown {
+                on_demand_hours: 2.0,
+                spot_paid_hours: 6.0,
+                free_hours: 2.0,
+            },
+            evictions: 1,
+            allocations: 3,
+            clocks: 40,
+            final_objective: 0.05,
+        };
+        assert!((report.on_demand_equivalent(0.2) - 2.0).abs() < 1e-12);
+        assert!((report.free_fraction() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,297 @@
+//! The live Proteus session: BidBrain + simulated provider + a real
+//! elastic training job.
+//!
+//! This is the paper's Sec. 5 control loop. The session owns a
+//! [`CloudProvider`] replaying synthetic spot-price history, a trained
+//! [`BidBrain`], and an [`AgileMlJob`] whose machines are real threads.
+//! Advancing market time:
+//!
+//! * at every decision point (two simulated minutes, just before billing
+//!   hours end, and after evictions) BidBrain may acquire allocations —
+//!   each granted instance becomes a transient machine added to the
+//!   running job in the background;
+//! * eviction warnings are forwarded to the elasticity controller, which
+//!   drains ActivePSs to their backups within the warning window before
+//!   the provider takes the machines;
+//! * allocations whose renewal would raise cost-per-work are released
+//!   just before their next billing hour.
+
+use std::collections::BTreeMap;
+
+use proteus_agileml::AgileMlJob;
+use proteus_bidbrain::{AllocView, BetaEstimator, BidBrain};
+use proteus_market::{AllocationId, CloudProvider, ProviderEvent, TraceGenerator};
+use proteus_mlapps::app::MlApp;
+use proteus_simnet::{NodeClass, NodeId};
+use proteus_simtime::{SimDuration, SimTime};
+
+use crate::config::ProteusConfig;
+use crate::report::ProteusReport;
+
+/// BidBrain's decision cadence (Sec. 5: "every two minutes").
+const STEP: SimDuration = SimDuration::from_secs(120);
+
+/// A live Proteus session over one training job.
+pub struct Proteus<A: MlApp> {
+    config: ProteusConfig,
+    provider: CloudProvider,
+    brain: BidBrain,
+    job: AgileMlJob<A>,
+    /// Spot allocation → the simulated machines it granted.
+    alloc_nodes: BTreeMap<AllocationId, Vec<NodeId>>,
+    job_start: SimTime,
+    evictions: u32,
+    allocations: u32,
+}
+
+impl<A: MlApp> Proteus<A> {
+    /// Launches a session: synthesizes market history, trains β on the
+    /// configured window, provisions the reliable tier, starts the
+    /// elastic training job, and makes the first allocation decision.
+    pub fn launch(app: A, dataset: Vec<A::Datum>, config: ProteusConfig) -> Result<Self, String> {
+        config.validate()?;
+
+        // Synthesize the market and train β on its early window — the
+        // analogue of loading historical AWS price data (Sec. 5).
+        let gen = TraceGenerator::new(config.agile.seed, config.market_model.clone());
+        let traces = gen.generate_set(&config.spot_markets, config.market_horizon);
+        let mut beta = BetaEstimator::new();
+        for m in &config.spot_markets {
+            beta.train(
+                *m,
+                traces.get(m).expect("trace generated"),
+                SimTime::EPOCH,
+                SimTime::EPOCH + config.beta_training,
+                SimDuration::from_mins(30),
+                &BetaEstimator::default_deltas(),
+            );
+        }
+        let brain = BidBrain::new(config.params, beta, config.brain.clone());
+
+        let mut provider = CloudProvider::new(traces);
+        let job_start = SimTime::EPOCH + config.beta_training;
+        provider.advance_to(job_start).map_err(|e| e.to_string())?;
+        provider
+            .request_on_demand(config.on_demand_market, config.reliable_machines)
+            .map_err(|e| e.to_string())?;
+
+        let job = AgileMlJob::launch(
+            app,
+            dataset,
+            config.agile,
+            config.reliable_machines as usize,
+            0,
+        )?;
+
+        let mut session = Proteus {
+            config,
+            provider,
+            brain,
+            job,
+            alloc_nodes: BTreeMap::new(),
+            job_start,
+            evictions: 0,
+            allocations: 0,
+        };
+        session.consider_acquisition()?;
+        Ok(session)
+    }
+
+    /// The elastic training job (status queries, snapshots, events).
+    pub fn job(&mut self) -> &mut AgileMlJob<A> {
+        &mut self.job
+    }
+
+    /// Current simulated market time.
+    pub fn market_now(&self) -> SimTime {
+        self.provider.now()
+    }
+
+    /// Live transient machine count.
+    pub fn transient_machines(&self) -> usize {
+        self.alloc_nodes.values().map(Vec::len).sum()
+    }
+
+    /// Advances the market by `hours`, driving allocation decisions and
+    /// elasticity while training threads keep running.
+    pub fn run_market_hours(&mut self, hours: f64) -> Result<(), String> {
+        let target = self.provider.now() + SimDuration::from_hours_f64(hours);
+        while self.provider.now() < target {
+            self.renewals()?;
+            self.consider_acquisition()?;
+            let next = (self.provider.now() + STEP).min(target);
+            let events = self.provider.advance_to(next).map_err(|e| e.to_string())?;
+            for (_, ev) in events {
+                self.handle_event(ev)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Waits until the training job completes `clock` global iterations.
+    pub fn wait_clock(&mut self, clock: u64) -> Result<(), String> {
+        self.job.wait_clock(clock)
+    }
+
+    fn handle_event(&mut self, ev: ProviderEvent) -> Result<(), String> {
+        match ev {
+            ProviderEvent::EvictionWarning { allocation, .. } => {
+                // Forward to the elasticity controller: drain within the
+                // warning window (the drain itself is wall-clock fast).
+                if let Some(nodes) = self.alloc_nodes.get(&allocation).cloned() {
+                    self.job.evict_with_warning(&nodes)?;
+                }
+            }
+            ProviderEvent::Evicted { allocation } => {
+                self.evictions += 1;
+                self.alloc_nodes.remove(&allocation);
+                // Free compute was already banked; BidBrain reconsiders
+                // immediately after evictions (Sec. 5).
+                self.consider_acquisition()?;
+            }
+            ProviderEvent::HourCharged { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// BidBrain's footprint view of current holdings.
+    fn footprint(&self) -> Vec<AllocView> {
+        let now = self.provider.now();
+        let mut views = vec![AllocView::on_demand(
+            self.config.on_demand_market,
+            self.config.reliable_machines,
+            0.0,
+        )];
+        for a in self.provider.spot_allocations() {
+            let paid = self
+                .provider
+                .spot_price_at(a.market, a.hour_start)
+                .unwrap_or(a.bid);
+            views.push(AllocView {
+                market: a.market,
+                count: a.count,
+                hourly_price: paid,
+                bid_delta: Some((a.bid - paid).max(0.0001)),
+                time_remaining: (a.hour_start + SimDuration::from_hours(1)).since(now),
+                work_rate: f64::from(a.market.instance_type().vcpus),
+            });
+        }
+        views
+    }
+
+    fn consider_acquisition(&mut self) -> Result<(), String> {
+        let headroom = self
+            .config
+            .max_machines
+            .saturating_sub(self.config.reliable_machines)
+            .saturating_sub(self.transient_machines() as u32);
+        if headroom == 0 {
+            return Ok(());
+        }
+        let prices: Vec<_> = self
+            .config
+            .spot_markets
+            .iter()
+            .filter_map(|m| self.provider.spot_price(*m).ok().map(|p| (*m, p)))
+            .collect();
+        let footprint = self.footprint();
+        if let Some(req) = self
+            .brain
+            .consider_acquisition(&footprint, &prices, self.provider.now())
+        {
+            let count = req.count.min(headroom);
+            if count == 0 {
+                return Ok(());
+            }
+            if let Ok(id) = self.provider.request_spot(req.market, count, req.bid) {
+                let nodes = self
+                    .job
+                    .add_machines(NodeClass::Transient, count as usize)?;
+                self.alloc_nodes.insert(id, nodes);
+                self.allocations += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Chaos injection: one live spot allocation vanishes with **no
+    /// usable warning** (the paper's "effective failure": the two-minute
+    /// notice arrived too late to drain). The machines are killed
+    /// abruptly and AgileML runs online rollback recovery from the
+    /// BackupPSs. Returns the clock the job rolled back to, or `None`
+    /// when no spot allocation is live.
+    pub fn inject_failure(&mut self) -> Result<Option<u64>, String> {
+        let Some((&alloc, _)) = self.alloc_nodes.iter().next() else {
+            return Ok(None);
+        };
+        let nodes = self.alloc_nodes.remove(&alloc).expect("key just observed");
+        // The provider still refunds the hour (it evicted the machines);
+        // terminate bills nothing further since we model the provider's
+        // own revocation as an immediate teardown.
+        let _ = self.provider.terminate(alloc);
+        self.evictions += 1;
+        let rolled = self.job.fail_nodes(&nodes)?;
+        Ok(Some(rolled))
+    }
+
+    /// Hour-end renewal decisions: allocations not worth renewing are
+    /// released (machines leave gracefully — a voluntary drain).
+    fn renewals(&mut self) -> Result<(), String> {
+        let now = self.provider.now();
+        for a in self.provider.spot_allocations() {
+            let to_end = (a.hour_start + SimDuration::from_hours(1)).since(now);
+            if to_end > STEP || a.warned {
+                continue;
+            }
+            let renew_price = self.provider.spot_price(a.market).unwrap_or(a.bid);
+            let view = AllocView {
+                market: a.market,
+                count: a.count,
+                hourly_price: renew_price,
+                bid_delta: Some((a.bid - renew_price).max(0.0001)),
+                time_remaining: to_end,
+                work_rate: f64::from(a.market.instance_type().vcpus),
+            };
+            let rest: Vec<AllocView> = self
+                .footprint()
+                .into_iter()
+                .filter(|v| v.bid_delta.is_none() || v.market != a.market || v.count != a.count)
+                .collect();
+            let keep = self.brain.should_renew(&view, &rest, renew_price) && renew_price <= a.bid;
+            if !keep {
+                if let Some(nodes) = self.alloc_nodes.remove(&a.id) {
+                    self.job.evict_with_warning(&nodes)?;
+                }
+                let _ = self.provider.terminate(a.id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the session: terminates holdings, shuts the job down,
+    /// and returns the bill and training outcome.
+    ///
+    /// The on-demand tier is terminated immediately; per Sec. 5, spot
+    /// allocations would idle to the end of their billing hours hoping
+    /// for a refund — the simulated equivalent simply terminates them,
+    /// since their current hours are already paid either way.
+    pub fn finish(mut self) -> Result<ProteusReport, String> {
+        let dataset: Vec<A::Datum> = self.job.dataset().to_vec();
+        let final_objective = self.job.objective(&dataset)?;
+        let status = self.job.status()?;
+        for (id, _) in std::mem::take(&mut self.alloc_nodes) {
+            let _ = self.provider.terminate(id);
+        }
+        let market_time = self.provider.now() - self.job_start;
+        self.job.shutdown()?;
+        Ok(ProteusReport {
+            cost: self.provider.account().total_cost(),
+            market_time,
+            usage: *self.provider.account().usage(),
+            evictions: self.evictions,
+            allocations: self.allocations,
+            clocks: status.min_clock,
+            final_objective,
+        })
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end test of the full Proteus session: market + BidBrain +
+//! real elastic training.
+
+use proteus::{Proteus, ProteusConfig};
+use proteus_mlapps::data::{netflix_like, MfDataConfig};
+use proteus_mlapps::mf::{MatrixFactorization, MfConfig};
+
+fn app() -> MatrixFactorization {
+    MatrixFactorization::new(MfConfig {
+        rows: 40,
+        cols: 30,
+        rank: 4,
+        learning_rate: 0.05,
+        reg: 1e-4,
+        init_scale: 0.2,
+    })
+}
+
+fn data() -> Vec<proteus_mlapps::mf::Rating> {
+    netflix_like(
+        &MfDataConfig {
+            rows: 40,
+            cols: 30,
+            true_rank: 3,
+            observed: 800,
+            noise: 0.02,
+        },
+        42,
+    )
+}
+
+#[test]
+fn full_session_trains_under_market_churn() {
+    let config = ProteusConfig {
+        max_machines: 8,
+        ..ProteusConfig::default()
+    };
+    let mut session = Proteus::launch(app(), data(), config).expect("launch");
+
+    // BidBrain should have bought spot capacity immediately: the spot
+    // discount makes acquisition a clear cost-per-work win.
+    assert!(
+        session.transient_machines() > 0,
+        "initial allocation expected"
+    );
+
+    // Run six simulated market hours while training proceeds; require
+    // real training progress.
+    session.run_market_hours(6.0).expect("market run");
+    session.wait_clock(20).expect("training progress");
+
+    let report = session.finish().expect("finish");
+    assert!(report.clocks >= 20);
+    assert!(report.cost > 0.0, "spot hours cost money");
+    assert!(report.allocations >= 1);
+    assert!(
+        report.final_objective < 0.1,
+        "MF converged under churn: {}",
+        report.final_objective
+    );
+    // The bill must beat renting the same machine-hours on-demand.
+    let od_equiv = report.on_demand_equivalent(0.209);
+    assert!(
+        report.cost < od_equiv,
+        "spot exploitation saves money: {} vs {}",
+        report.cost,
+        od_equiv
+    );
+}
+
+#[test]
+fn session_survives_injected_failure() {
+    let config = ProteusConfig {
+        max_machines: 8,
+        ..ProteusConfig::default()
+    };
+    let mut session = Proteus::launch(app(), data(), config).expect("launch");
+    assert!(session.transient_machines() > 0);
+    session.wait_clock(5).expect("warm-up");
+
+    // An allocation disappears with no usable warning.
+    let rolled = session
+        .inject_failure()
+        .expect("failure path")
+        .expect("an allocation was live");
+
+    // Training recovers and keeps converging.
+    session
+        .wait_clock(rolled + 10)
+        .expect("post-recovery progress");
+    session.run_market_hours(2.0).expect("market continues");
+    let report = session.finish().expect("finish");
+    assert!(report.evictions >= 1);
+    assert!(
+        report.final_objective < 0.15,
+        "converged after rollback recovery: {}",
+        report.final_objective
+    );
+}
+
+#[test]
+fn session_rejects_invalid_config() {
+    let bad = ProteusConfig {
+        reliable_machines: 0,
+        ..ProteusConfig::default()
+    };
+    assert!(Proteus::launch(app(), data(), bad).is_err());
+}

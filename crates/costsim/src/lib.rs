@@ -1,0 +1,42 @@
+//! End-to-end cost/runtime simulation of elastic ML training schemes on
+//! a dynamic spot market (paper Sec. 6.3).
+//!
+//! The paper's headline cost results come from replaying months of AWS
+//! spot price history under four configurations:
+//!
+//! * **all on-demand** — the traditional baseline (cost 100 %);
+//! * **Standard + Checkpoint** — run entirely on spot instances acquired
+//!   with the standard strategy (cheapest market, bid = on-demand
+//!   price), checkpointing at an MTTF-derived frequency and restarting
+//!   from the last checkpoint on eviction;
+//! * **Standard + AgileML** — the same bidding, but elasticity handled
+//!   by AgileML (no checkpoint overhead, cheap evictions);
+//! * **Proteus** — AgileML plus BidBrain's cost-per-work bidding across
+//!   every market, hour-end renewal decisions, and free-compute
+//!   exploitation.
+//!
+//! [`sim::run_job`] executes one job under one scheme against the
+//! (synthetic) price traces via the full [`proteus_market`] billing
+//! engine and [`proteus_bidbrain`] policy code; [`study`] aggregates
+//! across many random start times exactly like the paper's methodology
+//! (1000 random day/time starting points, cost normalized to the
+//! on-demand baseline, final partial billing hours not charged to the
+//! job).
+
+pub mod gce;
+pub mod queue;
+pub mod scheme;
+pub mod sim;
+pub mod study;
+
+pub use gce::{gce_fleet_beta, run_gce_job, GceOutcome, GceRunConfig};
+pub use queue::{run_job_queue, QueueOutcome};
+pub use scheme::{youngs_interval, JobSpec, Scheme, SchemeKind};
+pub use sim::{run_job, SimOutcome};
+pub use study::{run_study, StudyConfig, StudyEnv, StudyResult};
+
+/// The bid-delta sweep the paper's BidBrain evaluates: `[$0.0001, $0.4]`
+/// above the market price.
+pub fn default_bid_deltas() -> Vec<f64> {
+    proteus_bidbrain::BetaEstimator::default_deltas()
+}

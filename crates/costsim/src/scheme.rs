@@ -1,0 +1,217 @@
+//! Job specifications and the four evaluated schemes.
+
+use proteus_market::MarketKey;
+use proteus_simtime::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What the job needs and which reliable base it keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Useful work required, in core-hours at perfect scaling (φ = 1).
+    pub work_core_hours: f64,
+    /// Market whose instance type is used for on-demand machines.
+    pub on_demand_market: MarketKey,
+    /// On-demand machines held for the whole job (the reliable tier for
+    /// the AgileML schemes; the paper's Proteus runs used 3).
+    pub on_demand_count: u32,
+    /// Whether the on-demand machines contribute compute (they do not in
+    /// stage 3, the common configuration at high transient ratios — and
+    /// the paper's Fig. 6 toy likewise counts their work as zero).
+    pub on_demand_works: bool,
+    /// vCPU budget BidBrain provisions toward. Proteus grows its
+    /// footprint well past the on-demand fleet when spot capacity is
+    /// cheap — the paper ran up to 189 spot + 3 on-demand machines
+    /// against a 128-machine on-demand baseline.
+    pub target_cores: u32,
+    /// vCPU budget of the standard-bidding schemes, which replace the
+    /// on-demand fleet like-for-like (Spot Fleet semantics).
+    pub standard_cores: u32,
+    /// Scalability coefficient per doubling (the φ model).
+    pub phi_per_doubling: f64,
+}
+
+impl JobSpec {
+    /// A job sized like the paper's Cluster-B runs: `hours` of work for
+    /// 128 c4.xlarge machines (512 cores).
+    pub fn cluster_b_job(hours: f64, on_demand_market: MarketKey) -> Self {
+        let phi = 0.97f64;
+        let cores = 512.0;
+        JobSpec {
+            // Work the 128-machine on-demand fleet finishes in `hours`.
+            work_core_hours: cores * hours * phi.powf(cores.log2()),
+            on_demand_market,
+            on_demand_count: 3,
+            on_demand_works: false,
+            target_cores: 1_536, // Proteus over-provisions when cheap.
+            standard_cores: 512, // Standard schemes replace like-for-like.
+            phi_per_doubling: phi,
+        }
+    }
+}
+
+/// Which policy stack runs the job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// All on-demand machines, no spot (the 100 % cost baseline).
+    AllOnDemand {
+        /// Machines to run.
+        machines: u32,
+    },
+    /// Standard bidding + checkpoint/restart elasticity.
+    StandardCheckpoint {
+        /// Steady-state throughput lost to producing/storing checkpoints
+        /// (paper observes 17 % with MTTF-derived frequency).
+        checkpoint_overhead: f64,
+        /// Work interval between checkpoints, in core-hours; work since
+        /// the last checkpoint is lost on eviction.
+        checkpoint_interval_core_hours: f64,
+        /// Delay to restart on fresh machines after an eviction.
+        restart_delay: SimDuration,
+    },
+    /// Standard bidding + AgileML elasticity.
+    StandardAgileML {
+        /// Progress pause per eviction (AgileML λ).
+        eviction_pause: SimDuration,
+    },
+    /// Full Proteus: BidBrain bidding + AgileML elasticity.
+    Proteus {
+        /// Progress pause per eviction (AgileML λ).
+        eviction_pause: SimDuration,
+        /// Progress pause per footprint change (AgileML σ).
+        scale_pause: SimDuration,
+        /// Candidate bid deltas BidBrain sweeps; pin to one value for
+        /// the fixed-delta ablation (paper Sec. 6.3 reports that always
+        /// bidding just above market ran 3–4× slower).
+        bid_deltas: Vec<f64>,
+    },
+}
+
+impl SchemeKind {
+    /// The paper's checkpointing baseline parameters (17 % overhead).
+    pub fn paper_checkpoint() -> Self {
+        SchemeKind::StandardCheckpoint {
+            checkpoint_overhead: 0.17,
+            // ≈20 minutes of 512-core progress between checkpoints.
+            checkpoint_interval_core_hours: 170.0,
+            restart_delay: SimDuration::from_mins(8),
+        }
+    }
+
+    /// Standard bidding with AgileML's cheap elasticity.
+    pub fn paper_standard_agileml() -> Self {
+        SchemeKind::StandardAgileML {
+            eviction_pause: SimDuration::from_secs(90),
+        }
+    }
+
+    /// Full Proteus with AgileML overheads.
+    ///
+    /// The eviction pause covers the λ the paper measures end-to-end:
+    /// the one-iteration blip plus data-reassignment and (for bulk
+    /// evictions) the drain/promotion transition — a few minutes, which
+    /// is what keeps BidBrain from bidding recklessly close to the
+    /// market price purely to farm free compute (Sec. 6.3 reports that
+    /// always bidding just above market ran 3–4× slower).
+    pub fn paper_proteus() -> Self {
+        SchemeKind::Proteus {
+            eviction_pause: SimDuration::from_secs(240),
+            scale_pause: SimDuration::from_secs(30),
+            bid_deltas: crate::default_bid_deltas(),
+        }
+    }
+
+    /// Proteus pinned to a single bid delta (ablation).
+    pub fn proteus_fixed_delta(delta: f64) -> Self {
+        SchemeKind::Proteus {
+            eviction_pause: SimDuration::from_secs(240),
+            scale_pause: SimDuration::from_secs(30),
+            bid_deltas: vec![delta],
+        }
+    }
+
+    /// Short label used in result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchemeKind::AllOnDemand { .. } => "AllOnDemand",
+            SchemeKind::StandardCheckpoint { .. } => "Standard+Checkpoint",
+            SchemeKind::StandardAgileML { .. } => "Standard+AgileML",
+            SchemeKind::Proteus { .. } => "Proteus",
+        }
+    }
+}
+
+/// Young's approximation for the optimal checkpoint interval:
+/// `τ* = sqrt(2 · C · MTTF)` where `C` is the time to write one
+/// checkpoint. Returns the interval and the resulting steady-state
+/// overhead fraction `C / τ*` — the paper's MTTF-derived frequency with
+/// its observed ~17 % overhead corresponds to frequent spot evictions
+/// and a checkpoint cost of a few minutes.
+///
+/// # Panics
+///
+/// Panics if either argument is non-positive.
+pub fn youngs_interval(checkpoint_cost: SimDuration, mttf: SimDuration) -> (SimDuration, f64) {
+    assert!(
+        !checkpoint_cost.is_zero() && !mttf.is_zero(),
+        "Young's formula needs positive checkpoint cost and MTTF"
+    );
+    let c = checkpoint_cost.as_hours_f64();
+    let tau = (2.0 * c * mttf.as_hours_f64()).sqrt();
+    (SimDuration::from_hours_f64(tau), c / tau)
+}
+
+/// A scheme bound to a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scheme {
+    /// The policy stack.
+    pub kind: SchemeKind,
+    /// The job it runs.
+    pub job: JobSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_market::instance::{catalog, Zone};
+
+    #[test]
+    fn cluster_b_job_scales_with_hours() {
+        let mk = MarketKey::new(catalog::c4_xlarge(), Zone(0));
+        let j2 = JobSpec::cluster_b_job(2.0, mk);
+        let j20 = JobSpec::cluster_b_job(20.0, mk);
+        assert!((j20.work_core_hours / j2.work_core_hours - 10.0).abs() < 1e-9);
+        assert_eq!(j2.on_demand_count, 3);
+    }
+
+    #[test]
+    fn youngs_formula_matches_hand_arithmetic() {
+        // C = 2 min, MTTF = 100 min → τ* = sqrt(2·2·100) = 20 min,
+        // overhead = 2/20 = 10 %.
+        let (tau, overhead) =
+            youngs_interval(SimDuration::from_mins(2), SimDuration::from_mins(100));
+        assert_eq!(tau.as_mins(), 20);
+        assert!((overhead - 0.10).abs() < 1e-9);
+        // The paper's 17 % corresponds to spot-market MTTFs of tens of
+        // minutes with multi-minute checkpoints.
+        let (_, heavy) = youngs_interval(SimDuration::from_mins(3), SimDuration::from_mins(52));
+        assert!((0.15..0.20).contains(&heavy), "got {heavy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive checkpoint cost")]
+    fn youngs_formula_rejects_zero() {
+        youngs_interval(SimDuration::ZERO, SimDuration::from_mins(1));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            SchemeKind::AllOnDemand { machines: 1 }.label(),
+            SchemeKind::paper_checkpoint().label(),
+            SchemeKind::paper_standard_agileml().label(),
+            SchemeKind::paper_proteus().label(),
+        ];
+        let set: std::collections::BTreeSet<&str> = labels.into_iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

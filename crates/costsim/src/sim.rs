@@ -1,0 +1,683 @@
+//! The discrete-event job simulator.
+//!
+//! Time advances in two-minute decision steps (BidBrain's cadence,
+//! Sec. 5). Between steps the [`proteus_market::CloudProvider`] fires
+//! hour charges, eviction warnings, and evictions; at each step the
+//! scheme's policy reacts: accrues work, applies eviction/scale pauses
+//! or checkpoint rollbacks, terminates allocations whose renewal would
+//! hurt cost-per-work, and considers acquisitions.
+
+use proteus_bidbrain::{
+    AllocView, AppParams, BetaEstimator, BidBrain, BidBrainConfig, StandardStrategy,
+};
+use std::collections::BTreeMap;
+
+use proteus_market::{catalog, CloudProvider, MarketKey, ProviderEvent, TraceSet, UsageBreakdown};
+use proteus_simtime::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::scheme::{JobSpec, Scheme, SchemeKind};
+
+/// Outcome of one simulated job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Dollars charged to this job (final partial billing hours are
+    /// credited back, per the paper's accounting).
+    pub cost: f64,
+    /// Wall-clock from job start to completion.
+    pub runtime: SimDuration,
+    /// Machine-hour breakdown (on-demand / paid spot / free).
+    pub usage: UsageBreakdown,
+    /// Number of spot evictions suffered.
+    pub evictions: u32,
+    /// Whether the job finished within the simulation horizon.
+    pub completed: bool,
+    /// Spot instances acquired per market over the whole job — the
+    /// multi-market exploitation signature (the paper's BidBrain tracks
+    /// "multiple instance types, which move relatively independently").
+    pub market_mix: BTreeMap<String, u32>,
+}
+
+/// BidBrain's decision cadence.
+const STEP: SimDuration = SimDuration::from_secs(120);
+
+/// Runs one job under one scheme.
+///
+/// `traces` must cover `[start, start + horizon]`; `beta` should be
+/// trained on an earlier window of the same markets (Proteus only uses
+/// it; the other schemes ignore it).
+pub fn run_job(
+    scheme: &Scheme,
+    traces: &TraceSet,
+    beta: &BetaEstimator,
+    start: SimTime,
+    horizon: SimDuration,
+) -> SimOutcome {
+    let mut sim = JobSim::new(scheme, traces.clone(), beta.clone(), start);
+    sim.run(start + horizon)
+}
+
+/// Mutable simulation state.
+pub(crate) struct JobSim {
+    kind: SchemeKind,
+    job: JobSpec,
+    provider: CloudProvider,
+    markets: Vec<MarketKey>,
+    brain: BidBrain,
+    standard: StandardStrategy,
+    start: SimTime,
+    /// Useful work accumulated (φ-scaled core-hours).
+    work_done: f64,
+    /// Work level at the last checkpoint (checkpoint scheme only).
+    checkpointed_work: f64,
+    /// Progress is paused until this instant (eviction/scale overheads,
+    /// restart delays).
+    paused_until: SimTime,
+    evictions: u32,
+    /// Markets of allocations currently under eviction warning (their
+    /// replacement is deferred until the eviction lands).
+    pending_evictions: usize,
+    /// Spot instances acquired per market.
+    market_mix: BTreeMap<String, u32>,
+    /// Credits applied by queue accounting (terminated fresh hours).
+    credits: f64,
+    /// The on-demand allocation, when provisioned.
+    od_alloc: Option<proteus_market::AllocationId>,
+}
+
+impl JobSim {
+    pub(crate) fn new(
+        scheme: &Scheme,
+        traces: TraceSet,
+        beta: BetaEstimator,
+        start: SimTime,
+    ) -> Self {
+        let markets: Vec<MarketKey> = traces.markets().copied().collect();
+        let params = AppParams {
+            phi_per_doubling: scheme.job.phi_per_doubling,
+            sigma: match scheme.kind {
+                SchemeKind::Proteus { scale_pause, .. } => scale_pause,
+                SchemeKind::StandardCheckpoint { restart_delay, .. } => restart_delay,
+                _ => SimDuration::from_secs(30),
+            },
+            lambda: match scheme.kind {
+                SchemeKind::Proteus { eviction_pause, .. } => eviction_pause,
+                SchemeKind::StandardAgileML { eviction_pause } => eviction_pause,
+                SchemeKind::StandardCheckpoint { restart_delay, .. } => restart_delay,
+                SchemeKind::AllOnDemand { .. } => SimDuration::ZERO,
+            },
+        };
+        let bid_deltas = match &scheme.kind {
+            SchemeKind::Proteus { bid_deltas, .. } => bid_deltas.clone(),
+            _ => BidBrainConfig::default().bid_deltas,
+        };
+        let brain = BidBrain::new(
+            params,
+            beta,
+            BidBrainConfig {
+                target_cores: scheme.job.target_cores,
+                max_alloc_instances: 64,
+                bid_deltas,
+                ..BidBrainConfig::default()
+            },
+        );
+        JobSim {
+            kind: scheme.kind.clone(),
+            job: scheme.job,
+            provider: CloudProvider::new(traces),
+            markets,
+            brain,
+            standard: StandardStrategy::new(scheme.job.standard_cores),
+            start,
+            work_done: 0.0,
+            checkpointed_work: 0.0,
+            paused_until: start,
+            evictions: 0,
+            pending_evictions: 0,
+            market_mix: BTreeMap::new(),
+            credits: 0.0,
+            od_alloc: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crate-internal accessors for the queue runner (`queue.rs`).
+    // ------------------------------------------------------------------
+
+    /// Current provider time.
+    pub(crate) fn now(&self) -> SimTime {
+        self.provider.now()
+    }
+
+    /// Mutable provider access (teardown orchestration).
+    pub(crate) fn provider_mut(&mut self) -> &mut CloudProvider {
+        &mut self.provider
+    }
+
+    /// Starts a fresh work quota for the next job in a queue.
+    pub(crate) fn reset_work_quota(&mut self) {
+        self.work_done = 0.0;
+        self.checkpointed_work = 0.0;
+    }
+
+    /// Net billed dollars so far, minus queue-accounting credits.
+    pub(crate) fn account_cost(&self) -> f64 {
+        (self.provider.account().total_cost() - self.credits).max(0.0)
+    }
+
+    /// Total provider refunds so far.
+    pub(crate) fn account_refunds(&self) -> f64 {
+        self.provider.account().total_refunds()
+    }
+
+    /// Machine-hour usage so far.
+    pub(crate) fn account_usage(&self) -> UsageBreakdown {
+        *self.provider.account().usage()
+    }
+
+    /// Registers `n` extra evictions observed by the caller.
+    pub(crate) fn add_evictions(&mut self, n: u32) {
+        self.evictions += n;
+    }
+
+    /// Evictions observed so far.
+    pub(crate) fn evictions_so_far(&self) -> u32 {
+        self.evictions
+    }
+
+    /// Applies an accounting credit (a charged-but-unused fresh hour).
+    pub(crate) fn credit(&mut self, dollars: f64) {
+        self.credits += dollars;
+    }
+
+    /// Records a granted spot allocation in the market mix.
+    fn note_acquisition(&mut self, market: MarketKey, count: u32) {
+        *self.market_mix.entry(market.to_string()).or_insert(0) += count;
+    }
+
+    /// Current total vCPUs across live spot allocations.
+    fn spot_cores(&self) -> u32 {
+        self.provider
+            .spot_allocations()
+            .iter()
+            .map(|a| a.count * a.market.instance_type().vcpus)
+            .sum()
+    }
+
+    /// Work produced per hour by the current footprint (φ-scaled
+    /// core-hours per hour), including checkpointing overhead.
+    fn work_rate(&self) -> f64 {
+        let mut cores = f64::from(self.spot_cores());
+        let od_cores =
+            f64::from(self.job.on_demand_count * self.job.on_demand_market.instance_type().vcpus);
+        if self.job.on_demand_works {
+            cores += od_cores;
+        }
+        if let SchemeKind::AllOnDemand { machines } = self.kind {
+            cores = f64::from(machines * self.job.on_demand_market.instance_type().vcpus);
+        }
+        if cores <= 0.0 {
+            return 0.0;
+        }
+        let phi = self.job.phi_per_doubling.powf(cores.log2()).clamp(0.0, 1.0);
+        let mut rate = cores * phi;
+        if let SchemeKind::StandardCheckpoint {
+            checkpoint_overhead,
+            ..
+        } = self.kind
+        {
+            rate *= 1.0 - checkpoint_overhead;
+        }
+        rate
+    }
+
+    /// Builds BidBrain's view of the current footprint.
+    fn footprint(&self) -> Vec<AllocView> {
+        let now = self.provider.now();
+        let mut views = Vec::new();
+        if self.job.on_demand_count > 0 && !matches!(self.kind, SchemeKind::AllOnDemand { .. }) {
+            views.push(AllocView::on_demand(
+                self.job.on_demand_market,
+                self.job.on_demand_count,
+                if self.job.on_demand_works {
+                    f64::from(self.job.on_demand_market.instance_type().vcpus)
+                } else {
+                    0.0
+                },
+            ));
+        }
+        for a in self.provider.spot_allocations() {
+            let paid = self
+                .provider
+                .spot_price_at(a.market, a.hour_start)
+                .unwrap_or(a.bid);
+            let delta = (a.bid - paid).max(0.0001);
+            views.push(AllocView {
+                market: a.market,
+                count: a.count,
+                hourly_price: paid,
+                bid_delta: Some(delta),
+                time_remaining: (a.hour_start + SimDuration::from_hours(1)).since(now),
+                work_rate: f64::from(a.market.instance_type().vcpus),
+            });
+        }
+        views
+    }
+
+    fn current_prices(&self) -> Vec<(MarketKey, f64)> {
+        self.markets
+            .iter()
+            .filter_map(|m| self.provider.spot_price(*m).ok().map(|p| (*m, p)))
+            .collect()
+    }
+
+    fn pause(&mut self, d: SimDuration) {
+        let until = self.provider.now() + d;
+        if until > self.paused_until {
+            self.paused_until = until;
+        }
+    }
+
+    /// Handles provider events from the last step.
+    fn handle_events(&mut self, events: Vec<(SimTime, ProviderEvent)>) {
+        for (_, ev) in events {
+            match ev {
+                ProviderEvent::EvictionWarning { .. } => {
+                    self.pending_evictions += 1;
+                }
+                ProviderEvent::Evicted { .. } => {
+                    self.pending_evictions = self.pending_evictions.saturating_sub(1);
+                    self.evictions += 1;
+                    match self.kind {
+                        SchemeKind::StandardCheckpoint { restart_delay, .. } => {
+                            // Lose progress back to the last checkpoint
+                            // and pay the restart delay.
+                            self.work_done = self.checkpointed_work;
+                            self.pause(restart_delay);
+                        }
+                        SchemeKind::StandardAgileML { eviction_pause }
+                        | SchemeKind::Proteus { eviction_pause, .. } => {
+                            self.pause(eviction_pause);
+                        }
+                        SchemeKind::AllOnDemand { .. } => {}
+                    }
+                }
+                ProviderEvent::HourCharged { .. } => {}
+            }
+        }
+    }
+
+    /// Accrues work over `[from, to]`, respecting pauses.
+    fn accrue(&mut self, from: SimTime, to: SimTime, rate: f64) {
+        let active_from = from.max(self.paused_until);
+        if active_from >= to {
+            return;
+        }
+        let hours = (to - active_from).as_hours_f64();
+        self.work_done += rate * hours;
+        if let SchemeKind::StandardCheckpoint {
+            checkpoint_interval_core_hours,
+            ..
+        } = self.kind
+        {
+            // Checkpoints complete at fixed work intervals.
+            let interval = checkpoint_interval_core_hours.max(1e-9);
+            self.checkpointed_work = (self.work_done / interval).floor() * interval;
+        }
+    }
+
+    /// Renewal decisions shortly before billing-hour ends.
+    fn renewals(&mut self) {
+        let now = self.provider.now();
+        let allocs = self.provider.spot_allocations();
+        for a in &allocs {
+            let to_end = (a.hour_start + SimDuration::from_hours(1)).since(now);
+            if to_end > STEP || a.warned {
+                continue;
+            }
+            let keep = match self.kind {
+                SchemeKind::Proteus { .. } => {
+                    let rest: Vec<AllocView> = self
+                        .footprint()
+                        .into_iter()
+                        .filter(|v| {
+                            v.bid_delta.is_none()
+                                || v.market != a.market
+                                || v.count != a.count
+                                || (v.time_remaining.as_millis() as i64 - to_end.as_millis() as i64)
+                                    .abs()
+                                    > 1
+                        })
+                        .collect();
+                    let renew_price = self.provider.spot_price(a.market).unwrap_or(a.bid);
+                    let view = AllocView {
+                        market: a.market,
+                        count: a.count,
+                        hourly_price: renew_price,
+                        bid_delta: Some((a.bid - renew_price).max(0.0001)),
+                        time_remaining: to_end,
+                        work_rate: f64::from(a.market.instance_type().vcpus),
+                    };
+                    self.brain.should_renew(&view, &rest, renew_price) && renew_price <= a.bid
+                }
+                // Standard strategies hold until evicted; renewal is
+                // automatic while the bid covers the market.
+                _ => true,
+            };
+            if !keep {
+                let _ = self.provider.terminate(a.id);
+            }
+        }
+    }
+
+    /// Acquisition decisions.
+    fn acquisitions(&mut self) {
+        if self.work_remaining() <= 0.0 {
+            return;
+        }
+        match self.kind.clone() {
+            SchemeKind::AllOnDemand { .. } => {}
+            SchemeKind::StandardCheckpoint { .. } | SchemeKind::StandardAgileML { .. } => {
+                // Re-acquire the full fleet whenever empty (initially and
+                // after evictions complete).
+                if self.spot_cores() == 0 && self.pending_evictions == 0 {
+                    if let Some(req) = self.standard.acquire(&self.current_prices()) {
+                        if self
+                            .provider
+                            .request_spot(req.market, req.count, req.bid)
+                            .is_ok()
+                        {
+                            self.note_acquisition(req.market, req.count);
+                        }
+                    }
+                }
+            }
+            SchemeKind::Proteus { scale_pause, .. } => {
+                let footprint = self.footprint();
+                let prices = self.current_prices();
+                if let Some(req) =
+                    self.brain
+                        .consider_acquisition(&footprint, &prices, self.provider.now())
+                {
+                    if self
+                        .provider
+                        .request_spot(req.market, req.count, req.bid)
+                        .is_ok()
+                    {
+                        self.note_acquisition(req.market, req.count);
+                        self.pause(scale_pause);
+                    }
+                }
+            }
+        }
+    }
+
+    fn work_remaining(&self) -> f64 {
+        self.job.work_core_hours - self.work_done
+    }
+
+    /// Runs decision steps until the current work quota completes or
+    /// `deadline` passes; returns the stop instant and completion flag.
+    pub(crate) fn run_until_done(&mut self, deadline: SimTime) -> (SimTime, bool) {
+        let mut now = self.provider.now().max(self.start);
+        let mut completed = false;
+        while now < deadline {
+            self.renewals();
+            self.acquisitions();
+
+            let rate = self.work_rate();
+            let next = (now + STEP).min(deadline);
+            let events = self.provider.advance_to(next).expect("time moves forward");
+            // Work between events: approximate with the rate sampled at
+            // step start; evictions mid-step slightly overcount work by
+            // less than one step, symmetrically for all schemes.
+            self.handle_events(events);
+            self.accrue(now, next, rate);
+            now = next;
+
+            if self.work_remaining() <= 0.0 {
+                completed = true;
+                break;
+            }
+        }
+        (now, completed)
+    }
+
+    /// Provisions the reliable (on-demand) base at the start instant.
+    pub(crate) fn provision_base(&mut self) {
+        self.provider
+            .advance_to(self.start)
+            .expect("time moves forward");
+        match self.kind {
+            SchemeKind::AllOnDemand { machines } => {
+                self.od_alloc = self
+                    .provider
+                    .request_on_demand(self.job.on_demand_market, machines)
+                    .ok();
+            }
+            _ => {
+                if self.job.on_demand_count > 0 {
+                    self.od_alloc = self
+                        .provider
+                        .request_on_demand(self.job.on_demand_market, self.job.on_demand_count)
+                        .ok();
+                }
+            }
+        }
+    }
+
+    /// Releases the on-demand tier (queue teardown).
+    pub(crate) fn release_on_demand(&mut self) {
+        if let Some(id) = self.od_alloc.take() {
+            let _ = self.provider.terminate(id);
+        }
+    }
+
+    /// Runs to completion (or the horizon), returning the outcome.
+    fn run(&mut self, deadline: SimTime) -> SimOutcome {
+        self.provision_base();
+
+        let (now, completed) = self.run_until_done(deadline);
+
+        // Job done: release everything. The paper's accounting does not
+        // charge a job for the unused remainder of its final billing
+        // hours (the next job in the sequence uses them), so credit the
+        // unused fraction of each live allocation's current hour back.
+        let mut refund = 0.0;
+        for a in self.provider.spot_allocations() {
+            let unused = (a.hour_start + SimDuration::from_hours(1))
+                .since(now)
+                .as_hours_f64();
+            let paid = self
+                .provider
+                .spot_price_at(a.market, a.hour_start)
+                .unwrap_or(0.0);
+            refund += paid * f64::from(a.count) * unused;
+            let _ = self.provider.terminate(a.id);
+        }
+        // On-demand final-hour credit.
+        let od_price = self.job.on_demand_market.instance_type().on_demand_price;
+        let od_count = match self.kind {
+            SchemeKind::AllOnDemand { machines } => machines,
+            _ => self.job.on_demand_count,
+        };
+        if od_count > 0 && now > self.start {
+            // `time_into_billing_hour == 0` means a fresh hour was just
+            // charged and is entirely unused.
+            let into_hour = now.time_into_billing_hour(self.start).as_hours_f64();
+            let unused = 1.0 - into_hour;
+            refund += od_price * f64::from(od_count) * unused;
+        }
+
+        SimOutcome {
+            cost: (self.provider.account().total_cost() - refund).max(0.0),
+            runtime: now - self.start,
+            usage: *self.provider.account().usage(),
+            evictions: self.evictions,
+            completed,
+            market_mix: std::mem::take(&mut self.market_mix),
+        }
+    }
+}
+
+/// The c4.xlarge market in zone 0 — the default on-demand anchor.
+pub fn default_on_demand_market() -> MarketKey {
+    MarketKey::new(catalog::c4_xlarge(), proteus_market::Zone(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{JobSpec, Scheme, SchemeKind};
+    use proteus_market::{MarketModel, PriceTrace, TraceGenerator};
+
+    fn flat_traces(price: f64) -> TraceSet {
+        let mut set = TraceSet::new();
+        set.insert(default_on_demand_market(), PriceTrace::constant(price));
+        set
+    }
+
+    fn job(hours: f64) -> JobSpec {
+        JobSpec::cluster_b_job(hours, default_on_demand_market())
+    }
+
+    #[test]
+    fn all_on_demand_costs_match_hand_arithmetic() {
+        let spec = job(2.0);
+        let scheme = Scheme {
+            kind: SchemeKind::AllOnDemand { machines: 128 },
+            job: spec,
+        };
+        let out = run_job(
+            &scheme,
+            &flat_traces(0.05),
+            &BetaEstimator::new(),
+            SimTime::EPOCH,
+            SimDuration::from_hours(48),
+        );
+        assert!(out.completed);
+        // 128 machines × 512-core φ-scaled rate finish 2 h of work in
+        // exactly 2 h; cost = 128 × $0.209 × 2.
+        assert!(
+            (out.runtime.as_hours_f64() - 2.0).abs() < 0.05,
+            "{:?}",
+            out.runtime
+        );
+        let expect = 128.0 * 0.209 * 2.0;
+        assert!(
+            (out.cost - expect).abs() < expect * 0.03,
+            "cost {} vs {}",
+            out.cost,
+            expect
+        );
+        assert_eq!(out.evictions, 0);
+    }
+
+    #[test]
+    fn spot_scheme_is_cheaper_on_calm_market() {
+        let traces = flat_traces(0.05); // ~24 % of on-demand.
+        let spec = job(2.0);
+        let od = run_job(
+            &Scheme {
+                kind: SchemeKind::AllOnDemand { machines: 128 },
+                job: spec,
+            },
+            &traces,
+            &BetaEstimator::new(),
+            SimTime::EPOCH,
+            SimDuration::from_hours(48),
+        );
+        let agile = run_job(
+            &Scheme {
+                kind: SchemeKind::paper_standard_agileml(),
+                job: spec,
+            },
+            &traces,
+            &BetaEstimator::new(),
+            SimTime::EPOCH,
+            SimDuration::from_hours(48),
+        );
+        assert!(agile.completed);
+        assert!(
+            agile.cost < od.cost * 0.5,
+            "spot at 24 % of on-demand must at least halve cost: {} vs {}",
+            agile.cost,
+            od.cost
+        );
+    }
+
+    #[test]
+    fn checkpoint_scheme_pays_overhead() {
+        let traces = flat_traces(0.05);
+        let spec = job(2.0);
+        let agile = run_job(
+            &Scheme {
+                kind: SchemeKind::paper_standard_agileml(),
+                job: spec,
+            },
+            &traces,
+            &BetaEstimator::new(),
+            SimTime::EPOCH,
+            SimDuration::from_hours(48),
+        );
+        let ckpt = run_job(
+            &Scheme {
+                kind: SchemeKind::paper_checkpoint(),
+                job: spec,
+            },
+            &traces,
+            &BetaEstimator::new(),
+            SimTime::EPOCH,
+            SimDuration::from_hours(48),
+        );
+        assert!(ckpt.completed);
+        // No evictions on a flat trace, so the difference is exactly the
+        // 17 % checkpoint throughput tax (runtime) and the extra billed
+        // hours it causes.
+        assert!(
+            ckpt.runtime > agile.runtime,
+            "checkpointing is slower: {:?} vs {:?}",
+            ckpt.runtime,
+            agile.runtime
+        );
+    }
+
+    #[test]
+    fn proteus_completes_and_exploits_cheap_markets() {
+        // Synthetic multi-market week.
+        let gen = TraceGenerator::new(3, MarketModel::default());
+        let keys = proteus_market::catalog::paper_markets();
+        let traces = gen.generate_set(&keys, SimDuration::from_hours(24 * 7));
+        let mut beta = BetaEstimator::new();
+        for k in &keys {
+            beta.train(
+                *k,
+                traces.get(k).unwrap(),
+                SimTime::EPOCH,
+                SimTime::from_hours(24 * 3),
+                SimDuration::from_mins(60),
+                &BetaEstimator::default_deltas(),
+            );
+        }
+        let spec = JobSpec::cluster_b_job(2.0, keys[0]);
+        let out = run_job(
+            &Scheme {
+                kind: SchemeKind::paper_proteus(),
+                job: spec,
+            },
+            &traces,
+            &beta,
+            SimTime::from_hours(24 * 3),
+            SimDuration::from_hours(48),
+        );
+        assert!(out.completed, "Proteus finishes the job: {out:?}");
+        assert!(out.cost > 0.0);
+        let od_cost = 128.0 * 0.209 * 2.0;
+        assert!(
+            out.cost < od_cost * 0.6,
+            "Proteus on a 75 %-discount market saves: {} vs {}",
+            out.cost,
+            od_cost
+        );
+    }
+}

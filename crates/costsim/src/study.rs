@@ -1,0 +1,293 @@
+//! Multi-start studies replicating the paper's methodology.
+//!
+//! Sec. 6.3: "For each scheme and bidding model considered, we present
+//! the average cost (relative to full on-demand price) across 1000
+//! randomly chosen day/time starting points in each zone." This module
+//! generates a long synthetic multi-market history, trains β on an
+//! early window (the paper trains on March–June and evaluates on
+//! June–August), and replays each scheme from many random starts in the
+//! evaluation window.
+
+use proteus_bidbrain::BetaEstimator;
+use proteus_market::{catalog, MarketModel, TraceGenerator, TraceSet, UsageBreakdown};
+use proteus_simtime::rng::seeded_stream;
+use proteus_simtime::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::scheme::{JobSpec, Scheme, SchemeKind};
+use crate::sim::{run_job, SimOutcome};
+
+/// Study parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Experiment seed (traces, start sampling).
+    pub seed: u64,
+    /// Length of the β-training window.
+    pub train_days: u64,
+    /// Length of the evaluation window random starts are drawn from.
+    pub eval_days: u64,
+    /// Number of random starting points.
+    pub starts: usize,
+    /// Job length in on-demand-fleet hours (2 or 20 in the paper).
+    pub job_hours: f64,
+    /// Market model for the synthetic region.
+    pub market_model: MarketModel,
+    /// Simulation horizon per job (jobs not finished by then count as
+    /// incomplete).
+    pub max_job_hours: f64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            seed: 1,
+            train_days: 14,
+            eval_days: 28,
+            starts: 100,
+            job_hours: 2.0,
+            market_model: MarketModel::default(),
+            max_job_hours: 96.0,
+        }
+    }
+}
+
+/// Aggregated result of one scheme across all starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyResult {
+    /// Scheme label.
+    pub scheme: String,
+    /// Mean cost in dollars per job.
+    pub mean_cost: f64,
+    /// 10th-percentile cost across starts (a lucky market window).
+    pub cost_p10: f64,
+    /// 90th-percentile cost across starts (an unlucky market window).
+    pub cost_p90: f64,
+    /// Mean cost as a percentage of the all-on-demand baseline.
+    pub cost_pct_of_on_demand: f64,
+    /// Mean runtime in hours.
+    pub mean_runtime_hours: f64,
+    /// Mean evictions per job.
+    pub mean_evictions: f64,
+    /// Accumulated machine-hours across all runs.
+    pub usage: UsageBreakdown,
+    /// Fraction of runs that completed within the horizon.
+    pub completion_rate: f64,
+}
+
+/// Shared study environment: traces + trained β + sampled starts.
+pub struct StudyEnv {
+    /// The synthetic price history.
+    pub traces: TraceSet,
+    /// β trained on the training window.
+    pub beta: BetaEstimator,
+    /// Random evaluation start instants.
+    pub starts: Vec<SimTime>,
+    /// The on-demand anchor market.
+    pub on_demand_market: proteus_market::MarketKey,
+    config: StudyConfig,
+}
+
+impl StudyEnv {
+    /// Builds the environment for a configuration.
+    pub fn new(config: StudyConfig) -> Self {
+        let keys = catalog::paper_markets();
+        let total_days = config.train_days + config.eval_days;
+        let horizon = SimDuration::from_hours(24 * total_days + config.max_job_hours as u64 + 1);
+        let gen = TraceGenerator::new(config.seed, config.market_model.clone());
+        let traces = gen.generate_set(&keys, horizon);
+
+        let mut beta = BetaEstimator::new();
+        let train_end = SimTime::from_hours(24 * config.train_days);
+        for k in &keys {
+            beta.train(
+                *k,
+                traces.get(k).expect("trace generated"),
+                SimTime::EPOCH,
+                train_end,
+                SimDuration::from_mins(30),
+                &BetaEstimator::default_deltas(),
+            );
+        }
+
+        let mut rng = seeded_stream(config.seed, 0x57A7);
+        let eval_start = 24 * config.train_days;
+        let eval_end = 24 * total_days;
+        let starts: Vec<SimTime> = (0..config.starts)
+            .map(|_| {
+                let h = rng.gen_range((eval_start * 60)..(eval_end * 60));
+                SimTime::EPOCH + SimDuration::from_mins(h)
+            })
+            .collect();
+
+        StudyEnv {
+            traces,
+            beta,
+            starts,
+            on_demand_market: keys[0],
+            config,
+        }
+    }
+
+    /// The job spec for this study.
+    pub fn job(&self) -> JobSpec {
+        JobSpec::cluster_b_job(self.config.job_hours, self.on_demand_market)
+    }
+
+    /// The all-on-demand baseline cost for one job (by simulation).
+    pub fn on_demand_baseline(&self) -> SimOutcome {
+        let scheme = Scheme {
+            kind: SchemeKind::AllOnDemand { machines: 128 },
+            job: self.job(),
+        };
+        run_job(
+            &scheme,
+            &self.traces,
+            &self.beta,
+            self.starts[0],
+            SimDuration::from_hours(self.config.max_job_hours as u64),
+        )
+    }
+
+    /// Runs one scheme across every start, aggregating.
+    pub fn run_scheme(&self, kind: SchemeKind) -> StudyResult {
+        let job = self.job();
+        let baseline = self.on_demand_baseline().cost;
+        let horizon = SimDuration::from_hours(self.config.max_job_hours as u64);
+
+        let mut costs: Vec<f64> = Vec::with_capacity(self.starts.len());
+        let mut runtime_sum = 0.0;
+        let mut evict_sum = 0.0;
+        let mut usage = UsageBreakdown::default();
+        let mut completed = 0usize;
+        for &start in &self.starts {
+            let out = run_job(
+                &Scheme {
+                    kind: kind.clone(),
+                    job,
+                },
+                &self.traces,
+                &self.beta,
+                start,
+                horizon,
+            );
+            costs.push(out.cost);
+            runtime_sum += out.runtime.as_hours_f64();
+            evict_sum += f64::from(out.evictions);
+            usage.accumulate(&out.usage);
+            completed += usize::from(out.completed);
+        }
+        let n = self.starts.len() as f64;
+        let cost_sum: f64 = costs.iter().sum();
+        costs.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
+        let pct = |q: f64| -> f64 {
+            let idx = ((costs.len() as f64 - 1.0) * q).round() as usize;
+            costs[idx]
+        };
+        StudyResult {
+            scheme: kind.label().to_string(),
+            mean_cost: cost_sum / n,
+            cost_p10: pct(0.10),
+            cost_p90: pct(0.90),
+            cost_pct_of_on_demand: 100.0 * (cost_sum / n) / baseline.max(1e-9),
+            mean_runtime_hours: runtime_sum / n,
+            mean_evictions: evict_sum / n,
+            usage,
+            completion_rate: completed as f64 / n,
+        }
+    }
+}
+
+/// Runs the full four-scheme comparison (the paper's Figs. 8/9 setup).
+pub fn run_study(config: StudyConfig) -> Vec<StudyResult> {
+    let env = StudyEnv::new(config);
+    vec![
+        env.run_scheme(SchemeKind::AllOnDemand { machines: 128 }),
+        env.run_scheme(SchemeKind::paper_checkpoint()),
+        env.run_scheme(SchemeKind::paper_standard_agileml()),
+        env.run_scheme(SchemeKind::paper_proteus()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> StudyConfig {
+        StudyConfig {
+            seed: 5,
+            train_days: 5,
+            eval_days: 7,
+            starts: 12,
+            job_hours: 2.0,
+            market_model: MarketModel::default(),
+            max_job_hours: 48.0,
+        }
+    }
+
+    #[test]
+    fn study_reproduces_the_paper_ordering() {
+        let results = run_study(small_config());
+        assert_eq!(results.len(), 4);
+        let by_label = |l: &str| {
+            results
+                .iter()
+                .find(|r| r.scheme == l)
+                .unwrap_or_else(|| panic!("{l} missing"))
+        };
+        let od = by_label("AllOnDemand");
+        let ckpt = by_label("Standard+Checkpoint");
+        let agile = by_label("Standard+AgileML");
+        let proteus = by_label("Proteus");
+
+        // Everyone finishes.
+        for r in &results {
+            assert!(
+                r.completion_rate > 0.9,
+                "{} completion {}",
+                r.scheme,
+                r.completion_rate
+            );
+        }
+        // Percentiles bracket the mean sensibly.
+        for r in &results {
+            assert!(r.cost_p10 <= r.mean_cost + 1e-9, "{r:?}");
+            assert!(r.cost_p90 + 1e-9 >= r.mean_cost * 0.5, "{r:?}");
+            assert!(r.cost_p10 <= r.cost_p90);
+        }
+        // Cost ordering: Proteus < Standard+AgileML < Standard+Checkpoint
+        // < AllOnDemand.
+        assert!(
+            proteus.mean_cost < agile.mean_cost,
+            "{proteus:?} vs {agile:?}"
+        );
+        assert!(agile.mean_cost < ckpt.mean_cost, "{agile:?} vs {ckpt:?}");
+        assert!(ckpt.mean_cost < od.mean_cost, "{ckpt:?} vs {od:?}");
+        // Headline magnitude: Proteus saves most of the on-demand cost.
+        assert!(
+            proteus.cost_pct_of_on_demand < 35.0,
+            "Proteus at {}% of on-demand",
+            proteus.cost_pct_of_on_demand
+        );
+        // Checkpointing is the slowest spot scheme.
+        assert!(ckpt.mean_runtime_hours > agile.mean_runtime_hours);
+    }
+
+    #[test]
+    fn proteus_collects_free_compute() {
+        let env = StudyEnv::new(small_config());
+        let proteus = env.run_scheme(SchemeKind::paper_proteus());
+        assert!(
+            proteus.usage.free_fraction() > 0.02,
+            "some free compute expected, got {}",
+            proteus.usage.free_fraction()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_study(small_config());
+        let b = run_study(small_config());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,66 @@
+//! Multi-market exploitation: Proteus should spread acquisitions across
+//! markets as their prices move independently, while the standard
+//! strategy concentrates on whatever was cheapest at (re)start.
+
+use proteus_costsim::{run_job, Scheme, SchemeKind, StudyConfig, StudyEnv};
+use proteus_simtime::SimDuration;
+
+#[test]
+fn proteus_spreads_across_markets_over_long_jobs() {
+    let env = StudyEnv::new(StudyConfig {
+        seed: 12,
+        train_days: 7,
+        eval_days: 10,
+        starts: 6,
+        job_hours: 20.0,
+        market_model: proteus_market::MarketModel::default(),
+        max_job_hours: 96.0,
+    });
+    let mut distinct_markets = 0usize;
+    for &start in &env.starts {
+        let out = run_job(
+            &Scheme {
+                kind: SchemeKind::paper_proteus(),
+                job: env.job(),
+            },
+            &env.traces,
+            &env.beta,
+            start,
+            SimDuration::from_hours(96),
+        );
+        assert!(out.completed);
+        distinct_markets = distinct_markets.max(out.market_mix.len());
+        let total: u32 = out.market_mix.values().sum();
+        assert!(total > 0, "some spot capacity was acquired");
+    }
+    assert!(
+        distinct_markets >= 2,
+        "a 20-hour job should touch multiple markets, saw {distinct_markets}"
+    );
+}
+
+#[test]
+fn market_mix_is_recorded_for_standard_strategy_too() {
+    let env = StudyEnv::new(StudyConfig {
+        seed: 13,
+        train_days: 5,
+        eval_days: 7,
+        starts: 3,
+        job_hours: 2.0,
+        market_model: proteus_market::MarketModel::default(),
+        max_job_hours: 48.0,
+    });
+    let out = run_job(
+        &Scheme {
+            kind: SchemeKind::paper_standard_agileml(),
+            job: env.job(),
+        },
+        &env.traces,
+        &env.beta,
+        env.starts[0],
+        SimDuration::from_hours(48),
+    );
+    assert!(out.completed);
+    let total: u32 = out.market_mix.values().sum();
+    assert!(total >= 128, "the standard fleet is one big allocation");
+}

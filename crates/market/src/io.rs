@@ -1,0 +1,126 @@
+//! Plain-text (CSV) import/export of price traces.
+//!
+//! Real deployments feed BidBrain from provider price-history dumps;
+//! this module reads and writes the simple two-column format
+//! `millis_since_epoch,price` so traces can be captured from one run,
+//! inspected with standard tools, and replayed in another — without any
+//! extra dependencies.
+
+use std::fmt::Write as _;
+
+use proteus_simtime::SimTime;
+
+use crate::trace::PriceTrace;
+
+/// Errors raised while parsing a trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceCsvError {
+    /// A line did not have exactly two comma-separated fields.
+    BadShape {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The points were rejected by [`PriceTrace::from_points`]
+    /// (unsorted, empty, missing the epoch point, or non-positive
+    /// prices).
+    InvalidTrace,
+}
+
+impl std::fmt::Display for TraceCsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceCsvError::BadShape { line } => {
+                write!(f, "line {line}: expected `millis,price`")
+            }
+            TraceCsvError::BadNumber { line } => {
+                write!(f, "line {line}: unparsable number")
+            }
+            TraceCsvError::InvalidTrace => write!(f, "points do not form a valid trace"),
+        }
+    }
+}
+
+impl std::error::Error for TraceCsvError {}
+
+/// Serializes a trace to CSV (`millis,price` per change point, with a
+/// header line).
+pub fn trace_to_csv(trace: &PriceTrace) -> String {
+    let mut out = String::from("millis,price\n");
+    for (t, p) in trace.points() {
+        let _ = writeln!(out, "{},{}", t.as_millis(), p);
+    }
+    out
+}
+
+/// Parses a trace from the CSV produced by [`trace_to_csv`]. Blank
+/// lines and a leading header are tolerated.
+pub fn trace_from_csv(csv: &str) -> Result<PriceTrace, TraceCsvError> {
+    let mut points = Vec::new();
+    for (idx, raw) in csv.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || (idx == 0 && line.starts_with("millis")) {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let (Some(ts), Some(price), None) = (fields.next(), fields.next(), fields.next()) else {
+            return Err(TraceCsvError::BadShape { line: idx + 1 });
+        };
+        let ts: u64 = ts
+            .trim()
+            .parse()
+            .map_err(|_| TraceCsvError::BadNumber { line: idx + 1 })?;
+        let price: f64 = price
+            .trim()
+            .parse()
+            .map_err(|_| TraceCsvError::BadNumber { line: idx + 1 })?;
+        points.push((SimTime::from_millis(ts), price));
+    }
+    PriceTrace::from_points(points).ok_or(TraceCsvError::InvalidTrace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{MarketModel, TraceGenerator};
+    use crate::instance::{catalog, MarketKey, Zone};
+    use proteus_simtime::SimDuration;
+
+    #[test]
+    fn round_trips_a_generated_trace() {
+        let gen = TraceGenerator::new(9, MarketModel::default());
+        let key = MarketKey::new(catalog::c4_xlarge(), Zone(0));
+        let trace = gen.generate(key, SimDuration::from_hours(24 * 3));
+        let csv = trace_to_csv(&trace);
+        let back = trace_from_csv(&csv).expect("round trip");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn tolerates_header_and_blank_lines() {
+        let csv = "millis,price\n\n0,0.05\n3600000,0.10\n\n";
+        let t = trace_from_csv(csv).expect("parse");
+        assert_eq!(t.price_at(SimTime::from_hours(2)), 0.10);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        assert_eq!(
+            trace_from_csv("millis,price\n0,0.05\nnot-a-line\n"),
+            Err(TraceCsvError::BadShape { line: 3 })
+        );
+        assert_eq!(
+            trace_from_csv("0,0.05\n5,abc\n"),
+            Err(TraceCsvError::BadNumber { line: 2 })
+        );
+        assert_eq!(
+            trace_from_csv("1000,0.05\n"), // Missing the epoch point.
+            Err(TraceCsvError::InvalidTrace)
+        );
+        assert_eq!(trace_from_csv(""), Err(TraceCsvError::InvalidTrace));
+    }
+}

@@ -1,0 +1,51 @@
+//! A simulated dynamic resource market with EC2 spot semantics.
+//!
+//! The Proteus paper (EuroSys 2017) exploits Amazon EC2's spot market:
+//! machines rent at a steep discount but can be revoked whenever the
+//! market price rises above the customer's bid. This crate reproduces the
+//! market *mechanisms* BidBrain reasons about (Sec. 2.2 of the paper):
+//!
+//! * customers bid per instance type and zone; they pay the **market**
+//!   price, not their bid;
+//! * billing is at hourly granularity, with the price fixed at the start of
+//!   each billing hour;
+//! * if the market price rises above the bid, the instances are revoked
+//!   after a two-minute warning and the current partial hour is refunded
+//!   ("free compute");
+//! * voluntary termination forfeits the remainder of the paid hour;
+//! * a bid cannot be changed once the resource is granted.
+//!
+//! Since real 2016 AWS price traces are unavailable offline, the
+//! [`gen`] module synthesizes price traces with the qualitative character
+//! of the paper's Fig. 3 — long stretches of cheap, mildly-jittering prices
+//! punctuated by sharp spikes above the on-demand price — and the
+//! [`trace`] module also supports fully scripted traces for tests.
+//!
+//! [`gce`] models Google Compute Engine preemptible instances (fixed 70 %
+//! discount, 30-second warning, 24-hour lifetime) to demonstrate that the
+//! allocation machinery is not EC2-specific.
+
+pub mod analytics;
+pub mod billing;
+pub mod error;
+pub mod gce;
+pub mod gen;
+pub mod instance;
+pub mod io;
+pub mod provider;
+pub mod spot;
+pub mod trace;
+
+pub use analytics::{find_spikes, market_stats, MarketStats, Spike};
+pub use billing::{BillingAccount, LedgerEntry, LedgerKind, UsageBreakdown};
+pub use error::MarketError;
+pub use gen::{MarketModel, TraceGenerator};
+pub use instance::{catalog, InstanceType, MarketKey, Zone};
+pub use io::{trace_from_csv, trace_to_csv, TraceCsvError};
+pub use provider::{AllocationId, CloudProvider, ProviderEvent, SpotAllocation};
+pub use trace::{PriceTrace, TraceSet};
+
+use proteus_simtime::SimDuration;
+
+/// Warning lead time EC2 has provided before spot revocations since 2015.
+pub const EC2_EVICTION_WARNING: SimDuration = SimDuration::from_secs(120);

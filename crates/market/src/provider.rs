@@ -1,0 +1,644 @@
+//! The simulated cloud provider: grants, bills, warns, and evicts.
+//!
+//! [`CloudProvider`] is the single authority the rest of the workspace
+//! talks to. It replays a [`TraceSet`] of spot prices, grants spot and
+//! on-demand allocations, charges a [`BillingAccount`] at hourly
+//! granularity, and — when a market price crosses above an allocation's
+//! bid — issues a two-minute [`ProviderEvent::EvictionWarning`] followed by
+//! [`ProviderEvent::Evicted`] with the current hour refunded.
+//!
+//! Time is advanced explicitly with [`CloudProvider::advance_to`], which
+//! returns every event that fired in order; the caller (BidBrain's driver
+//! or the cost simulator) decides how to react.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use proteus_simtime::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::billing::{BillingAccount, LedgerEntry, LedgerKind};
+use crate::error::MarketError;
+use crate::instance::MarketKey;
+use crate::spot::{SpotLease, SpotState};
+use crate::trace::TraceSet;
+
+/// Identifies one allocation (spot or on-demand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AllocationId(pub u64);
+
+impl fmt::Display for AllocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alloc-{}", self.0)
+    }
+}
+
+/// A read-only view of a live spot allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpotAllocation {
+    /// Stable identifier.
+    pub id: AllocationId,
+    /// Market the instances belong to.
+    pub market: MarketKey,
+    /// Instance count.
+    pub count: u32,
+    /// Immutable bid per instance-hour.
+    pub bid: f64,
+    /// Grant instant (billing anchor).
+    pub granted_at: SimTime,
+    /// Start of the current billing hour.
+    pub hour_start: SimTime,
+    /// Whether an eviction warning is outstanding.
+    pub warned: bool,
+}
+
+/// An on-demand allocation (never evicted by the provider).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct OnDemandLease {
+    id: AllocationId,
+    market: MarketKey,
+    count: u32,
+    granted_at: SimTime,
+    hour_start: SimTime,
+}
+
+/// Events produced while advancing simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProviderEvent {
+    /// The market price crossed above the bid; the allocation terminates at
+    /// `evict_at` (warning lead time later).
+    EvictionWarning {
+        /// Affected allocation.
+        allocation: AllocationId,
+        /// When the instances will disappear.
+        evict_at: SimTime,
+    },
+    /// The allocation's instances were revoked and the current billing
+    /// hour refunded.
+    Evicted {
+        /// Affected allocation.
+        allocation: AllocationId,
+    },
+    /// A new billing hour started (and was charged) for an allocation.
+    HourCharged {
+        /// Affected allocation.
+        allocation: AllocationId,
+        /// Total dollars charged for the hour across all instances.
+        amount: f64,
+    },
+}
+
+/// The simulated provider.
+pub struct CloudProvider {
+    traces: TraceSet,
+    now: SimTime,
+    next_id: u64,
+    spot: BTreeMap<AllocationId, SpotLease>,
+    on_demand: BTreeMap<AllocationId, OnDemandLease>,
+    account: BillingAccount,
+    warning_lead: SimDuration,
+}
+
+impl CloudProvider {
+    /// Creates a provider over the given price traces, using the EC2
+    /// two-minute eviction warning.
+    pub fn new(traces: TraceSet) -> Self {
+        Self::with_warning_lead(traces, crate::EC2_EVICTION_WARNING)
+    }
+
+    /// Creates a provider with a custom warning lead (e.g. 30 s for a
+    /// GCE-style provider, or zero to model warning-less revocation).
+    pub fn with_warning_lead(traces: TraceSet, warning_lead: SimDuration) -> Self {
+        CloudProvider {
+            traces,
+            now: SimTime::EPOCH,
+            next_id: 0,
+            spot: BTreeMap::new(),
+            on_demand: BTreeMap::new(),
+            account: BillingAccount::new(),
+            warning_lead,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The spot price of `market` at the current time.
+    pub fn spot_price(&self, market: MarketKey) -> Result<f64, MarketError> {
+        self.spot_price_at(market, self.now)
+    }
+
+    /// The spot price of `market` at an arbitrary instant.
+    pub fn spot_price_at(&self, market: MarketKey, t: SimTime) -> Result<f64, MarketError> {
+        self.traces
+            .get(&market)
+            .map(|trace| trace.price_at(t))
+            .ok_or(MarketError::UnknownMarket(market))
+    }
+
+    /// The registered price traces (read-only; used by β estimation).
+    pub fn traces(&self) -> &TraceSet {
+        &self.traces
+    }
+
+    /// The billing account.
+    pub fn account(&self) -> &BillingAccount {
+        &self.account
+    }
+
+    /// Read-only views of all live spot allocations, in id order.
+    pub fn spot_allocations(&self) -> Vec<SpotAllocation> {
+        self.spot
+            .values()
+            .filter(|l| l.is_live())
+            .map(|l| SpotAllocation {
+                id: l.id,
+                market: l.market,
+                count: l.count,
+                bid: l.bid,
+                granted_at: l.granted_at,
+                hour_start: l.hour_start,
+                warned: l.is_warned(),
+            })
+            .collect()
+    }
+
+    /// Look up one live spot allocation.
+    pub fn spot_allocation(&self, id: AllocationId) -> Option<SpotAllocation> {
+        self.spot_allocations().into_iter().find(|a| a.id == id)
+    }
+
+    /// Total instances currently live across spot and on-demand.
+    pub fn live_instance_count(&self) -> u32 {
+        let spot: u32 = self
+            .spot
+            .values()
+            .filter(|l| l.is_live())
+            .map(|l| l.count)
+            .sum();
+        let od: u32 = self.on_demand.values().map(|l| l.count).sum();
+        spot + od
+    }
+
+    /// Places a spot bid: `count` instances in `market` at `bid` dollars
+    /// per instance-hour.
+    ///
+    /// Grants immediately if the bid is at or above the current market
+    /// price; the first billing hour is charged at the market price.
+    pub fn request_spot(
+        &mut self,
+        market: MarketKey,
+        count: u32,
+        bid: f64,
+    ) -> Result<AllocationId, MarketError> {
+        if count == 0 {
+            return Err(MarketError::EmptyRequest);
+        }
+        let price = self.spot_price(market)?;
+        if bid < price {
+            return Err(MarketError::BidBelowMarket {
+                market,
+                bid,
+                market_price: price,
+            });
+        }
+        let id = self.fresh_id();
+        let charge = price * f64::from(count);
+        self.account.record(LedgerEntry {
+            time: self.now,
+            allocation: id,
+            kind: LedgerKind::SpotHour,
+            amount: charge,
+            instances: count,
+        });
+        self.spot
+            .insert(id, SpotLease::new(id, market, count, bid, self.now, charge));
+        Ok(id)
+    }
+
+    /// Provisions `count` on-demand instances in `market` (charged the
+    /// fixed on-demand price each hour; never evicted by the provider).
+    pub fn request_on_demand(
+        &mut self,
+        market: MarketKey,
+        count: u32,
+    ) -> Result<AllocationId, MarketError> {
+        if count == 0 {
+            return Err(MarketError::EmptyRequest);
+        }
+        let id = self.fresh_id();
+        let price = market.instance_type().on_demand_price;
+        self.account.record(LedgerEntry {
+            time: self.now,
+            allocation: id,
+            kind: LedgerKind::OnDemandHour,
+            amount: price * f64::from(count),
+            instances: count,
+        });
+        self.on_demand.insert(
+            id,
+            OnDemandLease {
+                id,
+                market,
+                count,
+                granted_at: self.now,
+                hour_start: self.now,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Voluntarily terminates an allocation (spot or on-demand).
+    ///
+    /// The current billing hour has already been paid and is forfeited;
+    /// usage up to `now` is recorded as paid.
+    pub fn terminate(&mut self, id: AllocationId) -> Result<(), MarketError> {
+        if let Some(lease) = self.spot.remove(&id) {
+            if !lease.is_live() {
+                return Err(MarketError::UnknownAllocation(id));
+            }
+            // Removal from the registry is the terminal state; usage up
+            // to now was paid for.
+            let used = self.now.since(lease.hour_start).as_hours_f64();
+            self.account.add_spot_usage(used * f64::from(lease.count));
+            return Ok(());
+        }
+        if let Some(lease) = self.on_demand.remove(&id) {
+            let used = self.now.since(lease.hour_start).as_hours_f64();
+            self.account
+                .add_on_demand_usage(used * f64::from(lease.count));
+            return Ok(());
+        }
+        Err(MarketError::UnknownAllocation(id))
+    }
+
+    /// Advances simulated time to `target`, processing hour boundaries,
+    /// bid crossings, warnings, and evictions in order.
+    ///
+    /// Returns every event that fired, tagged with its fire time, in
+    /// non-decreasing time order.
+    pub fn advance_to(
+        &mut self,
+        target: SimTime,
+    ) -> Result<Vec<(SimTime, ProviderEvent)>, MarketError> {
+        if target < self.now {
+            return Err(MarketError::TimeWentBackwards);
+        }
+        let mut events = Vec::new();
+        // Process one earliest pending happening at a time until nothing
+        // fires at or before `target`.
+        loop {
+            let next = self.next_happening(target);
+            match next {
+                Some((t, h)) => {
+                    self.now = t;
+                    self.apply_happening(t, h, &mut events);
+                }
+                None => break,
+            }
+        }
+        self.now = target;
+        Ok(events)
+    }
+
+    fn fresh_id(&mut self) -> AllocationId {
+        let id = AllocationId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// The earliest internal happening at or before `target`, if any.
+    fn next_happening(&self, target: SimTime) -> Option<(SimTime, Happening)> {
+        let mut best: Option<(SimTime, Happening)> = None;
+        let mut consider = |t: SimTime, h: Happening| {
+            if t > target {
+                return;
+            }
+            match &best {
+                Some((bt, _)) if *bt <= t => {}
+                _ => best = Some((t, h)),
+            }
+        };
+
+        for lease in self.spot.values().filter(|l| l.is_live()) {
+            // Scheduled eviction (if warned).
+            if let SpotState::WarningIssued { evict_at } = lease.state {
+                consider(evict_at, Happening::Evict(lease.id));
+                // A warned lease no longer bills new hours or crosses.
+                continue;
+            }
+            // Next hour boundary.
+            consider(lease.hour_end(), Happening::SpotHour(lease.id));
+            // Next bid crossing. Search from `now` up to the earlier of
+            // the target and the hour end (crossings after the hour end
+            // are found after the hour boundary is processed).
+            if let Some(trace) = self.traces.get(&lease.market) {
+                let horizon = target.min(lease.hour_end());
+                if let Some(ct) = trace.first_crossing_above(lease.bid, self.now, horizon) {
+                    consider(ct, Happening::Crossing(lease.id));
+                }
+            }
+        }
+        for lease in self.on_demand.values() {
+            let hour_end = lease.hour_start + SimDuration::from_hours(1);
+            consider(hour_end, Happening::OnDemandHour(lease.id));
+        }
+        best
+    }
+
+    fn apply_happening(
+        &mut self,
+        t: SimTime,
+        h: Happening,
+        events: &mut Vec<(SimTime, ProviderEvent)>,
+    ) {
+        match h {
+            Happening::SpotHour(id) => {
+                let market;
+                let count;
+                {
+                    let lease = self.spot.get_mut(&id).expect("lease exists");
+                    // The completed hour was fully used and paid.
+                    self.account.add_spot_usage(f64::from(lease.count));
+                    lease.hour_start = t;
+                    market = lease.market;
+                    count = lease.count;
+                }
+                let price = self
+                    .spot_price_at(market, t)
+                    .expect("trace existed at grant time");
+                let charge = price * f64::from(count);
+                self.account.record(LedgerEntry {
+                    time: t,
+                    allocation: id,
+                    kind: LedgerKind::SpotHour,
+                    amount: charge,
+                    instances: count,
+                });
+                if let Some(lease) = self.spot.get_mut(&id) {
+                    lease.current_hour_charge = charge;
+                }
+                events.push((
+                    t,
+                    ProviderEvent::HourCharged {
+                        allocation: id,
+                        amount: charge,
+                    },
+                ));
+            }
+            Happening::OnDemandHour(id) => {
+                let lease = self.on_demand.get_mut(&id).expect("lease exists");
+                self.account.add_on_demand_usage(f64::from(lease.count));
+                lease.hour_start = t;
+                let price = lease.market.instance_type().on_demand_price;
+                let charge = price * f64::from(lease.count);
+                let count = lease.count;
+                self.account.record(LedgerEntry {
+                    time: t,
+                    allocation: id,
+                    kind: LedgerKind::OnDemandHour,
+                    amount: charge,
+                    instances: count,
+                });
+                events.push((
+                    t,
+                    ProviderEvent::HourCharged {
+                        allocation: id,
+                        amount: charge,
+                    },
+                ));
+            }
+            Happening::Crossing(id) => {
+                let lease = self.spot.get_mut(&id).expect("lease exists");
+                let evict_at = t + self.warning_lead;
+                lease.state = SpotState::WarningIssued { evict_at };
+                events.push((
+                    t,
+                    ProviderEvent::EvictionWarning {
+                        allocation: id,
+                        evict_at,
+                    },
+                ));
+            }
+            Happening::Evict(id) => {
+                let lease = self.spot.remove(&id).expect("lease exists");
+                // Refund the current billing hour; its usage was free.
+                self.account.record(LedgerEntry {
+                    time: t,
+                    allocation: id,
+                    kind: LedgerKind::EvictionRefund,
+                    amount: -lease.current_hour_charge,
+                    instances: lease.count,
+                });
+                let used = t.since(lease.hour_start).as_hours_f64();
+                self.account.add_free_usage(used * f64::from(lease.count));
+                events.push((t, ProviderEvent::Evicted { allocation: id }));
+            }
+        }
+    }
+}
+
+/// Internal happenings the provider steps through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Happening {
+    /// A spot allocation reached a billing-hour boundary.
+    SpotHour(AllocationId),
+    /// An on-demand allocation reached a billing-hour boundary.
+    OnDemandHour(AllocationId),
+    /// A market price crossed above a lease's bid.
+    Crossing(AllocationId),
+    /// A warned lease reached its termination instant.
+    Evict(AllocationId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{catalog, Zone};
+    use crate::trace::PriceTrace;
+
+    fn key() -> MarketKey {
+        MarketKey::new(catalog::c4_xlarge(), Zone(0))
+    }
+
+    fn provider_with(points: Vec<(SimTime, f64)>) -> CloudProvider {
+        let mut set = TraceSet::new();
+        set.insert(key(), PriceTrace::from_points(points).expect("trace"));
+        CloudProvider::new(set)
+    }
+
+    #[test]
+    fn grant_charges_first_hour_at_market_price() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        let id = p.request_spot(key(), 4, 0.10).expect("granted");
+        assert!((p.account().total_cost() - 0.20).abs() < 1e-12);
+        assert_eq!(p.spot_allocation(id).unwrap().count, 4);
+    }
+
+    #[test]
+    fn bid_below_market_is_rejected() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.50)]);
+        let err = p.request_spot(key(), 1, 0.10).unwrap_err();
+        assert!(matches!(err, MarketError::BidBelowMarket { .. }));
+        assert_eq!(p.account().total_cost(), 0.0);
+    }
+
+    #[test]
+    fn zero_count_requests_rejected() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        assert_eq!(
+            p.request_spot(key(), 0, 1.0),
+            Err(MarketError::EmptyRequest)
+        );
+        assert_eq!(
+            p.request_on_demand(key(), 0),
+            Err(MarketError::EmptyRequest)
+        );
+    }
+
+    #[test]
+    fn hour_boundaries_recharge_at_current_price() {
+        let mut p = provider_with(vec![
+            (SimTime::EPOCH, 0.05),
+            (SimTime::from_millis(30 * 60 * 1000), 0.08),
+        ]);
+        let id = p.request_spot(key(), 1, 0.10).expect("granted");
+        let events = p.advance_to(SimTime::from_hours(2)).expect("advance");
+        // Two hour boundaries at t=1h (price 0.08) and t=2h (price 0.08).
+        let charges: Vec<f64> = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                ProviderEvent::HourCharged { allocation, amount } if *allocation == id => {
+                    Some(*amount)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(charges.len(), 2);
+        assert!((charges[0] - 0.08).abs() < 1e-12);
+        // Total: 0.05 (grant) + 0.08 + 0.08.
+        assert!((p.account().total_cost() - 0.21).abs() < 1e-12);
+        // Two full spot hours were used and paid.
+        assert!((p.account().usage().spot_paid_hours - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_triggers_warning_then_eviction_with_refund() {
+        // Price jumps above the bid 30 minutes in.
+        let cross = SimTime::EPOCH + SimDuration::from_mins(30);
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05), (cross, 0.50)]);
+        let id = p.request_spot(key(), 2, 0.10).expect("granted");
+        let events = p.advance_to(SimTime::from_hours(1)).expect("advance");
+
+        let warn = events
+            .iter()
+            .find(|(_, e)| matches!(e, ProviderEvent::EvictionWarning { .. }))
+            .expect("warning fired");
+        assert_eq!(warn.0, cross);
+        let evict = events
+            .iter()
+            .find(|(_, e)| matches!(e, ProviderEvent::Evicted { .. }))
+            .expect("eviction fired");
+        assert_eq!(evict.0, cross + crate::EC2_EVICTION_WARNING);
+
+        // Grant charged 2 × 0.05 = 0.10, fully refunded: net zero.
+        assert!(p.account().total_cost().abs() < 1e-12);
+        // 32 minutes of free usage × 2 instances.
+        let free = p.account().usage().free_hours;
+        assert!((free - 2.0 * (32.0 / 60.0)).abs() < 1e-9, "free={free}");
+        assert!(p.spot_allocation(id).is_none());
+    }
+
+    #[test]
+    fn warned_lease_does_not_recharge_next_hour() {
+        // Cross 59 minutes in: warning at :59, eviction at 1:01, which is
+        // after the hour boundary — but no new hour should be charged.
+        let cross = SimTime::EPOCH + SimDuration::from_mins(59);
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05), (cross, 0.50)]);
+        let _id = p.request_spot(key(), 1, 0.10).expect("granted");
+        let events = p.advance_to(SimTime::from_hours(2)).expect("advance");
+        assert!(
+            !events
+                .iter()
+                .any(|(_, e)| matches!(e, ProviderEvent::HourCharged { .. })),
+            "no hour recharge after a warning: {events:?}"
+        );
+        // Net cost: first hour charged then refunded → zero.
+        assert!(p.account().total_cost().abs() < 1e-12);
+    }
+
+    #[test]
+    fn voluntary_termination_keeps_charge_and_records_paid_usage() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        let id = p.request_spot(key(), 1, 0.10).expect("granted");
+        p.advance_to(SimTime::EPOCH + SimDuration::from_mins(30))
+            .expect("advance");
+        p.terminate(id).expect("terminate");
+        assert!((p.account().total_cost() - 0.05).abs() < 1e-12);
+        assert!((p.account().usage().spot_paid_hours - 0.5).abs() < 1e-9);
+        assert!(p.terminate(id).is_err(), "double terminate rejected");
+    }
+
+    #[test]
+    fn on_demand_survives_price_spikes() {
+        let cross = SimTime::EPOCH + SimDuration::from_mins(10);
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05), (cross, 9.0)]);
+        let id = p.request_on_demand(key(), 3).expect("granted");
+        let events = p.advance_to(SimTime::from_hours(1)).expect("advance");
+        assert!(!events
+            .iter()
+            .any(|(_, e)| matches!(e, ProviderEvent::Evicted { .. })));
+        // Hour boundary recharges 3 × on-demand price.
+        let od = key().instance_type().on_demand_price;
+        assert!((p.account().total_cost() - 2.0 * 3.0 * od).abs() < 1e-9);
+        p.terminate(id).expect("terminate");
+    }
+
+    #[test]
+    fn time_cannot_go_backwards() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        p.advance_to(SimTime::from_hours(1)).expect("advance");
+        assert_eq!(
+            p.advance_to(SimTime::EPOCH),
+            Err(MarketError::TimeWentBackwards)
+        );
+    }
+
+    #[test]
+    fn unknown_market_is_an_error() {
+        let p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        let missing = MarketKey::new(catalog::c4_2xlarge(), Zone(3));
+        assert!(matches!(
+            p.spot_price(missing),
+            Err(MarketError::UnknownMarket(_))
+        ));
+    }
+
+    #[test]
+    fn live_instance_count_sums_both_kinds() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        p.request_spot(key(), 4, 0.10).expect("spot");
+        p.request_on_demand(key(), 3).expect("od");
+        assert_eq!(p.live_instance_count(), 7);
+    }
+
+    #[test]
+    fn crossing_after_hour_boundary_is_found_in_later_hour() {
+        // Price stays low for 1.5 hours, then spikes. The crossing is in
+        // billing hour 1, after a boundary recharge.
+        let cross = SimTime::EPOCH + SimDuration::from_mins(90);
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05), (cross, 0.50)]);
+        let _ = p.request_spot(key(), 1, 0.10).expect("granted");
+        let events = p.advance_to(SimTime::from_hours(3)).expect("advance");
+        let kinds: Vec<&ProviderEvent> = events.iter().map(|(_, e)| e).collect();
+        assert!(matches!(kinds[0], ProviderEvent::HourCharged { .. }));
+        assert!(matches!(kinds[1], ProviderEvent::EvictionWarning { .. }));
+        assert!(matches!(kinds[2], ProviderEvent::Evicted { .. }));
+        // Hour 0 paid (0.05), hour 1 charged then refunded → total 0.05.
+        assert!((p.account().total_cost() - 0.05).abs() < 1e-12);
+        // Hour 0 fully paid usage; 32 minutes free in hour 1.
+        assert!((p.account().usage().spot_paid_hours - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Spot allocation state machine.
+//!
+//! An *allocation* (the paper's atomic unit, Sec. 4) is a set of instances
+//! of the same type acquired at the same time with the same bid. This
+//! module tracks one allocation's lifecycle: running, warned (the
+//! two-minute eviction notice has been issued), and terminated.
+
+use proteus_simtime::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::instance::MarketKey;
+use crate::provider::AllocationId;
+
+/// Lifecycle state of a spot allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpotState {
+    /// Instances are running and the bid still covers the market price.
+    Running,
+    /// The market crossed above the bid; instances terminate at the
+    /// embedded instant (crossing time plus the warning lead).
+    WarningIssued {
+        /// When the instances will actually be revoked.
+        evict_at: SimTime,
+    },
+    /// Instances have been revoked or voluntarily terminated.
+    Terminated,
+}
+
+/// One live spot allocation held by the customer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotLease {
+    /// Stable identifier.
+    pub id: AllocationId,
+    /// Which market the instances were bought in.
+    pub market: MarketKey,
+    /// Number of instances in the allocation.
+    pub count: u32,
+    /// The immutable bid price per instance-hour.
+    pub bid: f64,
+    /// When the allocation was granted (billing hours anchor here).
+    pub granted_at: SimTime,
+    /// Start of the current billing hour.
+    pub hour_start: SimTime,
+    /// Dollars charged for the current billing hour (refunded if evicted).
+    pub current_hour_charge: f64,
+    /// Lifecycle state.
+    pub state: SpotState,
+}
+
+impl SpotLease {
+    /// Creates a freshly granted lease; the caller is responsible for
+    /// recording the first hour's charge.
+    pub fn new(
+        id: AllocationId,
+        market: MarketKey,
+        count: u32,
+        bid: f64,
+        granted_at: SimTime,
+        first_hour_charge: f64,
+    ) -> Self {
+        SpotLease {
+            id,
+            market,
+            count,
+            bid,
+            granted_at,
+            hour_start: granted_at,
+            current_hour_charge: first_hour_charge,
+            state: SpotState::Running,
+        }
+    }
+
+    /// End of the current billing hour.
+    pub fn hour_end(&self) -> SimTime {
+        self.hour_start + SimDuration::from_hours(1)
+    }
+
+    /// Time remaining in the current billing hour at `now` (the paper's
+    /// ωᵢ upper bound on useful compute).
+    pub fn time_to_hour_end(&self, now: SimTime) -> SimDuration {
+        self.hour_end().since(now.max(self.hour_start))
+    }
+
+    /// Whether the allocation is still running (possibly under warning).
+    pub fn is_live(&self) -> bool {
+        !matches!(self.state, SpotState::Terminated)
+    }
+
+    /// Whether an eviction warning is pending.
+    pub fn is_warned(&self) -> bool {
+        matches!(self.state, SpotState::WarningIssued { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{catalog, Zone};
+
+    fn lease(granted_ms: u64) -> SpotLease {
+        SpotLease::new(
+            AllocationId(1),
+            MarketKey::new(catalog::c4_xlarge(), Zone(0)),
+            4,
+            0.10,
+            SimTime::from_millis(granted_ms),
+            0.20,
+        )
+    }
+
+    #[test]
+    fn hour_arithmetic_anchors_on_grant() {
+        let l = lease(500);
+        assert_eq!(
+            l.hour_end(),
+            SimTime::from_millis(500) + SimDuration::from_hours(1)
+        );
+        let mid = SimTime::from_millis(500) + SimDuration::from_mins(40);
+        assert_eq!(l.time_to_hour_end(mid), SimDuration::from_mins(20));
+    }
+
+    #[test]
+    fn time_to_hour_end_clamps_before_hour_start() {
+        let l = lease(1_000_000);
+        // Querying before the hour started yields the full hour.
+        assert_eq!(
+            l.time_to_hour_end(SimTime::EPOCH),
+            SimDuration::from_hours(1)
+        );
+    }
+
+    #[test]
+    fn liveness_tracks_state() {
+        let mut l = lease(0);
+        assert!(l.is_live());
+        assert!(!l.is_warned());
+        l.state = SpotState::WarningIssued {
+            evict_at: SimTime::from_millis(120_000),
+        };
+        assert!(l.is_live());
+        assert!(l.is_warned());
+        l.state = SpotState::Terminated;
+        assert!(!l.is_live());
+    }
+}

@@ -1,0 +1,325 @@
+//! Spot-price traces as step functions over simulated time.
+//!
+//! A [`PriceTrace`] records every price change for one market; prices are
+//! constant between changes (exactly how AWS publishes spot price
+//! history). [`TraceSet`] bundles one trace per [`MarketKey`].
+
+use std::collections::BTreeMap;
+
+use proteus_simtime::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::instance::MarketKey;
+
+/// A step-function price history for a single market.
+///
+/// Invariant: change points are strictly increasing in time and the trace
+/// always has a point at or before any queried instant (builders insert an
+/// initial price at the epoch).
+///
+/// # Examples
+///
+/// ```
+/// use proteus_market::PriceTrace;
+/// use proteus_simtime::SimTime;
+///
+/// let trace = PriceTrace::from_points(vec![
+///     (SimTime::EPOCH, 0.05),
+///     (SimTime::from_hours(2), 0.50),
+/// ]).unwrap();
+/// assert_eq!(trace.price_at(SimTime::from_hours(1)), 0.05);
+/// assert_eq!(trace.price_at(SimTime::from_hours(3)), 0.50);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceTrace {
+    /// (change time in ms, price) pairs, strictly increasing in time.
+    points: Vec<(SimTime, f64)>,
+}
+
+impl PriceTrace {
+    /// Builds a trace from change points.
+    ///
+    /// Returns `None` if `points` is empty, not strictly increasing in
+    /// time, does not start at [`SimTime::EPOCH`], or contains a
+    /// non-finite or non-positive price.
+    pub fn from_points(points: Vec<(SimTime, f64)>) -> Option<Self> {
+        if points.is_empty() || points[0].0 != SimTime::EPOCH {
+            return None;
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return None;
+            }
+        }
+        if points.iter().any(|(_, p)| !p.is_finite() || *p <= 0.0) {
+            return None;
+        }
+        Some(PriceTrace { points })
+    }
+
+    /// A trace that holds one price forever (useful in tests).
+    pub fn constant(price: f64) -> Self {
+        PriceTrace {
+            points: vec![(SimTime::EPOCH, price)],
+        }
+    }
+
+    /// The price in effect at instant `t`.
+    pub fn price_at(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by(|(pt, _)| pt.cmp(&t)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.points[0].1,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// The first instant strictly after `t` at which the price changes,
+    /// with the new price; `None` if the price never changes again.
+    pub fn next_change_after(&self, t: SimTime) -> Option<(SimTime, f64)> {
+        let idx = self.points.partition_point(|(pt, _)| *pt <= t);
+        self.points.get(idx).copied()
+    }
+
+    /// The first instant in `(after, horizon]` at which the price strictly
+    /// exceeds `bid`; `None` if the price stays at or below `bid`.
+    ///
+    /// If the price already exceeds `bid` at `after`, returns `after`.
+    pub fn first_crossing_above(
+        &self,
+        bid: f64,
+        after: SimTime,
+        horizon: SimTime,
+    ) -> Option<SimTime> {
+        if self.price_at(after) > bid {
+            return Some(after);
+        }
+        let mut t = after;
+        while let Some((ct, price)) = self.next_change_after(t) {
+            if ct > horizon {
+                return None;
+            }
+            if price > bid {
+                return Some(ct);
+            }
+            t = ct;
+        }
+        None
+    }
+
+    /// All change points (including the initial price at the epoch).
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// The last instant covered by an explicit change point.
+    pub fn last_change(&self) -> SimTime {
+        self.points
+            .last()
+            .map(|(t, _)| *t)
+            .unwrap_or(SimTime::EPOCH)
+    }
+
+    /// Samples the trace every `step` over `[from, to]` — convenient for
+    /// plotting (Fig. 3) and for the β-estimation simulations.
+    pub fn sample(&self, from: SimTime, to: SimTime, step: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!step.is_zero(), "sample step must be positive");
+        let mut out = Vec::new();
+        let mut t = from;
+        while t <= to {
+            out.push((t, self.price_at(t)));
+            t += step;
+        }
+        out
+    }
+
+    /// The time-weighted mean price over `[from, to]`.
+    pub fn mean_price(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(to > from, "mean_price needs a non-empty interval");
+        let mut acc = 0.0f64;
+        let mut t = from;
+        let mut price = self.price_at(from);
+        while let Some((ct, next_price)) = self.next_change_after(t) {
+            if ct >= to {
+                break;
+            }
+            acc += price * (ct - t).as_hours_f64();
+            t = ct;
+            price = next_price;
+        }
+        acc += price * (to - t).as_hours_f64();
+        acc / (to - from).as_hours_f64()
+    }
+
+    /// Fraction of `[from, to]` during which the price exceeds `level`.
+    pub fn fraction_above(&self, level: f64, from: SimTime, to: SimTime) -> f64 {
+        assert!(to > from, "fraction_above needs a non-empty interval");
+        let mut above = SimDuration::ZERO;
+        let mut t = from;
+        let mut price = self.price_at(from);
+        loop {
+            let seg_end = match self.next_change_after(t) {
+                Some((ct, _)) if ct < to => ct,
+                _ => to,
+            };
+            if price > level {
+                above += seg_end - t;
+            }
+            if seg_end == to {
+                break;
+            }
+            price = self.price_at(seg_end);
+            t = seg_end;
+        }
+        above.as_hours_f64() / (to - from).as_hours_f64()
+    }
+}
+
+/// One price trace per market.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    traces: BTreeMap<MarketKey, PriceTrace>,
+}
+
+impl TraceSet {
+    /// An empty trace set.
+    pub fn new() -> Self {
+        TraceSet::default()
+    }
+
+    /// Registers (or replaces) the trace for `key`.
+    pub fn insert(&mut self, key: MarketKey, trace: PriceTrace) {
+        self.traces.insert(key, trace);
+    }
+
+    /// The trace for `key`, if registered.
+    pub fn get(&self, key: &MarketKey) -> Option<&PriceTrace> {
+        self.traces.get(key)
+    }
+
+    /// Every registered market key.
+    pub fn markets(&self) -> impl Iterator<Item = &MarketKey> {
+        self.traces.keys()
+    }
+
+    /// Number of registered markets.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether no markets are registered.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{catalog, Zone};
+
+    fn stepped() -> PriceTrace {
+        PriceTrace::from_points(vec![
+            (SimTime::EPOCH, 0.05),
+            (SimTime::from_hours(1), 0.10),
+            (SimTime::from_hours(2), 0.50),
+            (SimTime::from_hours(3), 0.05),
+        ])
+        .expect("valid trace")
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        assert!(PriceTrace::from_points(vec![]).is_none());
+        // Must start at epoch.
+        assert!(PriceTrace::from_points(vec![(SimTime::from_hours(1), 0.1)]).is_none());
+        // Strictly increasing.
+        assert!(
+            PriceTrace::from_points(vec![(SimTime::EPOCH, 0.1), (SimTime::EPOCH, 0.2),]).is_none()
+        );
+        // Positive finite prices.
+        assert!(PriceTrace::from_points(vec![(SimTime::EPOCH, 0.0)]).is_none());
+        assert!(PriceTrace::from_points(vec![(SimTime::EPOCH, f64::NAN)]).is_none());
+    }
+
+    #[test]
+    fn price_at_is_right_continuous_step() {
+        let t = stepped();
+        assert_eq!(t.price_at(SimTime::EPOCH), 0.05);
+        assert_eq!(t.price_at(SimTime::from_millis(1)), 0.05);
+        assert_eq!(t.price_at(SimTime::from_hours(1)), 0.10);
+        assert_eq!(t.price_at(SimTime::from_hours(4)), 0.05);
+    }
+
+    #[test]
+    fn next_change_after_walks_points() {
+        let t = stepped();
+        assert_eq!(
+            t.next_change_after(SimTime::EPOCH),
+            Some((SimTime::from_hours(1), 0.10))
+        );
+        assert_eq!(t.next_change_after(SimTime::from_hours(3)), None);
+    }
+
+    #[test]
+    fn first_crossing_detects_spike() {
+        let t = stepped();
+        // Bid 0.2: crossed when price jumps to 0.5 at hour 2.
+        assert_eq!(
+            t.first_crossing_above(0.2, SimTime::EPOCH, SimTime::from_hours(10)),
+            Some(SimTime::from_hours(2))
+        );
+        // Bid 1.0: never crossed.
+        assert_eq!(
+            t.first_crossing_above(1.0, SimTime::EPOCH, SimTime::from_hours(10)),
+            None
+        );
+        // Already above bid at query time.
+        assert_eq!(
+            t.first_crossing_above(0.2, SimTime::from_hours(2), SimTime::from_hours(10)),
+            Some(SimTime::from_hours(2))
+        );
+        // Horizon cuts off the crossing.
+        assert_eq!(
+            t.first_crossing_above(0.2, SimTime::EPOCH, SimTime::from_hours(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn mean_price_weights_by_time() {
+        let t = stepped();
+        // Hours 0-2: 0.05 then 0.10 → mean 0.075.
+        let m = t.mean_price(SimTime::EPOCH, SimTime::from_hours(2));
+        assert!((m - 0.075).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_above_measures_spike_width() {
+        let t = stepped();
+        let frac = t.fraction_above(0.2, SimTime::EPOCH, SimTime::from_hours(4));
+        assert!((frac - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_set_round_trip() {
+        let mut set = TraceSet::new();
+        let key = MarketKey::new(catalog::c4_xlarge(), Zone(0));
+        assert!(set.is_empty());
+        set.insert(key, PriceTrace::constant(0.05));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.get(&key).unwrap().price_at(SimTime::EPOCH), 0.05);
+        assert!(set.markets().any(|k| *k == key));
+    }
+
+    #[test]
+    fn sample_covers_inclusive_range() {
+        let t = stepped();
+        let samples = t.sample(
+            SimTime::EPOCH,
+            SimTime::from_hours(2),
+            SimDuration::from_hours(1),
+        );
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[2], (SimTime::from_hours(2), 0.50));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based invariants of the market billing engine: whatever the
+//! trace and bidding behavior, the ledger must stay internally
+//! consistent.
+
+use proptest::prelude::*;
+use proteus_market::{
+    catalog, CloudProvider, LedgerKind, MarketKey, MarketModel, PriceTrace, TraceGenerator,
+    TraceSet, Zone,
+};
+use proteus_simtime::{SimDuration, SimTime};
+
+fn market() -> MarketKey {
+    MarketKey::new(catalog::c4_xlarge(), Zone(0))
+}
+
+/// A provider over a generated trace for the given seed/model.
+fn provider(seed: u64, volatile: bool) -> CloudProvider {
+    let model = if volatile {
+        MarketModel::volatile()
+    } else {
+        MarketModel::default()
+    };
+    let gen = TraceGenerator::new(seed, model);
+    let mut set = TraceSet::new();
+    set.insert(
+        market(),
+        gen.generate(market(), SimDuration::from_hours(24 * 3)),
+    );
+    CloudProvider::new(set)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Refunds never exceed charges for any allocation, and the net cost
+    /// is never negative — no sequence of grants, evictions, and
+    /// advances can mint money.
+    #[test]
+    fn refunds_never_exceed_charges(
+        seed in 0u64..500,
+        volatile in any::<bool>(),
+        delta in 0.0005f64..0.2,
+        count in 1u32..16,
+        hold_hours in 1u64..10,
+    ) {
+        let mut p = provider(seed, volatile);
+        let price = p.spot_price(market()).expect("trace covers epoch");
+        let _id = p.request_spot(market(), count, price + delta).expect("bid >= market");
+        p.advance_to(SimTime::from_hours(hold_hours)).expect("forward");
+
+        let account = p.account();
+        prop_assert!(account.total_cost() >= -1e-9, "net cost {}", account.total_cost());
+        let charges: f64 = account
+            .entries()
+            .iter()
+            .filter(|e| e.amount > 0.0)
+            .map(|e| e.amount)
+            .sum();
+        prop_assert!(account.total_refunds() <= charges + 1e-9);
+    }
+
+    /// Usage accounting: free hours only exist when a refund exists, and
+    /// total usage time never exceeds instances × wall time.
+    #[test]
+    fn usage_is_bounded_and_consistent(
+        seed in 0u64..500,
+        delta in 0.0005f64..0.1,
+        count in 1u32..8,
+        hold_hours in 1u64..8,
+    ) {
+        let mut p = provider(seed, true);
+        let price = p.spot_price(market()).expect("covered");
+        let id = p.request_spot(market(), count, price + delta).expect("granted");
+        p.advance_to(SimTime::from_hours(hold_hours)).expect("forward");
+        if p.spot_allocation(id).is_some() {
+            p.terminate(id).expect("live allocation terminates");
+        }
+
+        let usage = *p.account().usage();
+        let wall = hold_hours as f64 * f64::from(count);
+        prop_assert!(usage.total_hours() <= wall + 1e-6,
+            "usage {} vs wall {}", usage.total_hours(), wall);
+        if usage.free_hours > 0.0 {
+            prop_assert!(
+                p.account().total_refunds() > 0.0,
+                "free hours imply a refund"
+            );
+        }
+        // Paid spot hours must be covered by positive spot charges.
+        let spot_charges: f64 = p
+            .account()
+            .entries()
+            .iter()
+            .filter(|e| e.kind == LedgerKind::SpotHour)
+            .map(|e| e.amount)
+            .sum();
+        if usage.spot_paid_hours > 0.0 {
+            prop_assert!(spot_charges > 0.0);
+        }
+    }
+
+    /// Advancing in many small steps bills identically to one big jump —
+    /// the discrete-event engine is step-size independent.
+    #[test]
+    fn billing_is_step_size_independent(
+        seed in 0u64..200,
+        delta in 0.001f64..0.1,
+        count in 1u32..4,
+    ) {
+        let run = |steps: u64| -> (f64, f64) {
+            let mut p = provider(seed, true);
+            let price = p.spot_price(market()).expect("covered");
+            let _ = p.request_spot(market(), count, price + delta).expect("granted");
+            let total = SimDuration::from_hours(6);
+            for i in 1..=steps {
+                p.advance_to(SimTime::EPOCH + (total / steps) * i).expect("forward");
+            }
+            (p.account().total_cost(), p.account().usage().total_hours())
+        };
+        let (cost_one, hours_one) = run(1);
+        let (cost_many, hours_many) = run(180);
+        prop_assert!((cost_one - cost_many).abs() < 1e-9,
+            "cost {} vs {}", cost_one, cost_many);
+        prop_assert!((hours_one - hours_many).abs() < 1e-9);
+    }
+
+    /// The scripted-trace path agrees with hand arithmetic: holding
+    /// through `n` hours of a constant-price market costs exactly
+    /// `n × price × count`.
+    #[test]
+    fn constant_market_bills_linearly(
+        price in 0.01f64..0.5,
+        count in 1u32..10,
+        hours in 1u64..12,
+    ) {
+        let mut set = TraceSet::new();
+        set.insert(market(), PriceTrace::constant(price));
+        let mut p = CloudProvider::new(set);
+        let _ = p.request_spot(market(), count, price + 1.0).expect("granted");
+        p.advance_to(SimTime::from_hours(hours)).expect("forward");
+        let expect = price * f64::from(count) * hours as f64
+            + price * f64::from(count); // Hour `hours` charged at its boundary.
+        prop_assert!((p.account().total_cost() - expect).abs() < 1e-9,
+            "cost {} vs {}", p.account().total_cost(), expect);
+    }
+}

@@ -1,0 +1,61 @@
+//! The contract between an ML application and the training runtime.
+
+use proteus_ps::{DenseVec, ParamKey};
+use rand::rngs::StdRng;
+
+/// A read-only view of the current parameter state, supplied by whichever
+/// runtime is executing the application (the sequential trainer or an
+/// AgileML worker backed by its cache).
+pub trait ParamReader {
+    /// The current value of `key`, or its initial value if the runtime has
+    /// not materialized it yet.
+    fn get(&self, key: ParamKey) -> DenseVec;
+}
+
+/// Blanket implementation so closures can serve as readers in tests.
+impl<F: Fn(ParamKey) -> DenseVec> ParamReader for F {
+    fn get(&self, key: ParamKey) -> DenseVec {
+        self(key)
+    }
+}
+
+/// An iterative-convergent ML application runnable by Proteus.
+///
+/// Solution state lives entirely in the parameter server (the paper's
+/// stateless-worker design, Sec. 7); each datum may carry mutable
+/// *scratch* state (e.g. LDA's per-token topic assignments) that is cheap
+/// to reconstruct when a data partition is re-loaded after an eviction.
+pub trait MlApp: Send + Sync + 'static {
+    /// One training item. `Sync` because the full dataset is shared
+    /// (read-only, like S3) across node threads; workers mutate only
+    /// their loaded copies.
+    type Datum: Clone + Send + Sync + 'static;
+
+    /// Total number of parameter keys used by the model.
+    fn key_count(&self) -> u64;
+
+    /// The dimension of the value stored under `key`.
+    fn value_dim(&self, key: ParamKey) -> usize;
+
+    /// The initial value for `key` (called once at job start).
+    fn init_value(&self, key: ParamKey, rng: &mut StdRng) -> DenseVec;
+
+    /// The parameter keys needed to process `datum`.
+    fn keys_for(&self, datum: &Self::Datum) -> Vec<ParamKey>;
+
+    /// Processes one datum against the current parameters, returning the
+    /// (commutative, additive) updates to apply.
+    ///
+    /// `rng` supplies any sampling the algorithm needs (Gibbs sampling,
+    /// dropout, ...); `datum` is mutable for per-datum scratch state.
+    fn process(
+        &self,
+        datum: &mut Self::Datum,
+        params: &dyn ParamReader,
+        rng: &mut StdRng,
+    ) -> Vec<(ParamKey, DenseVec)>;
+
+    /// The goodness-of-solution objective over a dataset — *lower is
+    /// better* for every bundled app (loss or negative log-likelihood).
+    fn objective(&self, data: &[Self::Datum], params: &dyn ParamReader) -> f64;
+}

@@ -1,0 +1,38 @@
+//! The three iterative-convergent ML applications the paper evaluates,
+//! plus synthetic datasets and a sequential reference trainer.
+//!
+//! Sec. 6.2 of the Proteus paper benchmarks:
+//!
+//! * **Matrix Factorization (MF)** — collaborative filtering via SGD on
+//!   the Netflix rating matrix;
+//! * **Multinomial Logistic Regression (MLR)** — multi-way classification
+//!   via softmax SGD on ImageNet LLC features;
+//! * **Latent Dirichlet Allocation (LDA)** — topic modelling via collapsed
+//!   Gibbs sampling on the NYTimes corpus.
+//!
+//! The original datasets are not redistributable, so [`data`] synthesizes
+//! corpora with the same statistical structure at laptop scale (documented
+//! substitution in `DESIGN.md`). Each application implements the
+//! [`MlApp`] contract consumed by AgileML's workers: stateless with
+//! respect to *solution* state (which lives in the parameter server), with
+//! per-datum scratch state (LDA's topic assignments) carried in the datum
+//! itself so a re-loaded data partition can always be re-processed.
+//!
+//! [`train::SequentialTrainer`] runs any `MlApp` single-threaded against a
+//! plain [`ShardStore`](proteus_ps::ShardStore) — the convergence oracle
+//! the distributed runtime is validated against.
+
+pub mod app;
+pub mod data;
+pub mod kmeans;
+pub mod lda;
+pub mod mf;
+pub mod mlr;
+pub mod train;
+
+pub use app::MlApp;
+pub use kmeans::{KMeans, KmConfig, Point};
+pub use lda::{Lda, LdaConfig, LdaDoc};
+pub use mf::{MatrixFactorization, MfConfig, Rating};
+pub use mlr::{Example, Mlr, MlrConfig};
+pub use train::SequentialTrainer;

@@ -1,0 +1,262 @@
+//! Matrix factorization (collaborative filtering) via SGD.
+//!
+//! Given a partially observed matrix `X` (user × item ratings), factorize
+//! `X ≈ L·R` with rank-`r` factors. Each worker processes its assigned
+//! observed entries; for entry `(i, j, x)` it reads row `L_i` and column
+//! `R_j`, computes the prediction error, and emits gradient updates with
+//! L2 regularization. `L` rows occupy keys `0..rows` and `R` columns keys
+//! `rows..rows+cols`.
+
+use proteus_ps::{DenseVec, ParamKey};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::app::{MlApp, ParamReader};
+
+/// One observed matrix entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rating {
+    /// Row (user) index.
+    pub row: u32,
+    /// Column (item) index.
+    pub col: u32,
+    /// Observed value.
+    pub value: f32,
+}
+
+/// Configuration for [`MatrixFactorization`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MfConfig {
+    /// Number of rows (users) in `X`.
+    pub rows: u32,
+    /// Number of columns (items) in `X`.
+    pub cols: u32,
+    /// Factorization rank.
+    pub rank: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// L2 regularization coefficient.
+    pub reg: f32,
+    /// Scale of the random factor initialization.
+    pub init_scale: f32,
+}
+
+impl Default for MfConfig {
+    fn default() -> Self {
+        MfConfig {
+            rows: 200,
+            cols: 100,
+            rank: 8,
+            learning_rate: 0.02,
+            reg: 0.01,
+            init_scale: 0.1,
+        }
+    }
+}
+
+/// The MF application.
+#[derive(Debug, Clone)]
+pub struct MatrixFactorization {
+    config: MfConfig,
+}
+
+impl MatrixFactorization {
+    /// Creates an MF app with the given configuration.
+    pub fn new(config: MfConfig) -> Self {
+        MatrixFactorization { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MfConfig {
+        &self.config
+    }
+
+    /// Key of row factor `L_i`.
+    pub fn row_key(&self, row: u32) -> ParamKey {
+        ParamKey(u64::from(row))
+    }
+
+    /// Key of column factor `R_j`.
+    pub fn col_key(&self, col: u32) -> ParamKey {
+        ParamKey(u64::from(self.config.rows) + u64::from(col))
+    }
+
+    /// The prediction for one entry under the given parameters.
+    pub fn predict(&self, row: u32, col: u32, params: &dyn ParamReader) -> f32 {
+        params
+            .get(self.row_key(row))
+            .dot(&params.get(self.col_key(col)))
+    }
+}
+
+impl MlApp for MatrixFactorization {
+    type Datum = Rating;
+
+    fn key_count(&self) -> u64 {
+        u64::from(self.config.rows) + u64::from(self.config.cols)
+    }
+
+    fn value_dim(&self, _key: ParamKey) -> usize {
+        self.config.rank
+    }
+
+    fn init_value(&self, _key: ParamKey, rng: &mut StdRng) -> DenseVec {
+        let s = self.config.init_scale;
+        DenseVec::from(
+            (0..self.config.rank)
+                .map(|_| rng.gen_range(-s..s))
+                .collect::<Vec<f32>>(),
+        )
+    }
+
+    fn keys_for(&self, datum: &Rating) -> Vec<ParamKey> {
+        vec![self.row_key(datum.row), self.col_key(datum.col)]
+    }
+
+    fn process(
+        &self,
+        datum: &mut Rating,
+        params: &dyn ParamReader,
+        _rng: &mut StdRng,
+    ) -> Vec<(ParamKey, DenseVec)> {
+        let li = params.get(self.row_key(datum.row));
+        let rj = params.get(self.col_key(datum.col));
+        let err = li.dot(&rj) - datum.value;
+        let lr = self.config.learning_rate;
+        let reg = self.config.reg;
+
+        // dL_i = -lr (err · R_j + reg · L_i)
+        let mut dl = rj.clone();
+        dl.scale(err);
+        dl.axpy(reg, &li);
+        dl.scale(-lr);
+        // dR_j = -lr (err · L_i + reg · R_j)
+        let mut dr = li.clone();
+        dr.scale(err);
+        dr.axpy(reg, &rj);
+        dr.scale(-lr);
+
+        vec![(self.row_key(datum.row), dl), (self.col_key(datum.col), dr)]
+    }
+
+    fn objective(&self, data: &[Rating], params: &dyn ParamReader) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let sse: f64 = data
+            .iter()
+            .map(|r| {
+                let e = f64::from(self.predict(r.row, r.col, params) - r.value);
+                e * e
+            })
+            .sum();
+        sse / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_simtime::rng::seeded;
+    use std::collections::HashMap;
+
+    struct MapReader {
+        map: HashMap<ParamKey, DenseVec>,
+        dim: usize,
+    }
+
+    impl ParamReader for MapReader {
+        fn get(&self, key: ParamKey) -> DenseVec {
+            self.map
+                .get(&key)
+                .cloned()
+                .unwrap_or_else(|| DenseVec::zeros(self.dim))
+        }
+    }
+
+    #[test]
+    fn keys_split_rows_then_cols() {
+        let app = MatrixFactorization::new(MfConfig {
+            rows: 10,
+            cols: 5,
+            ..MfConfig::default()
+        });
+        assert_eq!(app.row_key(3), ParamKey(3));
+        assert_eq!(app.col_key(2), ParamKey(12));
+        assert_eq!(app.key_count(), 15);
+        let keys = app.keys_for(&Rating {
+            row: 1,
+            col: 4,
+            value: 0.0,
+        });
+        assert_eq!(keys, vec![ParamKey(1), ParamKey(14)]);
+    }
+
+    #[test]
+    fn gradient_reduces_error_for_single_entry() {
+        let app = MatrixFactorization::new(MfConfig {
+            rows: 1,
+            cols: 1,
+            rank: 2,
+            learning_rate: 0.1,
+            reg: 0.0,
+            init_scale: 0.5,
+        });
+        let mut rng = seeded(1);
+        let mut map = HashMap::new();
+        map.insert(ParamKey(0), app.init_value(ParamKey(0), &mut rng));
+        map.insert(ParamKey(1), app.init_value(ParamKey(1), &mut rng));
+        let mut datum = Rating {
+            row: 0,
+            col: 0,
+            value: 1.0,
+        };
+
+        let mut last = f64::INFINITY;
+        for _ in 0..200 {
+            let reader = MapReader {
+                map: map.clone(),
+                dim: 2,
+            };
+            let updates = app.process(&mut datum, &reader, &mut rng);
+            for (k, d) in updates {
+                use proteus_ps::PsValue;
+                map.get_mut(&k).unwrap().merge(&d);
+            }
+            let reader = MapReader {
+                map: map.clone(),
+                dim: 2,
+            };
+            let obj = app.objective(&[datum], &reader);
+            assert!(
+                obj <= last + 1e-6,
+                "objective must not increase: {obj} > {last}"
+            );
+            last = obj;
+        }
+        assert!(last < 1e-3, "single entry should fit well, got {last}");
+    }
+
+    #[test]
+    fn init_values_respect_scale_and_rank() {
+        let app = MatrixFactorization::new(MfConfig::default());
+        let mut rng = seeded(2);
+        let v = app.init_value(ParamKey(0), &mut rng);
+        assert_eq!(v.dim(), app.config().rank);
+        assert!(v
+            .as_slice()
+            .iter()
+            .all(|x| x.abs() <= app.config().init_scale));
+    }
+
+    #[test]
+    fn objective_of_empty_dataset_is_zero() {
+        let app = MatrixFactorization::new(MfConfig::default());
+        let reader = MapReader {
+            map: HashMap::new(),
+            dim: 8,
+        };
+        assert_eq!(app.objective(&[], &reader), 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Multinomial logistic regression via softmax SGD.
+//!
+//! Models the probability that a `d`-dimensional observation belongs to
+//! each of `K` classes with a softmax over per-class weight vectors
+//! (the paper trains this as the last layer of image/text classifiers).
+//! The weight vectors are the model parameters: key `k` holds `w_k`, and
+//! every gradient step updates the **full model** — all `K` vectors — as
+//! in the paper's MLR setup, which is what makes MLR network-heavy.
+
+use proteus_ps::{DenseVec, ParamKey};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::app::{MlApp, ParamReader};
+
+/// One labelled observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Example {
+    /// Dense feature vector of dimension `MlrConfig::dim`.
+    pub features: Vec<f32>,
+    /// True class in `0..MlrConfig::classes`.
+    pub label: u32,
+}
+
+/// Configuration for [`Mlr`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlrConfig {
+    /// Feature dimension `d`.
+    pub dim: usize,
+    /// Number of classes `K`.
+    pub classes: u32,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// L2 regularization coefficient.
+    pub reg: f32,
+}
+
+impl Default for MlrConfig {
+    fn default() -> Self {
+        MlrConfig {
+            dim: 16,
+            classes: 4,
+            learning_rate: 0.05,
+            reg: 1e-4,
+        }
+    }
+}
+
+/// The MLR application.
+#[derive(Debug, Clone)]
+pub struct Mlr {
+    config: MlrConfig,
+}
+
+impl Mlr {
+    /// Creates an MLR app with the given configuration.
+    pub fn new(config: MlrConfig) -> Self {
+        Mlr { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MlrConfig {
+        &self.config
+    }
+
+    /// Class probabilities for one example under the given parameters.
+    pub fn softmax(&self, features: &[f32], params: &dyn ParamReader) -> Vec<f64> {
+        let x = DenseVec::from(features.to_vec());
+        let logits: Vec<f64> = (0..self.config.classes)
+            .map(|k| f64::from(params.get(ParamKey(u64::from(k))).dot(&x)))
+            .collect();
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// The predicted class (argmax probability).
+    pub fn predict(&self, features: &[f32], params: &dyn ParamReader) -> u32 {
+        let probs = self.softmax(features, params);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("softmax is finite"))
+            .map(|(k, _)| k as u32)
+            .unwrap_or(0)
+    }
+}
+
+impl MlApp for Mlr {
+    type Datum = Example;
+
+    fn key_count(&self) -> u64 {
+        u64::from(self.config.classes)
+    }
+
+    fn value_dim(&self, _key: ParamKey) -> usize {
+        self.config.dim
+    }
+
+    fn init_value(&self, _key: ParamKey, rng: &mut StdRng) -> DenseVec {
+        DenseVec::from(
+            (0..self.config.dim)
+                .map(|_| rng.gen_range(-0.01..0.01))
+                .collect::<Vec<f32>>(),
+        )
+    }
+
+    fn keys_for(&self, _datum: &Example) -> Vec<ParamKey> {
+        (0..u64::from(self.config.classes)).map(ParamKey).collect()
+    }
+
+    fn process(
+        &self,
+        datum: &mut Example,
+        params: &dyn ParamReader,
+        _rng: &mut StdRng,
+    ) -> Vec<(ParamKey, DenseVec)> {
+        let probs = self.softmax(&datum.features, params);
+        let x = DenseVec::from(datum.features.clone());
+        let lr = self.config.learning_rate;
+        let reg = self.config.reg;
+        (0..self.config.classes)
+            .map(|k| {
+                let key = ParamKey(u64::from(k));
+                let indicator = if k == datum.label { 1.0 } else { 0.0 };
+                // Gradient of cross-entropy: (p_k − 1{k=y}) x + reg·w_k.
+                let coeff = (probs[k as usize] as f32) - indicator;
+                let mut d = x.clone();
+                d.scale(coeff);
+                d.axpy(reg, &params.get(key));
+                d.scale(-lr);
+                (key, d)
+            })
+            .collect()
+    }
+
+    fn objective(&self, data: &[Example], params: &dyn ParamReader) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let nll: f64 = data
+            .iter()
+            .map(|e| {
+                let probs = self.softmax(&e.features, params);
+                -(probs[e.label as usize].max(1e-12)).ln()
+            })
+            .sum();
+        nll / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_ps::PsValue;
+    use proteus_simtime::rng::seeded;
+    use std::collections::HashMap;
+
+    struct MapReader(HashMap<ParamKey, DenseVec>, usize);
+
+    impl ParamReader for MapReader {
+        fn get(&self, key: ParamKey) -> DenseVec {
+            self.0
+                .get(&key)
+                .cloned()
+                .unwrap_or_else(|| DenseVec::zeros(self.1))
+        }
+    }
+
+    fn two_blob_data() -> Vec<Example> {
+        // Two linearly separable blobs in 2-D.
+        vec![
+            Example {
+                features: vec![1.0, 0.1],
+                label: 0,
+            },
+            Example {
+                features: vec![0.9, -0.1],
+                label: 0,
+            },
+            Example {
+                features: vec![1.1, 0.0],
+                label: 0,
+            },
+            Example {
+                features: vec![-1.0, 0.1],
+                label: 1,
+            },
+            Example {
+                features: vec![-0.9, -0.2],
+                label: 1,
+            },
+            Example {
+                features: vec![-1.1, 0.05],
+                label: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let app = Mlr::new(MlrConfig {
+            dim: 2,
+            classes: 3,
+            ..MlrConfig::default()
+        });
+        let reader = MapReader(HashMap::new(), 2);
+        let p = app.softmax(&[0.3, -0.7], &reader);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sgd_separates_two_blobs() {
+        let app = Mlr::new(MlrConfig {
+            dim: 2,
+            classes: 2,
+            learning_rate: 0.5,
+            reg: 0.0,
+        });
+        let mut rng = seeded(3);
+        let mut map = HashMap::new();
+        for k in 0..2u64 {
+            map.insert(ParamKey(k), app.init_value(ParamKey(k), &mut rng));
+        }
+        let mut data = two_blob_data();
+        for _ in 0..50 {
+            for datum in &mut data {
+                let reader = MapReader(map.clone(), 2);
+                for (k, d) in app.process(datum, &reader, &mut rng) {
+                    map.get_mut(&k).unwrap().merge(&d);
+                }
+            }
+        }
+        let reader = MapReader(map.clone(), 2);
+        for e in &data {
+            assert_eq!(app.predict(&e.features, &reader), e.label);
+        }
+        assert!(app.objective(&data, &reader) < 0.2);
+    }
+
+    #[test]
+    fn every_datum_touches_full_model() {
+        let app = Mlr::new(MlrConfig {
+            dim: 4,
+            classes: 7,
+            ..MlrConfig::default()
+        });
+        let e = Example {
+            features: vec![0.0; 4],
+            label: 3,
+        };
+        assert_eq!(app.keys_for(&e).len(), 7);
+        assert_eq!(app.key_count(), 7);
+    }
+
+    #[test]
+    fn objective_decreases_under_training() {
+        let app = Mlr::new(MlrConfig {
+            dim: 2,
+            classes: 2,
+            learning_rate: 0.3,
+            reg: 0.0,
+        });
+        let mut rng = seeded(4);
+        let mut map = HashMap::new();
+        for k in 0..2u64 {
+            map.insert(ParamKey(k), app.init_value(ParamKey(k), &mut rng));
+        }
+        let mut data = two_blob_data();
+        let before = app.objective(&data, &MapReader(map.clone(), 2));
+        for _ in 0..20 {
+            for datum in &mut data {
+                let reader = MapReader(map.clone(), 2);
+                for (k, d) in app.process(datum, &reader, &mut rng) {
+                    map.get_mut(&k).unwrap().merge(&d);
+                }
+            }
+        }
+        let after = app.objective(&data, &MapReader(map, 2));
+        assert!(
+            after < before,
+            "training should reduce loss: {after} >= {before}"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Automated stage-threshold selection.
+//!
+//! The paper sets the 1:1 and 15:1 stage thresholds by measuring system
+//! performance at a few ratios and notes that "future work can automate
+//! the threshold selection process for any given cluster" (Sec. 3.3).
+//! This module implements that: sweep the performance model over the
+//! ratio axis for a given cluster and workload, find where each stage
+//! stops winning, and return the crossover ratios AgileML should use.
+
+use crate::layout::{time_per_iteration, ClusterSpec, Layout};
+use crate::workload::AppTraffic;
+
+/// Thresholds produced by [`auto_thresholds`]: use stage 2 above
+/// `stage2_ratio`, stage 3 above `stage3_ratio` (transient:reliable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageThresholds {
+    /// Ratio above which stage 2 beats stage 1.
+    pub stage2_ratio: f64,
+    /// Ratio above which stage 3 beats stage 2.
+    pub stage3_ratio: f64,
+}
+
+/// The fastest stage at one `(reliable, transient)` split.
+fn best_stage(spec: ClusterSpec, app: AppTraffic, reliable: u32, transient: u32) -> u8 {
+    let total = reliable + transient;
+    let s1 = time_per_iteration(
+        spec,
+        app,
+        Layout::Stage1 {
+            reliable_ps: reliable,
+            total,
+        },
+    );
+    if transient == 0 {
+        return 1;
+    }
+    let active = (transient / 2).max(1);
+    let s2 = time_per_iteration(
+        spec,
+        app,
+        Layout::Stage2 {
+            reliable,
+            transient,
+            active_ps: active,
+        },
+    );
+    let s3 = time_per_iteration(
+        spec,
+        app,
+        Layout::Stage3 {
+            reliable,
+            transient,
+            active_ps: active,
+        },
+    );
+    if s1 <= s2 && s1 <= s3 {
+        1
+    } else if s2 <= s3 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Sweeps reliable:transient splits of a `total`-machine cluster and
+/// returns the stage-switch ratios where the model's preferred stage
+/// changes.
+///
+/// The sweep walks every reliable count from `total/2` down to 1 (ratio
+/// 1:1 up to `(total-1):1`); the returned thresholds are the geometric
+/// midpoints between the last ratio a stage won and the first ratio the
+/// next stage won, mirroring how the paper picked 1:1 and 15:1 from its
+/// Fig. 11–13 measurements.
+///
+/// # Panics
+///
+/// Panics if `total < 4` — too few machines to express the three
+/// stages.
+pub fn auto_thresholds(spec: ClusterSpec, app: AppTraffic, total: u32) -> StageThresholds {
+    assert!(total >= 4, "need at least 4 machines to tune thresholds");
+    let mut last_stage1 = 0.0f64;
+    let mut first_stage2 = f64::INFINITY;
+    let mut last_stage2 = 0.0f64;
+    let mut first_stage3 = f64::INFINITY;
+
+    let mut reliable = total / 2;
+    while reliable >= 1 {
+        let transient = total - reliable;
+        let ratio = f64::from(transient) / f64::from(reliable);
+        match best_stage(spec, app, reliable, transient) {
+            1 => last_stage1 = last_stage1.max(ratio),
+            2 => {
+                first_stage2 = first_stage2.min(ratio);
+                last_stage2 = last_stage2.max(ratio);
+            }
+            _ => first_stage3 = first_stage3.min(ratio),
+        }
+        reliable -= 1;
+    }
+
+    let mid = |lo: f64, hi: f64| {
+        if !hi.is_finite() {
+            f64::from(total) // Never reached: place beyond the sweep.
+        } else if lo <= 0.0 {
+            hi / 2.0
+        } else {
+            (lo * hi).sqrt()
+        }
+    };
+    StageThresholds {
+        stage2_ratio: mid(last_stage1, first_stage2),
+        stage3_ratio: mid(last_stage2, first_stage3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn mf_thresholds_bracket_the_papers_settings() {
+        let t = auto_thresholds(ClusterSpec::cluster_a(), presets::mf_netflix_rank1000(), 64);
+        // Paper: stage 2 above 1:1, stage 3 above 15:1. The automated
+        // sweep should land in the same neighbourhoods.
+        assert!(
+            t.stage2_ratio >= 1.0 && t.stage2_ratio <= 4.0,
+            "stage-2 threshold near 1:1..3:1, got {}",
+            t.stage2_ratio
+        );
+        assert!(
+            t.stage3_ratio >= 7.0 && t.stage3_ratio <= 32.0,
+            "stage-3 threshold near 15:1, got {}",
+            t.stage3_ratio
+        );
+        assert!(t.stage2_ratio < t.stage3_ratio);
+    }
+
+    #[test]
+    fn compute_bound_apps_stay_in_stage1_longer() {
+        // With negligible traffic, stage 1 never bottlenecks, so the
+        // stage-2 threshold is pushed far out.
+        let app = AppTraffic {
+            compute_core_secs: 100_000.0,
+            read_mb: 1.0,
+            update_mb: 1.0,
+            backup_mb: 1.0,
+        };
+        let t = auto_thresholds(ClusterSpec::cluster_a(), app, 64);
+        assert!(
+            t.stage2_ratio > 10.0,
+            "compute-bound workloads do not need tiering: {}",
+            t.stage2_ratio
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 machines")]
+    fn tiny_clusters_are_rejected() {
+        auto_thresholds(ClusterSpec::cluster_a(), presets::mf_netflix_rank1000(), 2);
+    }
+}

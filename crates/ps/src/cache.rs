@@ -1,0 +1,205 @@
+//! The worker-side parameter cache with write-back update buffering.
+//!
+//! To reduce cross-machine traffic, parameter-server implementations ship
+//! a worker-side library that caches parameter values and buffers updates
+//! (Sec. 2.1). Worker threads call `read` and `update`; updates apply to
+//! the local cached copy immediately (so the worker sees its own writes)
+//! and accumulate in a write-back buffer that is flushed to the server
+//! shards once per clock.
+
+use std::collections::HashMap;
+
+use crate::partition::{ParamKey, PartitionId, PartitionMap};
+use crate::value::PsValue;
+
+/// A worker's local view of the parameter state.
+#[derive(Debug, Clone)]
+pub struct WorkerCache<V> {
+    layout: PartitionMap,
+    /// Locally cached values (server value as of last refresh, plus this
+    /// worker's own buffered updates).
+    cached: HashMap<ParamKey, V>,
+    /// Coalesced updates not yet flushed to the servers.
+    buffer: HashMap<ParamKey, V>,
+}
+
+impl<V: PsValue> WorkerCache<V> {
+    /// Creates an empty cache over the job's partition layout.
+    pub fn new(layout: PartitionMap) -> Self {
+        WorkerCache {
+            layout,
+            cached: HashMap::new(),
+            buffer: HashMap::new(),
+        }
+    }
+
+    /// Reads a parameter if cached.
+    pub fn read(&self, key: ParamKey) -> Option<&V> {
+        self.cached.get(&key)
+    }
+
+    /// Whether `key` is materialized locally.
+    pub fn contains(&self, key: ParamKey) -> bool {
+        self.cached.contains_key(&key)
+    }
+
+    /// Applies an update: visible locally at once, buffered for write-back.
+    ///
+    /// Unknown keys materialize as zero-plus-delta, mirroring
+    /// [`ShardStore::apply_update`](crate::ShardStore::apply_update).
+    pub fn update(&mut self, key: ParamKey, delta: &V) {
+        match self.cached.get_mut(&key) {
+            Some(v) => v.merge(delta),
+            None => {
+                self.cached.insert(key, delta.clone());
+            }
+        }
+        match self.buffer.get_mut(&key) {
+            Some(b) => b.merge(delta),
+            None => {
+                self.buffer.insert(key, delta.clone());
+            }
+        }
+    }
+
+    /// Installs a fresh server value, *preserving* any still-buffered local
+    /// updates on top (so the worker continues to see its own writes).
+    pub fn refresh(&mut self, key: ParamKey, mut server_value: V) {
+        if let Some(pending) = self.buffer.get(&key) {
+            server_value.merge(pending);
+        }
+        self.cached.insert(key, server_value);
+    }
+
+    /// Drains the write-back buffer, grouped by destination partition and
+    /// sorted by key within each group.
+    pub fn flush(&mut self) -> Vec<(PartitionId, Vec<(ParamKey, V)>)> {
+        let mut grouped: HashMap<PartitionId, Vec<(ParamKey, V)>> = HashMap::new();
+        for (k, v) in self.buffer.drain() {
+            grouped
+                .entry(self.layout.partition_of(k))
+                .or_default()
+                .push((k, v));
+        }
+        let mut out: Vec<(PartitionId, Vec<(ParamKey, V)>)> = grouped.into_iter().collect();
+        for (_, batch) in &mut out {
+            batch.sort_by_key(|(k, _)| *k);
+        }
+        out.sort_by_key(|(p, _)| *p);
+        out
+    }
+
+    /// Whether unflushed updates exist.
+    pub fn has_pending(&self) -> bool {
+        !self.buffer.is_empty()
+    }
+
+    /// Drops all cached values and pending updates (used when a worker's
+    /// assignment is rolled back to a recovered snapshot).
+    pub fn clear(&mut self) {
+        self.cached.clear();
+        self.buffer.clear();
+    }
+
+    /// Number of cached keys.
+    pub fn len(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// Whether the cache holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.cached.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardStore;
+    use crate::value::DenseVec;
+    use proptest::prelude::*;
+
+    fn cache(parts: u32) -> WorkerCache<DenseVec> {
+        WorkerCache::new(PartitionMap::new(parts).expect("nonzero"))
+    }
+
+    fn dv(xs: &[f32]) -> DenseVec {
+        DenseVec::from(xs.to_vec())
+    }
+
+    #[test]
+    fn worker_sees_own_writes_immediately() {
+        let mut c = cache(2);
+        c.refresh(ParamKey(0), dv(&[1.0]));
+        c.update(ParamKey(0), &dv(&[0.5]));
+        assert_eq!(c.read(ParamKey(0)).unwrap().as_slice(), &[1.5]);
+        assert!(c.has_pending());
+    }
+
+    #[test]
+    fn refresh_preserves_pending_local_updates() {
+        let mut c = cache(2);
+        c.refresh(ParamKey(0), dv(&[1.0]));
+        c.update(ParamKey(0), &dv(&[10.0]));
+        // Server meanwhile advanced to 5.0 (others' updates included).
+        c.refresh(ParamKey(0), dv(&[5.0]));
+        // Local view = fresh server value + our unflushed delta.
+        assert_eq!(c.read(ParamKey(0)).unwrap().as_slice(), &[15.0]);
+    }
+
+    #[test]
+    fn flush_groups_by_partition_and_drains() {
+        let mut c = cache(2);
+        c.update(ParamKey(0), &dv(&[1.0])); // partition 0
+        c.update(ParamKey(1), &dv(&[2.0])); // partition 1
+        c.update(ParamKey(2), &dv(&[3.0])); // partition 0
+        let flushed = c.flush();
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(flushed[0].0, PartitionId(0));
+        assert_eq!(flushed[0].1.len(), 2);
+        assert_eq!(flushed[1].0, PartitionId(1));
+        assert!(!c.has_pending());
+        assert!(c.flush().is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = cache(2);
+        c.update(ParamKey(0), &dv(&[1.0]));
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.has_pending());
+        assert!(!c.contains(ParamKey(0)));
+    }
+
+    proptest! {
+        /// Write-back equivalence: applying a worker's flushed batches to
+        /// a shard produces the same state as applying each update to the
+        /// shard directly.
+        #[test]
+        fn flush_equivalent_to_direct_application(
+            updates in proptest::collection::vec((0u64..16, -10.0f32..10.0), 1..64)
+        ) {
+            let layout = PartitionMap::new(4).unwrap();
+            let mut direct: ShardStore<DenseVec> = ShardStore::new(layout);
+            let mut via_cache: ShardStore<DenseVec> = ShardStore::new(layout);
+            let mut c: WorkerCache<DenseVec> = WorkerCache::new(layout);
+
+            for (k, x) in &updates {
+                let delta = dv(&[*x]);
+                direct.apply_update(ParamKey(*k), &delta);
+                c.update(ParamKey(*k), &delta);
+            }
+            for (_, batch) in c.flush() {
+                for (k, v) in batch {
+                    via_cache.apply_update(k, &v);
+                }
+            }
+            for k in direct.keys() {
+                let a = direct.read(k).unwrap().as_slice()[0];
+                let b = via_cache.read(k).unwrap().as_slice()[0];
+                prop_assert!((a - b).abs() <= 1e-3 * a.abs().max(1.0));
+            }
+        }
+    }
+}

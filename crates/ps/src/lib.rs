@@ -1,0 +1,43 @@
+//! Parameter-server building blocks.
+//!
+//! Modern ML training frameworks share model state through a *parameter
+//! server*: a specialized key-value store sharded across machines, with a
+//! worker-side library that caches values and write-back buffers updates
+//! (Sec. 2.1 of the Proteus paper). Values must be serializable and carry a
+//! commutative, associative aggregation function so updates from different
+//! workers can be applied in any order — for the paper's applications the
+//! values are vectors and the aggregation is component-wise addition.
+//!
+//! This crate provides those building blocks free of any networking:
+//!
+//! * [`PsValue`] / [`DenseVec`] — the value contract and the dense-vector
+//!   instance every bundled application uses;
+//! * [`PartitionMap`] — the fixed-`N`-partition key layout AgileML uses so
+//!   elasticity re-assigns *partitions* instead of re-sharding keys;
+//! * [`ShardStore`] — one server shard's state, with partition-granular
+//!   export/import for migration and backup;
+//! * [`ClockTable`] — Stale-Synchronous-Parallel progress tracking;
+//! * [`cache::WorkerCache`] — the worker-side cache with write-back
+//!   update buffering;
+//! * [`protocol`] — the request/response message vocabulary exchanged
+//!   between workers and servers (transport-agnostic).
+//!
+//! The elastic tiering logic (ActivePS/BackupPS, stages, recovery) lives
+//! one layer up in `proteus-agileml`; everything here is deliberately
+//! mechanism-only so it can be property-tested in isolation.
+
+pub mod cache;
+pub mod clock;
+pub mod partition;
+pub mod protocol;
+pub mod shard;
+pub mod sparse;
+pub mod value;
+
+pub use cache::WorkerCache;
+pub use clock::ClockTable;
+pub use partition::{ParamKey, PartitionId, PartitionMap};
+pub use protocol::{PsRequest, PsResponse, UpdateBatch};
+pub use shard::ShardStore;
+pub use sparse::SparseVec;
+pub use value::{DenseVec, PsValue};

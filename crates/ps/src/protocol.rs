@@ -1,0 +1,109 @@
+//! Transport-agnostic request/response vocabulary between workers and
+//! parameter-server shards.
+//!
+//! AgileML embeds these in its own message enum and routes them over
+//! `proteus-simnet`; keeping the vocabulary here lets protocol-level
+//! invariants be tested without threads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::partition::{ParamKey, PartitionId};
+use crate::value::PsValue;
+
+/// A batch of coalesced updates for one partition, stamped with the
+/// sending worker's clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateBatch<V> {
+    /// Destination partition.
+    pub partition: PartitionId,
+    /// The sender's clock when the batch was flushed.
+    pub clock: u64,
+    /// Coalesced `(key, delta)` pairs, sorted by key.
+    pub updates: Vec<(ParamKey, V)>,
+}
+
+impl<V: PsValue> UpdateBatch<V> {
+    /// Total wire size of the batch's values in bytes (plus one key word
+    /// per entry), for network accounting.
+    pub fn wire_bytes(&self) -> usize {
+        self.updates
+            .iter()
+            .map(|(_, v)| v.wire_bytes() + std::mem::size_of::<u64>())
+            .sum()
+    }
+}
+
+/// Requests a worker (or peer server) sends to a parameter-server shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PsRequest<V> {
+    /// Read a set of keys.
+    Read {
+        /// Keys to fetch.
+        keys: Vec<ParamKey>,
+        /// The reader's clock (for staleness accounting).
+        clock: u64,
+    },
+    /// Apply a batch of updates.
+    Update(UpdateBatch<V>),
+    /// Advance the sender's clock (end of an iteration).
+    Clock {
+        /// Logical worker id.
+        worker: u32,
+        /// The clock just completed.
+        clock: u64,
+    },
+    /// Request a full image of one partition (migration / recovery).
+    FetchPartition(PartitionId),
+}
+
+/// Responses a shard sends back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PsResponse<V> {
+    /// Values for a `Read` (missing keys are omitted).
+    Values(Vec<(ParamKey, V)>),
+    /// Acknowledges an update batch at the shard's current clock view.
+    UpdateAck {
+        /// The shard's consistent clock after applying the batch.
+        consistent_clock: Option<u64>,
+    },
+    /// A full partition image for `FetchPartition`.
+    PartitionImage {
+        /// The partition exported.
+        partition: PartitionId,
+        /// Its `(key, value)` pairs, sorted by key.
+        image: Vec<(ParamKey, V)>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DenseVec;
+
+    #[test]
+    fn wire_bytes_counts_values_and_keys() {
+        let batch = UpdateBatch {
+            partition: PartitionId(0),
+            clock: 3,
+            updates: vec![
+                (ParamKey(1), DenseVec::zeros(10)),
+                (ParamKey(2), DenseVec::zeros(10)),
+            ],
+        };
+        // 2 × (10 × 4 bytes + 8-byte key).
+        assert_eq!(batch.wire_bytes(), 2 * (40 + 8));
+    }
+
+    #[test]
+    fn protocol_types_are_cloneable_and_comparable() {
+        let req: PsRequest<DenseVec> = PsRequest::Clock {
+            worker: 1,
+            clock: 2,
+        };
+        assert_eq!(req.clone(), req);
+        let resp: PsResponse<DenseVec> = PsResponse::UpdateAck {
+            consistent_clock: Some(5),
+        };
+        assert_eq!(resp.clone(), resp);
+    }
+}

@@ -1,0 +1,269 @@
+//! One server shard's parameter state.
+//!
+//! A [`ShardStore`] holds the key-value pairs for the partitions assigned
+//! to one server process (a `ParamServ`, `ActivePS`, or `BackupPS` in
+//! AgileML terms). Besides reads and commutative updates it supports
+//! partition-granular export/import — the primitive behind partition
+//! migration, active→backup streaming, and recovery — and *delta
+//! tracking*: the aggregate of updates applied since the last push to the
+//! backup, which is what lets an ActivePS roll back to a state consistent
+//! with its BackupPS after a partial failure (Sec. 3.3).
+
+use std::collections::HashMap;
+
+use crate::partition::{ParamKey, PartitionId, PartitionMap};
+use crate::value::PsValue;
+
+/// Parameter state held by one server shard.
+#[derive(Debug, Clone)]
+pub struct ShardStore<V> {
+    layout: PartitionMap,
+    /// Live parameter values.
+    values: HashMap<ParamKey, V>,
+    /// Aggregate of deltas applied since the last `take_dirty` — keyed the
+    /// same way, merged commutatively.
+    dirty: HashMap<ParamKey, V>,
+}
+
+impl<V: PsValue> ShardStore<V> {
+    /// Creates an empty shard using the job's partition layout.
+    pub fn new(layout: PartitionMap) -> Self {
+        ShardStore {
+            layout,
+            values: HashMap::new(),
+            dirty: HashMap::new(),
+        }
+    }
+
+    /// The partition layout this shard uses.
+    pub fn layout(&self) -> PartitionMap {
+        self.layout
+    }
+
+    /// Installs an initial value for `key`, replacing any existing one and
+    /// clearing its dirty delta.
+    pub fn install(&mut self, key: ParamKey, value: V) {
+        self.values.insert(key, value);
+        self.dirty.remove(&key);
+    }
+
+    /// Reads the current value of `key`.
+    pub fn read(&self, key: ParamKey) -> Option<&V> {
+        self.values.get(&key)
+    }
+
+    /// Applies a commutative delta to `key` and tracks it in the dirty
+    /// aggregate.
+    ///
+    /// Unknown keys are initialized to the delta (zero plus delta), which
+    /// lets workers lazily materialize rows.
+    pub fn apply_update(&mut self, key: ParamKey, delta: &V) {
+        match self.values.get_mut(&key) {
+            Some(v) => v.merge(delta),
+            None => {
+                self.values.insert(key, delta.clone());
+            }
+        }
+        match self.dirty.get_mut(&key) {
+            Some(d) => d.merge(delta),
+            None => {
+                self.dirty.insert(key, delta.clone());
+            }
+        }
+    }
+
+    /// Number of materialized keys.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the shard holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Exports every `(key, value)` belonging to `partition`, sorted by
+    /// key for deterministic wire images.
+    pub fn export_partition(&self, partition: PartitionId) -> Vec<(ParamKey, V)> {
+        let mut out: Vec<(ParamKey, V)> = self
+            .values
+            .iter()
+            .filter(|(k, _)| self.layout.partition_of(**k) == partition)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Installs an exported partition image, replacing any existing values
+    /// for those keys (used on migration targets and during recovery).
+    pub fn import_partition(&mut self, image: Vec<(ParamKey, V)>) {
+        for (k, v) in image {
+            self.install(k, v);
+        }
+    }
+
+    /// Removes every key belonging to `partition` (after the partition has
+    /// migrated elsewhere), returning how many keys were dropped.
+    pub fn drop_partition(&mut self, partition: PartitionId) -> usize {
+        let doomed: Vec<ParamKey> = self
+            .values
+            .keys()
+            .filter(|k| self.layout.partition_of(**k) == partition)
+            .copied()
+            .collect();
+        for k in &doomed {
+            self.values.remove(k);
+            self.dirty.remove(k);
+        }
+        doomed.len()
+    }
+
+    /// Takes and clears the dirty aggregate: the coalesced updates applied
+    /// since the previous call. This is what an ActivePS streams to its
+    /// BackupPS in the background.
+    pub fn take_dirty(&mut self) -> Vec<(ParamKey, V)> {
+        let mut out: Vec<(ParamKey, V)> = self.dirty.drain().collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Whether any updates are pending since the last `take_dirty`.
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Rolls the shard back to the state it had at the last `take_dirty`
+    /// boundary by *subtracting* the pending dirty aggregate.
+    ///
+    /// This requires the value's merge to have an inverse under the dirty
+    /// delta — true for component-wise addition, where subtracting means
+    /// merging the negation. The negation is produced by `negate`.
+    pub fn rollback_dirty(&mut self, negate: impl Fn(&V) -> V) {
+        let pending: Vec<(ParamKey, V)> = self.dirty.drain().collect();
+        for (k, d) in pending {
+            if let Some(v) = self.values.get_mut(&k) {
+                v.merge(&negate(&d));
+            }
+        }
+    }
+
+    /// Every key currently materialized, sorted (test/diagnostic helper).
+    pub fn keys(&self) -> Vec<ParamKey> {
+        let mut ks: Vec<ParamKey> = self.values.keys().copied().collect();
+        ks.sort();
+        ks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DenseVec;
+
+    fn store(partitions: u32) -> ShardStore<DenseVec> {
+        ShardStore::new(PartitionMap::new(partitions).expect("nonzero"))
+    }
+
+    fn dv(xs: &[f32]) -> DenseVec {
+        DenseVec::from(xs.to_vec())
+    }
+
+    #[test]
+    fn updates_merge_and_lazily_materialize() {
+        let mut s = store(4);
+        s.apply_update(ParamKey(1), &dv(&[1.0, 2.0]));
+        s.apply_update(ParamKey(1), &dv(&[0.5, -2.0]));
+        assert_eq!(s.read(ParamKey(1)).unwrap().as_slice(), &[1.5, 0.0]);
+        assert_eq!(s.len(), 1);
+        assert!(s.read(ParamKey(2)).is_none());
+    }
+
+    #[test]
+    fn install_resets_dirty_state() {
+        let mut s = store(4);
+        s.apply_update(ParamKey(1), &dv(&[1.0]));
+        assert!(s.has_dirty());
+        s.install(ParamKey(1), dv(&[9.0]));
+        assert!(!s.has_dirty());
+        assert_eq!(s.read(ParamKey(1)).unwrap().as_slice(), &[9.0]);
+    }
+
+    #[test]
+    fn export_import_round_trips_a_partition() {
+        let mut src = store(4);
+        // Keys 0,4,8 fall in partition 0; key 1 in partition 1.
+        for k in [0u64, 4, 8, 1] {
+            src.install(ParamKey(k), dv(&[k as f32]));
+        }
+        let image = src.export_partition(PartitionId(0));
+        assert_eq!(image.len(), 3);
+
+        let mut dst = store(4);
+        dst.import_partition(image);
+        assert_eq!(dst.read(ParamKey(4)).unwrap().as_slice(), &[4.0]);
+        assert!(dst.read(ParamKey(1)).is_none());
+    }
+
+    #[test]
+    fn drop_partition_removes_only_that_partition() {
+        let mut s = store(4);
+        for k in 0..8u64 {
+            s.install(ParamKey(k), dv(&[k as f32]));
+        }
+        let dropped = s.drop_partition(PartitionId(2));
+        assert_eq!(dropped, 2); // Keys 2 and 6.
+        assert!(s.read(ParamKey(2)).is_none());
+        assert!(s.read(ParamKey(6)).is_none());
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn take_dirty_coalesces_updates() {
+        let mut s = store(2);
+        s.apply_update(ParamKey(3), &dv(&[1.0]));
+        s.apply_update(ParamKey(3), &dv(&[2.0]));
+        s.apply_update(ParamKey(4), &dv(&[5.0]));
+        let dirty = s.take_dirty();
+        assert_eq!(dirty.len(), 2);
+        let d3 = dirty.iter().find(|(k, _)| *k == ParamKey(3)).unwrap();
+        assert_eq!(d3.1.as_slice(), &[3.0]);
+        assert!(!s.has_dirty());
+        assert!(s.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn rollback_dirty_restores_last_pushed_state() {
+        let mut s = store(2);
+        s.install(ParamKey(1), dv(&[10.0]));
+        // Simulate a push boundary.
+        let _ = s.take_dirty();
+        // Updates since the push.
+        s.apply_update(ParamKey(1), &dv(&[2.5]));
+        s.apply_update(ParamKey(1), &dv(&[0.5]));
+        assert_eq!(s.read(ParamKey(1)).unwrap().as_slice(), &[13.0]);
+        // A failure elsewhere forces this shard back to the backup state.
+        s.rollback_dirty(|d| {
+            let mut n = d.clone();
+            n.scale(-1.0);
+            n
+        });
+        assert_eq!(s.read(ParamKey(1)).unwrap().as_slice(), &[10.0]);
+        assert!(!s.has_dirty());
+    }
+
+    #[test]
+    fn exported_images_are_sorted_by_key() {
+        let mut s = store(1);
+        for k in [9u64, 3, 7, 1] {
+            s.install(ParamKey(k), dv(&[0.0]));
+        }
+        let image = s.export_partition(PartitionId(0));
+        let keys: Vec<u64> = image.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![1, 3, 7, 9]);
+        assert_eq!(
+            s.keys(),
+            vec![ParamKey(1), ParamKey(3), ParamKey(7), ParamKey(9)]
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! The parameter-value contract and the dense-vector implementation.
+
+use serde::{Deserialize, Serialize};
+
+/// A value storable in the parameter server.
+///
+/// The merge operation must be **commutative and associative** so that
+/// updates from different workers can be applied in any order — the
+/// correctness foundation of asynchronous parameter-server training. For
+/// the bundled ML applications the values are [`DenseVec`]s and merge is
+/// component-wise addition.
+pub trait PsValue: Clone + Send + 'static {
+    /// Folds another value (typically a delta) into this one.
+    fn merge(&mut self, delta: &Self);
+
+    /// The additive identity with the same shape as `self`.
+    fn zero_like(&self) -> Self;
+
+    /// Approximate wire size in bytes, used by network-volume accounting.
+    fn wire_bytes(&self) -> usize;
+}
+
+/// A dense `f32` vector with component-wise-add aggregation.
+///
+/// # Examples
+///
+/// ```
+/// use proteus_ps::{DenseVec, PsValue};
+///
+/// let mut row = DenseVec::zeros(3);
+/// row.merge(&DenseVec::from(vec![1.0, 2.0, 3.0]));
+/// row.merge(&DenseVec::from(vec![0.5, 0.0, -1.0]));
+/// assert_eq!(row.as_slice(), &[1.5, 2.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseVec(Vec<f32>);
+
+impl DenseVec {
+    /// A zero vector of the given dimension.
+    pub fn zeros(dim: usize) -> Self {
+        DenseVec(vec![0.0; dim])
+    }
+
+    /// The vector's dimension.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Read-only view of the components.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Mutable view of the components.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.0
+    }
+
+    /// Consumes the vector, returning its components.
+    pub fn into_inner(self) -> Vec<f32> {
+        self.0
+    }
+
+    /// Adds `scale * other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ — mixing shapes under one key is a
+    /// programming error in the application.
+    pub fn axpy(&mut self, scale: f32, other: &DenseVec) {
+        assert_eq!(self.0.len(), other.0.len(), "dimension mismatch in axpy");
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Scales every component in place.
+    pub fn scale(&mut self, factor: f32) {
+        for a in &mut self.0 {
+            *a *= factor;
+        }
+    }
+
+    /// The dot product with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn dot(&self, other: &DenseVec) -> f32 {
+        assert_eq!(self.0.len(), other.0.len(), "dimension mismatch in dot");
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// The squared L2 norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.0.iter().map(|a| a * a).sum()
+    }
+}
+
+impl From<Vec<f32>> for DenseVec {
+    fn from(v: Vec<f32>) -> Self {
+        DenseVec(v)
+    }
+}
+
+impl PsValue for DenseVec {
+    fn merge(&mut self, delta: &Self) {
+        assert_eq!(
+            self.0.len(),
+            delta.0.len(),
+            "dimension mismatch merging parameter values"
+        );
+        for (a, b) in self.0.iter_mut().zip(delta.0.iter()) {
+            *a += b;
+        }
+    }
+
+    fn zero_like(&self) -> Self {
+        DenseVec::zeros(self.0.len())
+    }
+
+    fn wire_bytes(&self) -> usize {
+        self.0.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn merge_is_componentwise_add() {
+        let mut a = DenseVec::from(vec![1.0, -2.0]);
+        a.merge(&DenseVec::from(vec![0.5, 2.0]));
+        assert_eq!(a.as_slice(), &[1.5, 0.0]);
+    }
+
+    #[test]
+    fn zero_like_preserves_shape() {
+        let a = DenseVec::from(vec![3.0; 7]);
+        let z = a.zero_like();
+        assert_eq!(z.dim(), 7);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn wire_bytes_scales_with_dim() {
+        assert_eq!(DenseVec::zeros(100).wire_bytes(), 400);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let mut a = DenseVec::from(vec![1.0, 2.0]);
+        let b = DenseVec::from(vec![3.0, 4.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[7.0, 10.0]);
+        assert_eq!(a.dot(&b), 61.0);
+        assert_eq!(b.norm_sq(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = DenseVec::zeros(2);
+        a.merge(&DenseVec::zeros(3));
+    }
+
+    fn vec_strategy(dim: usize) -> impl Strategy<Value = DenseVec> {
+        proptest::collection::vec(-100.0f32..100.0, dim).prop_map(DenseVec::from)
+    }
+
+    proptest! {
+        #[test]
+        fn merge_commutes(a in vec_strategy(8), b in vec_strategy(8)) {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            for (x, y) in ab.as_slice().iter().zip(ba.as_slice()) {
+                prop_assert!((x - y).abs() <= f32::EPSILON * x.abs().max(1.0));
+            }
+        }
+
+        #[test]
+        fn merge_associates(a in vec_strategy(8), b in vec_strategy(8), c in vec_strategy(8)) {
+            // (a+b)+c vs a+(b+c): fp-exact for addition order of two sums
+            // is not guaranteed in general, but component-wise addition of
+            // three f32s in either grouping differs by at most one ulp of
+            // the result; allow a tolerance.
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+                prop_assert!((x - y).abs() <= 1e-3 * x.abs().max(1.0));
+            }
+        }
+
+        #[test]
+        fn zero_is_identity(a in vec_strategy(8)) {
+            let mut merged = a.clone();
+            merged.merge(&a.zero_like());
+            prop_assert_eq!(merged.as_slice(), a.as_slice());
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! The cluster runtime: node registry, routing, fault injection.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::RwLock;
+
+use crate::message::{Control, Envelope, Incoming, SendError};
+use crate::node::{NodeClass, NodeCtx, NodeId};
+
+/// Aggregate traffic counters for the whole cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Application messages successfully delivered.
+    pub messages: u64,
+    /// Messages dropped because the destination was dead or absent.
+    pub dropped: u64,
+}
+
+/// Per-node bookkeeping held by the registry.
+struct NodeEntry<M> {
+    tx: Sender<Incoming<M>>,
+    class: NodeClass,
+    dead: bool,
+}
+
+/// Shared cluster state: the routing registry and traffic counters.
+pub struct ClusterInner<M> {
+    nodes: RwLock<HashMap<NodeId, NodeEntry<M>>>,
+    messages: AtomicU64,
+    dropped: AtomicU64,
+    /// Delivered-message counts per (sender, receiver) pair.
+    traffic: RwLock<HashMap<(NodeId, NodeId), u64>>,
+}
+
+impl<M: Send + 'static> ClusterInner<M> {
+    /// Routes an application message, counting drops to dead targets.
+    pub(crate) fn deliver(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), SendError> {
+        let nodes = self.nodes.read();
+        match nodes.get(&to) {
+            Some(entry) if !entry.dead => {
+                // A send only fails if the receiver was torn down between
+                // the liveness check and the send; treat it as a drop.
+                if entry.tx.send(Incoming::App(Envelope { from, msg })).is_ok() {
+                    self.messages.fetch_add(1, Ordering::Relaxed);
+                    *self.traffic.write().entry((from, to)).or_insert(0) += 1;
+                    Ok(())
+                } else {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    Err(SendError::Unreachable(to))
+                }
+            }
+            _ => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                Err(SendError::Unreachable(to))
+            }
+        }
+    }
+
+    pub(crate) fn is_dead(&self, node: NodeId) -> bool {
+        self.nodes.read().get(&node).map_or(true, |e| e.dead)
+    }
+
+    pub(crate) fn is_alive(&self, node: NodeId) -> bool {
+        !self.is_dead(node)
+    }
+}
+
+/// A handle for interacting with the cluster from outside any node
+/// (e.g. from the test harness or the BidBrain driver).
+///
+/// Cloneable; all clones share the same registry.
+pub struct ClusterHandle<M: Send + 'static> {
+    inner: Arc<ClusterInner<M>>,
+}
+
+impl<M: Send + 'static> Clone for ClusterHandle<M> {
+    fn clone(&self) -> Self {
+        ClusterHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M: Send + 'static> ClusterHandle<M> {
+    /// Sends a control signal to a node.
+    pub fn send_control(&self, to: NodeId, ctrl: Control) -> Result<(), SendError> {
+        let nodes = self.inner.nodes.read();
+        match nodes.get(&to) {
+            Some(entry) if !entry.dead => entry
+                .tx
+                .send(Incoming::Control(ctrl))
+                .map_err(|_| SendError::Unreachable(to)),
+            _ => Err(SendError::Unreachable(to)),
+        }
+    }
+
+    /// Sends an application message on behalf of the harness.
+    ///
+    /// The message is attributed to the synthetic node id `u32::MAX`.
+    pub fn send_as_harness(&self, to: NodeId, msg: M) -> Result<(), SendError> {
+        self.inner.deliver(NodeId(u32::MAX), to, msg)
+    }
+
+    /// Whether `node` is alive (spawned and not killed).
+    pub fn alive(&self, node: NodeId) -> bool {
+        self.inner.is_alive(node)
+    }
+}
+
+/// An in-process cluster of nodes, each running on its own thread.
+///
+/// # Examples
+///
+/// ```
+/// use proteus_simnet::{Cluster, Incoming, NodeClass};
+///
+/// let mut cluster: Cluster<u64> = Cluster::new();
+/// let echo = cluster.spawn(NodeClass::Reliable, |ctx| {
+///     // Echo one message back to its sender, doubled.
+///     if let Ok(Incoming::App(env)) = ctx.recv() {
+///         let _ = ctx.send(env.from, env.msg * 2);
+///     }
+/// });
+/// let probe = cluster.spawn(NodeClass::Transient, move |ctx| {
+///     ctx.send(echo, 21).unwrap();
+///     if let Ok(Incoming::App(env)) = ctx.recv() {
+///         assert_eq!(env.msg, 42);
+///     }
+/// });
+/// cluster.join();
+/// # let _ = probe;
+/// ```
+pub struct Cluster<M: Send + 'static> {
+    inner: Arc<ClusterInner<M>>,
+    handles: Vec<(NodeId, JoinHandle<()>)>,
+    next_id: u32,
+}
+
+impl<M: Send + 'static> Default for Cluster<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Send + 'static> Cluster<M> {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Cluster {
+            inner: Arc::new(ClusterInner {
+                nodes: RwLock::new(HashMap::new()),
+                messages: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                traffic: RwLock::new(HashMap::new()),
+            }),
+            handles: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// A cloneable handle for harness-side interaction.
+    pub fn handle(&self) -> ClusterHandle<M> {
+        ClusterHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Spawns a node of the given reliability class running `behavior` on
+    /// a dedicated thread, returning its id.
+    pub fn spawn<F>(&mut self, class: NodeClass, behavior: F) -> NodeId
+    where
+        F: FnOnce(NodeCtx<M>) + Send + 'static,
+    {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        let (tx, rx) = unbounded();
+        self.inner.nodes.write().insert(
+            id,
+            NodeEntry {
+                tx,
+                class,
+                dead: false,
+            },
+        );
+        let ctx = NodeCtx {
+            id,
+            class,
+            inner: Arc::clone(&self.inner),
+            rx,
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("simnet-{}", id.0))
+            .spawn(move || behavior(ctx))
+            .expect("spawning a simnet node thread");
+        self.handles.push((id, handle));
+        id
+    }
+
+    /// Delivers an eviction warning to `node` — the node keeps running and
+    /// can drain state; the harness typically calls [`Cluster::kill`] when
+    /// the deadline passes.
+    pub fn revoke(&self, node: NodeId, deadline_ms: u64) -> Result<(), SendError> {
+        self.handle()
+            .send_control(node, Control::EvictionWarning { deadline_ms })
+    }
+
+    /// Abruptly kills `node`: subsequent sends to it are dropped, its own
+    /// sends fail, and its blocked `recv` wakes with `Killed`.
+    ///
+    /// Idempotent; killing an unknown node is a no-op.
+    pub fn kill(&self, node: NodeId) {
+        let mut nodes = self.inner.nodes.write();
+        if let Some(entry) = nodes.get_mut(&node) {
+            if !entry.dead {
+                entry.dead = true;
+                // Wake a blocked recv. The context converts Kill into
+                // RecvError::Killed and never exposes it to behaviors.
+                let _ = entry.tx.send(Incoming::Control(Control::Kill));
+            }
+        }
+    }
+
+    /// Politely asks `node` to shut down (end-of-job).
+    pub fn shutdown(&self, node: NodeId) -> Result<(), SendError> {
+        self.handle().send_control(node, Control::Shutdown)
+    }
+
+    /// Whether `node` is alive.
+    pub fn alive(&self, node: NodeId) -> bool {
+        self.inner.is_alive(node)
+    }
+
+    /// The reliability class `node` was spawned with, if it exists.
+    pub fn class_of(&self, node: NodeId) -> Option<NodeClass> {
+        self.inner.nodes.read().get(&node).map(|e| e.class)
+    }
+
+    /// Ids of all currently-alive nodes, sorted.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self
+            .inner
+            .nodes
+            .read()
+            .iter()
+            .filter(|(_, e)| !e.dead)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Delivered-message counts per (sender, receiver) pair, sorted.
+    ///
+    /// Lets tests assert *direction* properties of a protocol — e.g.
+    /// that AgileML's backup streams flow from transient ActivePSs
+    /// toward reliable BackupPSs only.
+    pub fn traffic_matrix(&self) -> Vec<((NodeId, NodeId), u64)> {
+        let mut rows: Vec<((NodeId, NodeId), u64)> = self
+            .inner
+            .traffic
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Messages delivered from `from` to `to`.
+    pub fn traffic_between(&self, from: NodeId, to: NodeId) -> u64 {
+        self.inner
+            .traffic
+            .read()
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate traffic counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            messages: self.inner.messages.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Waits for every node thread to finish.
+    ///
+    /// Callers must arrange for behaviors to terminate (shutdown signals,
+    /// kills, or natural completion) before joining, or this will block.
+    pub fn join(mut self) {
+        for (_, handle) in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Kills every node and then joins all threads — a hard teardown.
+    pub fn abort_all(mut self) {
+        let ids: Vec<NodeId> = self.inner.nodes.read().keys().copied().collect();
+        for id in ids {
+            self.kill(id);
+        }
+        for (_, handle) in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn messages_round_trip_between_nodes() {
+        let mut cluster: Cluster<String> = Cluster::new();
+        let (done_tx, done_rx) = unbounded();
+        let server = cluster.spawn(NodeClass::Reliable, |ctx| {
+            if let Ok(Incoming::App(env)) = ctx.recv() {
+                let _ = ctx.send(env.from, format!("re:{}", env.msg));
+            }
+        });
+        cluster.spawn(NodeClass::Transient, move |ctx| {
+            ctx.send(server, "hello".to_string()).unwrap();
+            if let Ok(Incoming::App(env)) = ctx.recv() {
+                done_tx.send(env.msg).unwrap();
+            }
+        });
+        let reply = done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(reply, "re:hello");
+        cluster.join();
+    }
+
+    #[test]
+    fn kill_makes_node_unreachable_and_wakes_it() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let (obs_tx, obs_rx) = unbounded();
+        let victim = cluster.spawn(NodeClass::Transient, move |ctx| {
+            // Block forever; the kill must wake us with Killed.
+            let err = ctx.recv().unwrap_err();
+            obs_tx.send(err).unwrap();
+        });
+        assert!(cluster.alive(victim));
+        cluster.kill(victim);
+        assert!(!cluster.alive(victim));
+        let err = obs_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(err, crate::RecvError::Killed);
+        // Sends to the dead node are dropped with an error.
+        assert_eq!(
+            cluster.handle().send_as_harness(victim, 1),
+            Err(SendError::Unreachable(victim))
+        );
+        assert_eq!(cluster.stats().dropped, 1);
+        cluster.join();
+    }
+
+    #[test]
+    fn kill_is_idempotent() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let victim = cluster.spawn(NodeClass::Transient, |ctx| {
+            let _ = ctx.recv();
+        });
+        cluster.kill(victim);
+        cluster.kill(victim);
+        cluster.kill(NodeId(999)); // Unknown node: no-op.
+        cluster.join();
+    }
+
+    #[test]
+    fn revoke_delivers_warning_and_node_keeps_running() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let (obs_tx, obs_rx) = unbounded();
+        let node = cluster.spawn(NodeClass::Transient, move |ctx| {
+            match ctx.recv() {
+                Ok(Incoming::Control(Control::EvictionWarning { deadline_ms })) => {
+                    // Still alive: can do a final action.
+                    obs_tx.send(deadline_ms).unwrap();
+                }
+                other => panic!("expected warning, got {other:?}"),
+            }
+        });
+        cluster.revoke(node, 120_000).unwrap();
+        assert_eq!(
+            obs_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            120_000
+        );
+        cluster.join();
+    }
+
+    #[test]
+    fn shutdown_is_observable_as_control() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let (obs_tx, obs_rx) = unbounded();
+        let node = cluster.spawn(NodeClass::Reliable, move |ctx| {
+            if let Ok(Incoming::Control(Control::Shutdown)) = ctx.recv() {
+                obs_tx.send(()).unwrap();
+            }
+        });
+        cluster.shutdown(node).unwrap();
+        obs_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        cluster.join();
+    }
+
+    #[test]
+    fn live_nodes_and_classes_are_tracked() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let a = cluster.spawn(NodeClass::Reliable, |ctx| {
+            let _ = ctx.recv();
+        });
+        let b = cluster.spawn(NodeClass::Transient, |ctx| {
+            let _ = ctx.recv();
+        });
+        assert_eq!(cluster.live_nodes(), vec![a, b]);
+        assert_eq!(cluster.class_of(a), Some(NodeClass::Reliable));
+        assert_eq!(cluster.class_of(b), Some(NodeClass::Transient));
+        cluster.kill(a);
+        assert_eq!(cluster.live_nodes(), vec![b]);
+        cluster.abort_all();
+    }
+
+    #[test]
+    fn dead_sender_cannot_send() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let (obs_tx, obs_rx) = unbounded();
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let target = cluster.spawn(NodeClass::Reliable, |ctx| {
+            let _ = ctx.recv();
+        });
+        let sender = cluster.spawn(NodeClass::Transient, move |ctx| {
+            // Wait until the harness kills us, then try to send.
+            gate_rx.recv().unwrap();
+            obs_tx.send(ctx.send(target, 9)).unwrap();
+        });
+        cluster.kill(sender);
+        gate_tx.send(()).unwrap();
+        let result = obs_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(result, Err(SendError::SelfDead));
+        cluster.abort_all();
+    }
+
+    #[test]
+    fn stats_count_delivered_messages() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let (done_tx, done_rx) = unbounded();
+        let sink = cluster.spawn(NodeClass::Reliable, move |ctx| {
+            for _ in 0..10 {
+                let _ = ctx.recv();
+            }
+            done_tx.send(()).unwrap();
+        });
+        cluster.spawn(NodeClass::Transient, move |ctx| {
+            for i in 0..10 {
+                ctx.send(sink, i).unwrap();
+            }
+        });
+        done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(cluster.stats().messages, 10);
+        cluster.join();
+    }
+}

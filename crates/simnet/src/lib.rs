@@ -1,0 +1,30 @@
+//! An in-process message-passing cluster for exercising distributed
+//! protocols.
+//!
+//! AgileML (the paper's elastic parameter-server framework) is a
+//! distributed system: workers, parameter servers, backups, and an
+//! elasticity controller exchanging messages over a network, with machines
+//! appearing and disappearing as the spot market moves. This crate
+//! provides the substrate those components run on in this reproduction:
+//!
+//! * every simulated machine is a [`NodeId`] with a mailbox and its own OS
+//!   thread running a user-supplied behavior;
+//! * nodes exchange typed messages through [`NodeCtx::send`] /
+//!   [`NodeCtx::recv`];
+//! * the harness can **revoke** a node (deliver an eviction warning, like
+//!   EC2's two-minute notice) or **kill** it abruptly (a failure: the
+//!   mailbox is torn down and in-flight messages are lost);
+//! * per-node traffic counters support asserting network behavior in
+//!   tests (e.g. that backup streams flow reliable-ward only).
+//!
+//! Determinism note: threads interleave freely, so *message order between
+//! different senders* is nondeterministic exactly as on a real network;
+//! protocol tests must assert convergence properties, not exact schedules.
+
+pub mod cluster;
+pub mod message;
+pub mod node;
+
+pub use cluster::{Cluster, ClusterHandle, NetStats};
+pub use message::{Control, Envelope, Incoming, RecvError, SendError};
+pub use node::{NodeClass, NodeCtx, NodeId};

@@ -1,0 +1,20 @@
+//! Simulated time primitives shared by every Proteus simulator.
+//!
+//! All of the market, billing, and cost simulations in this workspace run in
+//! *simulated* time so that months of spot-market history can be replayed in
+//! milliseconds and so that every experiment is deterministic under a fixed
+//! seed. This crate provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — millisecond-resolution instants and
+//!   spans with convenient hour/minute accessors (EC2 billing is hourly, so
+//!   hour arithmetic is pervasive).
+//! * [`EventQueue`] — a stable discrete-event priority queue.
+//! * [`rng`] — seeded RNG construction helpers so that independent
+//!   subsystems can derive decorrelated-but-reproducible random streams.
+
+pub mod event;
+pub mod rng;
+pub mod time;
+
+pub use event::EventQueue;
+pub use time::{SimDuration, SimTime};

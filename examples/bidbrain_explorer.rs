@@ -1,0 +1,65 @@
+//! BidBrain explorer: train the eviction-probability estimator on a
+//! synthetic spot-price history, inspect the β curve, and compare the
+//! four provisioning schemes on the same market — a miniature of the
+//! paper's cost-savings study.
+//!
+//! ```text
+//! cargo run --release --example bidbrain_explorer
+//! ```
+
+use proteus::bidbrain::BetaEstimator;
+use proteus::costsim::{run_study, StudyConfig};
+use proteus::market::{catalog, MarketModel, TraceGenerator};
+use proteus::simtime::{SimDuration, SimTime};
+
+fn main() {
+    // 1. Synthesize a month of prices for one market and train β.
+    let market = catalog::paper_markets()[0];
+    let horizon = SimDuration::from_hours(24 * 30);
+    let trace = TraceGenerator::new(11, MarketModel::default()).generate(market, horizon);
+    let od = market.instance_type().on_demand_price;
+    println!(
+        "market {market}: on-demand ${od:.3}/h, 30-day mean spot ${:.3}/h, {:.1}% of time above on-demand",
+        trace.mean_price(SimTime::EPOCH, SimTime::EPOCH + horizon),
+        100.0 * trace.fraction_above(od, SimTime::EPOCH, SimTime::EPOCH + horizon),
+    );
+
+    let mut beta = BetaEstimator::new();
+    beta.train(
+        market,
+        &trace,
+        SimTime::EPOCH,
+        SimTime::EPOCH + horizon,
+        SimDuration::from_mins(30),
+        &BetaEstimator::default_deltas(),
+    );
+    println!("\nβ curve (probability of eviction within the billing hour):");
+    println!("{:>10} {:>8} {:>14}", "bid delta", "β", "median tte");
+    for p in beta.table(market).expect("trained").points() {
+        println!("{:>10.4} {:>8.3} {:>14}", p.delta, p.beta, p.median_tte);
+    }
+
+    // 2. Compare the four schemes across random job starts.
+    println!("\nscheme comparison (2-hour jobs, 40 random starts):");
+    let results = run_study(StudyConfig {
+        seed: 11,
+        starts: 40,
+        job_hours: 2.0,
+        ..StudyConfig::default()
+    });
+    println!(
+        "{:>22} {:>10} {:>12} {:>10} {:>10}",
+        "scheme", "cost $", "% on-demand", "hours", "evictions"
+    );
+    for r in &results {
+        println!(
+            "{:>22} {:>10.2} {:>12.1} {:>10.2} {:>10.2}",
+            r.scheme, r.mean_cost, r.cost_pct_of_on_demand, r.mean_runtime_hours, r.mean_evictions
+        );
+    }
+    let proteus = results.last().expect("four schemes");
+    println!(
+        "\nProteus free compute: {:.0}% of its machine-hours",
+        100.0 * proteus.usage.free_fraction()
+    );
+}

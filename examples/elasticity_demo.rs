@@ -1,0 +1,84 @@
+//! Elasticity demo: drive AgileML directly through bulk addition, warned
+//! eviction, and an unwarned failure — the paper's Fig. 5/Fig. 16
+//! narrative with real distributed training.
+//!
+//! ```text
+//! cargo run --release --example elasticity_demo
+//! ```
+
+use proteus::agileml::{AgileConfig, AgileMlJob, JobEvent};
+use proteus::simnet::NodeClass;
+use proteus_mlapps::data::{netflix_like, MfDataConfig};
+use proteus_mlapps::mf::{MatrixFactorization, MfConfig};
+
+fn main() -> Result<(), String> {
+    let data = netflix_like(
+        &MfDataConfig {
+            rows: 60,
+            cols: 40,
+            true_rank: 3,
+            observed: 1_200,
+            noise: 0.02,
+        },
+        7,
+    );
+    let app = MatrixFactorization::new(MfConfig {
+        rows: 60,
+        cols: 40,
+        rank: 5,
+        learning_rate: 0.05,
+        reg: 1e-4,
+        init_scale: 0.2,
+    });
+    let cfg = AgileConfig {
+        partitions: 4,
+        data_blocks: 12,
+        seed: 7,
+        ..AgileConfig::default()
+    };
+
+    println!("phase 1: 1 reliable + 2 transient machines (stage selection by ratio)");
+    let mut job = AgileMlJob::launch(app, data.clone(), cfg, 1, 2)?;
+    job.wait_clock(8)?;
+    report(&mut job, &data)?;
+
+    println!("\nphase 2: bulk-add 4 spot machines (incorporated in the background)");
+    let added = job.add_machines(NodeClass::Transient, 4)?;
+    job.wait_clock(20)?;
+    report(&mut job, &data)?;
+
+    println!("\nphase 3: eviction warning for two machines (drain within the window)");
+    job.evict_with_warning(&added[..2])?;
+    job.wait_clock(30)?;
+    report(&mut job, &data)?;
+
+    println!("\nphase 4: one machine fails without warning (online rollback recovery)");
+    let rolled = job.fail_nodes(&[added[2]])?;
+    println!("  rolled back to clock {rolled}");
+    let min = job.status()?.min_clock;
+    job.wait_clock(min + 10)?;
+    report(&mut job, &data)?;
+
+    println!("\nevent log:");
+    for e in job.events().to_vec() {
+        match e {
+            JobEvent::ClockAdvanced { .. } => {}
+            other => println!("  {other:?}"),
+        }
+    }
+    job.shutdown()?;
+    Ok(())
+}
+
+fn report(
+    job: &mut AgileMlJob<MatrixFactorization>,
+    data: &[proteus_mlapps::mf::Rating],
+) -> Result<(), String> {
+    let s = job.status()?;
+    let obj = job.objective(data)?;
+    println!(
+        "  stage {:?} | {} reliable + {} transient | {} ActivePS | clock {} | objective {obj:.4}",
+        s.stage, s.reliable, s.transient, s.active_ps, s.min_clock
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Umbrella package hosting the workspace-level examples and integration tests.
