@@ -105,6 +105,8 @@ struct Controller<A: MlApp> {
     initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
 
     events: Sender<JobEvent>,
+    /// Protocol tracing to stderr, enabled by `AGILE_DEBUG=1`.
+    debug: bool,
 }
 
 impl<A: MlApp> Controller<A> {
@@ -141,6 +143,13 @@ impl<A: MlApp> Controller<A> {
             snapshot: None,
             initial_model,
             events,
+            debug: std::env::var_os("AGILE_DEBUG").is_some(),
+        }
+    }
+
+    fn dbg(&self, make: impl FnOnce() -> String) {
+        if self.debug {
+            eprintln!("[ctl] {}", make());
         }
     }
 
@@ -251,11 +260,12 @@ impl<A: MlApp> Controller<A> {
             AgileMsg::Hello { class } => {
                 self.helloed.insert(from);
                 // Classes must agree with what the driver announced.
-                debug_assert!(self.members.get(&from).map_or(true, |c| *c == class));
+                debug_assert!(self.members.get(&from).is_none_or(|c| *c == class));
                 self.try_progress_membership(ctx);
             }
             AgileMsg::Ready => {
                 self.pending_ready.remove(&from);
+                self.dbg(|| format!("Ready from {from:?}, remaining {:?}", self.pending_ready));
                 self.try_finish_pending(ctx);
             }
             AgileMsg::ClockDone { clock, epoch } => {
@@ -328,6 +338,14 @@ impl<A: MlApp> Controller<A> {
                 false
             }
             cmd if self.busy() => {
+                self.dbg(|| {
+                    format!(
+                        "queueing {cmd:?} behind pending={:?} ready={:?} snapshot={}",
+                        self.pending,
+                        self.pending_ready,
+                        self.snapshot.is_some()
+                    )
+                });
                 self.queued.push_back(cmd);
                 true
             }
@@ -348,6 +366,7 @@ impl<A: MlApp> Controller<A> {
                 true
             }
             Command::EvictWarned { nodes } => {
+                self.dbg(|| format!("EvictWarned {nodes:?}"));
                 self.handle_eviction(nodes, ctx);
                 true
             }
@@ -422,11 +441,11 @@ impl<A: MlApp> Controller<A> {
     /// layout or integrates added nodes once all expected `Hello`s are in.
     fn try_progress_membership(&mut self, ctx: &NodeCtx<AgileMsg>) {
         match &self.pending {
-            Some(Pending::StartJob) => {
-                if self.members.keys().all(|n| self.helloed.contains(n)) && !self.members.is_empty()
-                {
-                    self.initial_layout(ctx);
-                }
+            Some(Pending::StartJob)
+                if self.members.keys().all(|n| self.helloed.contains(n))
+                    && !self.members.is_empty() =>
+            {
+                self.initial_layout(ctx);
             }
             Some(Pending::AddNodes { added }) => {
                 let added = added.clone();
@@ -692,6 +711,12 @@ impl<A: MlApp> Controller<A> {
         }
         self.maybe_broadcast_min(ctx);
 
+        self.dbg(|| {
+            format!(
+                "integrate_nodes {added:?}: pending_ready={:?}",
+                self.pending_ready
+            )
+        });
         if self.pending_ready.is_empty() {
             self.finish_add(added.to_vec(), ctx);
         } else {

@@ -129,7 +129,6 @@ impl<A: MlApp> AgileMlJob<A> {
 
         // The controller runs on reliable infrastructure (node 0).
         let controller = {
-            let cfg = cfg;
             let app = Arc::clone(&app);
             let len = dataset.len();
             cluster.spawn(NodeClass::Reliable, move |ctx| {

@@ -51,6 +51,7 @@ pub fn run_node<A: MlApp>(
         topology: None,
         forward: BTreeMap::new(),
         awaiting: BTreeSet::new(),
+        recent_installs: BTreeSet::new(),
         ready_pending: false,
         pending_updates: Vec::new(),
         pending_exports: Vec::new(),
@@ -89,6 +90,10 @@ struct NodeState<A: MlApp> {
     forward: BTreeMap<PartitionId, NodeId>,
     /// Partitions whose images are still in flight.
     awaiting: BTreeSet<PartitionId>,
+    /// Images that landed since the last `Configure` — a migrated image
+    /// can outrace the `Configure` naming it (different senders), and a
+    /// node must not wait for an install it already has.
+    recent_installs: BTreeSet<PartitionId>,
     /// Whether a `Ready` is owed once `awaiting` drains.
     ready_pending: bool,
     /// Updates buffered for partitions in `awaiting`.
@@ -122,7 +127,20 @@ impl<A: MlApp> NodeState<A> {
                 // that may have left, and reissue them.
                 self.worker.abort_inflight_reads();
                 self.topology = Some(Arc::clone(&assign.topology));
-                self.awaiting = assign.await_installs.iter().copied().collect();
+                // Partitions assigned back to this node are no longer
+                // migrated-away; stale forwards would misroute installs.
+                self.forward.retain(|p, _| {
+                    !assign.serve_partitions.contains(p)
+                        && !assign.backup_partitions.contains(p)
+                        && !assign.await_installs.contains(p)
+                });
+                self.awaiting = assign
+                    .await_installs
+                    .iter()
+                    .copied()
+                    .filter(|p| !self.recent_installs.contains(p))
+                    .collect();
+                self.recent_installs.clear();
                 if self.awaiting.is_empty() {
                     let _ = ctx.send(self.controller, AgileMsg::Ready);
                 } else {
@@ -134,7 +152,7 @@ impl<A: MlApp> NodeState<A> {
                 let newer = self
                     .topology
                     .as_ref()
-                    .map_or(true, |cur| t.version > cur.version);
+                    .is_none_or(|cur| t.version > cur.version);
                 if newer {
                     self.topology = Some(t);
                     self.worker.abort_inflight_reads();
@@ -207,8 +225,47 @@ impl<A: MlApp> NodeState<A> {
                     .apply_push(partition, clock, deltas, end_of_life);
             }
             AgileMsg::InstallPartition {
-                partition, image, ..
+                partition,
+                image,
+                clock,
             } => {
+                self.recent_installs.insert(partition);
+                if let Some(&dest) = self.forward.get(&partition) {
+                    // The partition was migrated away while its image was
+                    // still in flight to us: relay the true image to the
+                    // new owner instead of installing it here.
+                    self.awaiting.remove(&partition);
+                    let _ = ctx.send(
+                        dest,
+                        AgileMsg::InstallPartition {
+                            partition,
+                            image,
+                            clock,
+                        },
+                    );
+                    let buffered: Vec<(PartitionId, Values)> =
+                        std::mem::take(&mut self.pending_updates);
+                    for (p, updates) in buffered {
+                        if p == partition {
+                            let _ = ctx.send(
+                                dest,
+                                AgileMsg::UpdateBatch {
+                                    partition: p,
+                                    clock,
+                                    epoch: self.epoch,
+                                    updates,
+                                },
+                            );
+                        } else {
+                            self.pending_updates.push((p, updates));
+                        }
+                    }
+                    if self.awaiting.is_empty() && self.ready_pending {
+                        self.ready_pending = false;
+                        let _ = ctx.send(self.controller, AgileMsg::Ready);
+                    }
+                    return true;
+                }
                 self.server.install_image(partition, image);
                 self.awaiting.remove(&partition);
                 // Apply updates buffered while the image was in flight.
@@ -255,6 +312,14 @@ impl<A: MlApp> NodeState<A> {
                     self.push_to_backups(self.last_push_min, false, ctx);
                 }
                 for p in &partitions {
+                    if self.awaiting.contains(p) {
+                        // Our own image for this partition is still in
+                        // flight; exporting now would hand off an empty
+                        // store. The forward entry makes the pending
+                        // install relay the true image on arrival.
+                        self.forward.insert(*p, to);
+                        continue;
+                    }
                     let image = self.server.export_serving(*p);
                     let _ = ctx.send(
                         to,

@@ -63,7 +63,7 @@ fn bench_market(c: &mut Criterion) {
         let keys = catalog::paper_markets();
         let traces = gen.generate_set(&keys, SimDuration::from_hours(30));
         b.iter(|| {
-            let mut p = CloudProvider::new(traces.clone());
+            let mut p = CloudProvider::new(&traces);
             for k in keys.iter().take(4) {
                 let price = p.spot_price(*k).expect("trace");
                 let _ = p.request_spot(*k, 8, price + 0.05);

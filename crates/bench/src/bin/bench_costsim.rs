@@ -1,0 +1,74 @@
+//! Cost-study engine timing harness: serial vs parallel wall-clock for
+//! the paper-scale four-scheme comparison, verifying the parallel path
+//! is a pure speedup (identical results) and recording the numbers in
+//! `BENCH_costsim.json`.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin bench_costsim
+//! PROTEUS_THREADS=8 cargo run --release -p proteus-bench --bin bench_costsim
+//! ```
+
+use std::time::Instant;
+
+use proteus_bench::header;
+use proteus_costsim::{StudyConfig, StudyEnv, StudyExecutor};
+use proteus_market::MarketModel;
+
+fn main() {
+    header("BENCH", "cost-study engine: serial vs parallel");
+
+    let starts: usize = std::env::var("PROTEUS_BENCH_STARTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let config = StudyConfig {
+        seed: 1,
+        train_days: 14,
+        eval_days: 28,
+        starts,
+        job_hours: 2.0,
+        market_model: MarketModel::default(),
+        max_job_hours: 96.0,
+    };
+    let schemes = 4usize;
+    let runs = schemes * starts;
+
+    let env = StudyEnv::new(config);
+    // Warm the shared on-demand baseline so neither timed path pays for
+    // it (both would otherwise simulate it inside the first call).
+    let _ = env.on_demand_baseline();
+
+    let t0 = Instant::now();
+    let serial = env.run_comparison_with(&StudyExecutor::serial());
+    let serial_secs = t0.elapsed().as_secs_f64();
+    println!("serial   : {runs} runs in {serial_secs:.2}s");
+
+    let exec = StudyExecutor::from_env();
+    let t1 = Instant::now();
+    let parallel = env.run_comparison_with(&exec);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+    let threads = exec.threads();
+    println!("parallel : {runs} runs in {parallel_secs:.2}s ({threads} threads)");
+
+    let identical = serial == parallel;
+    assert!(identical, "parallel study diverged from the serial path");
+
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    let runs_per_sec = runs as f64 / parallel_secs.max(1e-9);
+    println!("speedup  : {speedup:.2}x  ({runs_per_sec:.1} runs/sec)");
+    for r in &parallel {
+        println!(
+            "  {:<22} mean ${:>7.2}  ({:>5.1}% of on-demand)",
+            r.scheme, r.mean_cost, r.cost_pct_of_on_demand
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"starts\": {starts},\n  \"schemes\": {schemes},\n  \"runs\": {runs},\n  \
+         \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {parallel_secs:.3},\n  \
+         \"threads\": {threads},\n  \"speedup\": {speedup:.3},\n  \
+         \"runs_per_sec\": {runs_per_sec:.1},\n  \"identical\": {identical}\n}}\n"
+    );
+    std::fs::write("BENCH_costsim.json", &json).expect("write BENCH_costsim.json");
+    println!("\nwrote BENCH_costsim.json");
+}

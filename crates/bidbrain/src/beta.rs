@@ -184,6 +184,21 @@ impl BetaEstimator {
     }
 }
 
+// Borrow-or-own conversions so consumers (notably `BidBrain`) can accept
+// either an owned estimator or a shared reference without cloning the
+// trained tables.
+impl<'a> From<BetaEstimator> for std::borrow::Cow<'a, BetaEstimator> {
+    fn from(beta: BetaEstimator) -> Self {
+        std::borrow::Cow::Owned(beta)
+    }
+}
+
+impl<'a> From<&'a BetaEstimator> for std::borrow::Cow<'a, BetaEstimator> {
+    fn from(beta: &'a BetaEstimator) -> Self {
+        std::borrow::Cow::Borrowed(beta)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

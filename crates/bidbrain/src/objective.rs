@@ -14,10 +14,11 @@ use serde::{Deserialize, Serialize};
 use crate::policy::FootprintEval;
 
 /// How BidBrain ranks candidate footprints.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum Objective {
     /// Minimize expected cost per unit work (Eq. 4) — the paper's
     /// default, right for batch training.
+    #[default]
     CostPerWork,
     /// Maximize expected work subject to a cap on expected spend rate
     /// (dollars per hour of wall time) — right for deadline-driven jobs
@@ -26,12 +27,6 @@ pub enum Objective {
         /// Maximum expected spend in dollars per wall-clock hour.
         max_dollars_per_hour: f64,
     },
-}
-
-impl Default for Objective {
-    fn default() -> Self {
-        Objective::CostPerWork
-    }
 }
 
 impl Objective {

@@ -109,20 +109,29 @@ impl Default for BidBrainConfig {
 }
 
 /// The allocation policy engine.
+///
+/// The β estimator is held as a [`Cow`](std::borrow::Cow): pass a
+/// `&BetaEstimator` to share one trained estimator across many engines
+/// (a cost study runs thousands of jobs against the same training
+/// window) or an owned estimator for a self-contained engine.
 #[derive(Debug, Clone)]
-pub struct BidBrain {
+pub struct BidBrain<'a> {
     params: AppParams,
-    beta: BetaEstimator,
+    beta: std::borrow::Cow<'a, BetaEstimator>,
     config: BidBrainConfig,
 }
 
-impl BidBrain {
+impl<'a> BidBrain<'a> {
     /// Creates a policy engine from application parameters, a trained β
-    /// estimator, and tuning configuration.
-    pub fn new(params: AppParams, beta: BetaEstimator, config: BidBrainConfig) -> Self {
+    /// estimator (owned or borrowed), and tuning configuration.
+    pub fn new(
+        params: AppParams,
+        beta: impl Into<std::borrow::Cow<'a, BetaEstimator>>,
+        config: BidBrainConfig,
+    ) -> Self {
         BidBrain {
             params,
-            beta,
+            beta: beta.into(),
             config,
         }
     }
@@ -233,6 +242,12 @@ impl BidBrain {
             .score(&self.evaluate(footprint, false));
 
         let mut best: Option<(f64, AllocationRequest)> = None;
+        // One reusable footprint+candidate buffer for the whole
+        // (market × delta) sweep: only the last slot changes per
+        // candidate, so the footprint prefix is copied once, not once
+        // per candidate.
+        let mut with: Vec<AllocView> = Vec::with_capacity(footprint.len() + 1);
+        with.extend_from_slice(footprint);
         for &(market, price) in markets {
             let vcpus = market.instance_type().vcpus;
             let headroom = (self.config.target_cores - current_cores) / vcpus;
@@ -249,10 +264,10 @@ impl BidBrain {
                     time_remaining: SimDuration::from_hours(1),
                     work_rate: f64::from(vcpus),
                 };
-                let mut with: Vec<AllocView> = footprint.to_vec();
+                with.truncate(footprint.len());
                 with.push(candidate);
                 let score = self.config.objective.score(&self.evaluate(&with, true));
-                if best.as_ref().map_or(true, |(b, _)| score < *b) {
+                if best.as_ref().is_none_or(|(b, _)| score < *b) {
                     best = Some((
                         score,
                         AllocationRequest {
@@ -314,7 +329,7 @@ mod tests {
 
     /// A BidBrain with no overheads and perfect scaling, so Eq. 1–4
     /// arithmetic can be checked by hand.
-    fn ideal() -> BidBrain {
+    fn ideal() -> BidBrain<'static> {
         BidBrain::new(
             AppParams {
                 phi_per_doubling: 1.0,

@@ -10,7 +10,7 @@ fn market() -> MarketKey {
     MarketKey::new(catalog::c4_xlarge(), Zone(0))
 }
 
-fn brain(objective: Objective, target_cores: u32) -> BidBrain {
+fn brain(objective: Objective, target_cores: u32) -> BidBrain<'static> {
     BidBrain::new(
         AppParams {
             phi_per_doubling: 1.0,

@@ -34,8 +34,11 @@ const STEP: SimDuration = SimDuration::from_secs(120);
 /// A live Proteus session over one training job.
 pub struct Proteus<A: MlApp> {
     config: ProteusConfig,
-    provider: CloudProvider,
-    brain: BidBrain,
+    // The session owns its synthesized market history and trained β, so
+    // both engines hold the `'static` (owned) ends of their borrow-or-own
+    // APIs.
+    provider: CloudProvider<'static>,
+    brain: BidBrain<'static>,
     job: AgileMlJob<A>,
     /// Spot allocation → the simulated machines it granted.
     alloc_nodes: BTreeMap<AllocationId, Vec<NodeId>>,

@@ -23,17 +23,19 @@
 //! on-demand baseline, final partial billing hours not charged to the
 //! job).
 
+pub mod executor;
 pub mod gce;
 pub mod queue;
 pub mod scheme;
 pub mod sim;
 pub mod study;
 
+pub use executor::StudyExecutor;
 pub use gce::{gce_fleet_beta, run_gce_job, GceOutcome, GceRunConfig};
 pub use queue::{run_job_queue, QueueOutcome};
 pub use scheme::{youngs_interval, JobSpec, Scheme, SchemeKind};
 pub use sim::{run_job, SimOutcome};
-pub use study::{run_study, StudyConfig, StudyEnv, StudyResult};
+pub use study::{run_study, run_study_with, StudyConfig, StudyEnv, StudyResult};
 
 /// The bid-delta sweep the paper's BidBrain evaluates: `[$0.0001, $0.4]`
 /// above the market price.

@@ -54,7 +54,7 @@ pub fn run_job_queue(
     per_job_horizon: SimDuration,
 ) -> QueueOutcome {
     assert!(n_jobs > 0, "a queue needs at least one job");
-    let mut sim = JobSim::new(scheme, traces.clone(), beta.clone(), start);
+    let mut sim = JobSim::new(scheme, traces, beta, start);
     sim.provision_base();
 
     let mut job_runtimes = Vec::with_capacity(n_jobs);
@@ -89,7 +89,7 @@ pub fn run_job_queue(
 /// Internal teardown helpers surfaced by [`JobSim`] for the queue
 /// runner; implemented here to keep `sim.rs` focused on the per-job
 /// loop.
-impl JobSim {
+impl JobSim<'_> {
     /// The Sec. 5 hopeful teardown. Returns total evictions suffered
     /// over the whole simulation (including any during teardown).
     pub(crate) fn hopeful_teardown(&mut self) -> u32 {
@@ -98,9 +98,16 @@ impl JobSim {
         // provider evicts (and refunds) any whose market spikes first.
         loop {
             let allocs = self.provider_mut().spot_allocations();
+            // A warned allocation stops billing new hours (its hour
+            // boundary never moves), so wait for its eviction instead —
+            // otherwise a warning issued just before an hour end pins
+            // `next_end` in place and the loop never advances.
             let Some(next_end) = allocs
                 .iter()
-                .map(|a| a.hour_start + SimDuration::from_hours(1))
+                .map(|a| {
+                    a.evict_at
+                        .unwrap_or(a.hour_start + SimDuration::from_hours(1))
+                })
                 .min()
             else {
                 break;
@@ -213,6 +220,42 @@ mod tests {
         // machine-hours on-demand.
         let od_equiv = queued.usage.total_hours() * 0.209;
         assert!(queued.total_cost < od_equiv);
+    }
+
+    #[test]
+    fn teardown_survives_warning_straddling_an_hour_end() {
+        // Regression test: a price spike just before a billing-hour end
+        // issues a warning whose eviction lands *after* the boundary.
+        // Warned leases stop billing new hours, so the teardown loop
+        // must wait on `evict_at` rather than the (now frozen) hour end
+        // — the old hour-end-only target spun forever here.
+        let mut traces = TraceSet::new();
+        traces.insert(
+            default_on_demand_market(),
+            PriceTrace::from_points(vec![
+                (SimTime::EPOCH, 0.05),
+                (SimTime::EPOCH + SimDuration::from_secs(3594), 5.0),
+                (SimTime::EPOCH + SimDuration::from_secs(3780), 0.05),
+            ])
+            .expect("ordered points"),
+        );
+        let out = run_job_queue(
+            &scheme(0.25),
+            1,
+            &traces,
+            &BetaEstimator::new(),
+            SimTime::EPOCH,
+            SimDuration::from_hours(24),
+        );
+        assert!(out.completed);
+        assert!(
+            out.evictions >= 1,
+            "the straddling warning must land as an eviction: {out:?}"
+        );
+        assert!(
+            out.teardown_refunds > 0.0,
+            "the evicted hour is refunded during teardown: {out:?}"
+        );
     }
 
     #[test]

@@ -53,17 +53,21 @@ pub fn run_job(
     start: SimTime,
     horizon: SimDuration,
 ) -> SimOutcome {
-    let mut sim = JobSim::new(scheme, traces.clone(), beta.clone(), start);
+    let mut sim = JobSim::new(scheme, traces, beta, start);
     sim.run(start + horizon)
 }
 
 /// Mutable simulation state.
-pub(crate) struct JobSim {
+///
+/// Borrows the trace set and β estimator for its whole lifetime: a
+/// study spawns thousands of `JobSim`s against one shared history, and
+/// cloning either per run dominated study wall-clock time.
+pub(crate) struct JobSim<'a> {
     kind: SchemeKind,
     job: JobSpec,
-    provider: CloudProvider,
+    provider: CloudProvider<'a>,
     markets: Vec<MarketKey>,
-    brain: BidBrain,
+    brain: BidBrain<'a>,
     standard: StandardStrategy,
     start: SimTime,
     /// Useful work accumulated (φ-scaled core-hours).
@@ -85,11 +89,11 @@ pub(crate) struct JobSim {
     od_alloc: Option<proteus_market::AllocationId>,
 }
 
-impl JobSim {
+impl<'a> JobSim<'a> {
     pub(crate) fn new(
         scheme: &Scheme,
-        traces: TraceSet,
-        beta: BetaEstimator,
+        traces: &'a TraceSet,
+        beta: &'a BetaEstimator,
         start: SimTime,
     ) -> Self {
         let markets: Vec<MarketKey> = traces.markets().copied().collect();
@@ -150,7 +154,7 @@ impl JobSim {
     }
 
     /// Mutable provider access (teardown orchestration).
-    pub(crate) fn provider_mut(&mut self) -> &mut CloudProvider {
+    pub(crate) fn provider_mut(&mut self) -> &mut CloudProvider<'a> {
         &mut self.provider
     }
 
@@ -264,11 +268,19 @@ impl JobSim {
         views
     }
 
+    /// Spot prices of every market at the current instant, computed once
+    /// per decision step and shared by the renewal and acquisition
+    /// passes (each price is a trace lookup).
     fn current_prices(&self) -> Vec<(MarketKey, f64)> {
         self.markets
             .iter()
             .filter_map(|m| self.provider.spot_price(*m).ok().map(|p| (*m, p)))
             .collect()
+    }
+
+    /// Looks a market's price up in a memoized per-step price list.
+    fn price_in(prices: &[(MarketKey, f64)], market: MarketKey) -> Option<f64> {
+        prices.iter().find(|(m, _)| *m == market).map(|(_, p)| *p)
     }
 
     fn pause(&mut self, d: SimDuration) {
@@ -327,7 +339,7 @@ impl JobSim {
     }
 
     /// Renewal decisions shortly before billing-hour ends.
-    fn renewals(&mut self) {
+    fn renewals(&mut self, prices: &[(MarketKey, f64)]) {
         let now = self.provider.now();
         let allocs = self.provider.spot_allocations();
         for a in &allocs {
@@ -349,7 +361,7 @@ impl JobSim {
                                     > 1
                         })
                         .collect();
-                    let renew_price = self.provider.spot_price(a.market).unwrap_or(a.bid);
+                    let renew_price = Self::price_in(prices, a.market).unwrap_or(a.bid);
                     let view = AllocView {
                         market: a.market,
                         count: a.count,
@@ -371,17 +383,19 @@ impl JobSim {
     }
 
     /// Acquisition decisions.
-    fn acquisitions(&mut self) {
+    fn acquisitions(&mut self, prices: &[(MarketKey, f64)]) {
         if self.work_remaining() <= 0.0 {
             return;
         }
-        match self.kind.clone() {
+        // Bindings are `Copy` fields only, so no clone of the variant's
+        // heap state (the Proteus bid-delta vector) is needed.
+        match self.kind {
             SchemeKind::AllOnDemand { .. } => {}
             SchemeKind::StandardCheckpoint { .. } | SchemeKind::StandardAgileML { .. } => {
                 // Re-acquire the full fleet whenever empty (initially and
                 // after evictions complete).
                 if self.spot_cores() == 0 && self.pending_evictions == 0 {
-                    if let Some(req) = self.standard.acquire(&self.current_prices()) {
+                    if let Some(req) = self.standard.acquire(prices) {
                         if self
                             .provider
                             .request_spot(req.market, req.count, req.bid)
@@ -394,10 +408,9 @@ impl JobSim {
             }
             SchemeKind::Proteus { scale_pause, .. } => {
                 let footprint = self.footprint();
-                let prices = self.current_prices();
                 if let Some(req) =
                     self.brain
-                        .consider_acquisition(&footprint, &prices, self.provider.now())
+                        .consider_acquisition(&footprint, prices, self.provider.now())
                 {
                     if self
                         .provider
@@ -422,8 +435,11 @@ impl JobSim {
         let mut now = self.provider.now().max(self.start);
         let mut completed = false;
         while now < deadline {
-            self.renewals();
-            self.acquisitions();
+            // One trace lookup per market per step, shared by both
+            // decision passes.
+            let prices = self.current_prices();
+            self.renewals(&prices);
+            self.acquisitions(&prices);
 
             let rate = self.work_rate();
             let next = (now + STEP).min(deadline);

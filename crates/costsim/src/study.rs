@@ -15,8 +15,10 @@ use proteus_simtime::{SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::executor::StudyExecutor;
 use crate::scheme::{JobSpec, Scheme, SchemeKind};
 use crate::sim::{run_job, SimOutcome};
+use std::sync::OnceLock;
 
 /// Study parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -86,6 +88,10 @@ pub struct StudyEnv {
     /// The on-demand anchor market.
     pub on_demand_market: proteus_market::MarketKey,
     config: StudyConfig,
+    /// Lazily simulated all-on-demand baseline, shared by every
+    /// `run_scheme` call (the four-scheme comparison needs it once, not
+    /// four times).
+    baseline: OnceLock<SimOutcome>,
 }
 
 impl StudyEnv {
@@ -126,6 +132,7 @@ impl StudyEnv {
             starts,
             on_demand_market: keys[0],
             config,
+            baseline: OnceLock::new(),
         }
     }
 
@@ -134,50 +141,45 @@ impl StudyEnv {
         JobSpec::cluster_b_job(self.config.job_hours, self.on_demand_market)
     }
 
-    /// The all-on-demand baseline cost for one job (by simulation).
-    pub fn on_demand_baseline(&self) -> SimOutcome {
-        let scheme = Scheme {
-            kind: SchemeKind::AllOnDemand { machines: 128 },
-            job: self.job(),
-        };
-        run_job(
-            &scheme,
-            &self.traces,
-            &self.beta,
-            self.starts[0],
-            SimDuration::from_hours(self.config.max_job_hours as u64),
-        )
+    /// The simulation horizon per job.
+    fn horizon(&self) -> SimDuration {
+        SimDuration::from_hours(self.config.max_job_hours as u64)
     }
 
-    /// Runs one scheme across every start, aggregating.
-    pub fn run_scheme(&self, kind: SchemeKind) -> StudyResult {
-        let job = self.job();
-        let baseline = self.on_demand_baseline().cost;
-        let horizon = SimDuration::from_hours(self.config.max_job_hours as u64);
+    /// The all-on-demand baseline for one job, simulated at most once
+    /// per environment and cached.
+    pub fn on_demand_baseline(&self) -> &SimOutcome {
+        self.baseline.get_or_init(|| {
+            let scheme = Scheme {
+                kind: SchemeKind::AllOnDemand { machines: 128 },
+                job: self.job(),
+            };
+            run_job(
+                &scheme,
+                &self.traces,
+                &self.beta,
+                self.starts[0],
+                self.horizon(),
+            )
+        })
+    }
 
-        let mut costs: Vec<f64> = Vec::with_capacity(self.starts.len());
+    /// Aggregates per-start outcomes (in start order) into a result.
+    fn aggregate(&self, kind: &SchemeKind, outcomes: &[SimOutcome]) -> StudyResult {
+        let baseline = self.on_demand_baseline().cost;
+        let mut costs: Vec<f64> = Vec::with_capacity(outcomes.len());
         let mut runtime_sum = 0.0;
         let mut evict_sum = 0.0;
         let mut usage = UsageBreakdown::default();
         let mut completed = 0usize;
-        for &start in &self.starts {
-            let out = run_job(
-                &Scheme {
-                    kind: kind.clone(),
-                    job,
-                },
-                &self.traces,
-                &self.beta,
-                start,
-                horizon,
-            );
+        for out in outcomes {
             costs.push(out.cost);
             runtime_sum += out.runtime.as_hours_f64();
             evict_sum += f64::from(out.evictions);
             usage.accumulate(&out.usage);
             completed += usize::from(out.completed);
         }
-        let n = self.starts.len() as f64;
+        let n = outcomes.len() as f64;
         let cost_sum: f64 = costs.iter().sum();
         costs.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
         let pct = |q: f64| -> f64 {
@@ -196,17 +198,83 @@ impl StudyEnv {
             completion_rate: completed as f64 / n,
         }
     }
+
+    /// Runs one scheme across every start on the calling thread.
+    pub fn run_scheme(&self, kind: SchemeKind) -> StudyResult {
+        self.run_scheme_with(kind, &StudyExecutor::serial())
+    }
+
+    /// Runs one scheme across every start, fanning the independent job
+    /// simulations over `exec`'s thread pool. Results are aggregated in
+    /// start order, so the output is identical to [`Self::run_scheme`]
+    /// whatever the thread count.
+    pub fn run_scheme_with(&self, kind: SchemeKind, exec: &StudyExecutor) -> StudyResult {
+        // Warm the shared baseline before fanning out so workers never
+        // race to simulate it.
+        let _ = self.on_demand_baseline();
+        let job = self.job();
+        let horizon = self.horizon();
+        let scheme = Scheme {
+            kind: kind.clone(),
+            job,
+        };
+        let outcomes = exec.run_indexed(self.starts.len(), |i| {
+            run_job(&scheme, &self.traces, &self.beta, self.starts[i], horizon)
+        });
+        self.aggregate(&kind, &outcomes)
+    }
+
+    /// Runs the four-scheme comparison, fanning every `(scheme, start)`
+    /// pair over `exec`'s pool as one flat task set so the pool stays
+    /// saturated across scheme boundaries.
+    pub fn run_comparison_with(&self, exec: &StudyExecutor) -> Vec<StudyResult> {
+        let kinds = [
+            SchemeKind::AllOnDemand { machines: 128 },
+            SchemeKind::paper_checkpoint(),
+            SchemeKind::paper_standard_agileml(),
+            SchemeKind::paper_proteus(),
+        ];
+        let _ = self.on_demand_baseline();
+        let job = self.job();
+        let horizon = self.horizon();
+        let schemes: Vec<Scheme> = kinds
+            .iter()
+            .map(|kind| Scheme {
+                kind: kind.clone(),
+                job,
+            })
+            .collect();
+        let n = self.starts.len();
+        let outcomes = exec.run_indexed(kinds.len() * n, |t| {
+            run_job(
+                &schemes[t / n],
+                &self.traces,
+                &self.beta,
+                self.starts[t % n],
+                horizon,
+            )
+        });
+        kinds
+            .iter()
+            .enumerate()
+            .map(|(s, kind)| self.aggregate(kind, &outcomes[s * n..(s + 1) * n]))
+            .collect()
+    }
 }
 
-/// Runs the full four-scheme comparison (the paper's Figs. 8/9 setup).
+/// Runs the full four-scheme comparison (the paper's Figs. 8/9 setup)
+/// on the calling thread.
 pub fn run_study(config: StudyConfig) -> Vec<StudyResult> {
+    run_study_with(config, &StudyExecutor::serial())
+}
+
+/// Runs the full four-scheme comparison over a thread pool. The result
+/// is identical to [`run_study`] for any thread count: each `(scheme,
+/// start)` simulation is an independent deterministic task, and
+/// aggregation always happens in (scheme, start) order.
+pub fn run_study_with(config: StudyConfig, exec: &StudyExecutor) -> Vec<StudyResult> {
     let env = StudyEnv::new(config);
-    vec![
-        env.run_scheme(SchemeKind::AllOnDemand { machines: 128 }),
-        env.run_scheme(SchemeKind::paper_checkpoint()),
-        env.run_scheme(SchemeKind::paper_standard_agileml()),
-        env.run_scheme(SchemeKind::paper_proteus()),
-    ]
+    env.run_comparison_with(exec)
 }
 
 #[cfg(test)]

@@ -61,6 +61,9 @@ fn market_mix_is_recorded_for_standard_strategy_too() {
         SimDuration::from_hours(48),
     );
     assert!(out.completed);
+    // The standard strategy fills its 512-core budget in one shot from
+    // whichever market is cheapest per core; the largest catalog type
+    // has 16 vCPUs, so a full fleet is at least 32 instances.
     let total: u32 = out.market_mix.values().sum();
-    assert!(total >= 128, "the standard fleet is one big allocation");
+    assert!(total >= 32, "the standard fleet is one big allocation");
 }

@@ -1,0 +1,44 @@
+//! The parallel study engine must be a pure speedup: running the same
+//! study over any thread count yields `PartialEq`-identical results,
+//! because every (scheme, start) simulation is deterministic and
+//! aggregation always folds outcomes in (scheme, start) order.
+
+use proteus_costsim::{run_study, run_study_with, StudyConfig, StudyExecutor};
+use proteus_market::MarketModel;
+
+fn config() -> StudyConfig {
+    StudyConfig {
+        seed: 21,
+        train_days: 5,
+        eval_days: 7,
+        starts: 10,
+        job_hours: 2.0,
+        market_model: MarketModel::default(),
+        max_job_hours: 48.0,
+    }
+}
+
+#[test]
+fn study_results_identical_across_thread_counts() {
+    let serial = run_study(config());
+    assert_eq!(serial.len(), 4);
+    for threads in [2, 4, 7] {
+        let parallel = run_study_with(config(), &StudyExecutor::new(threads));
+        assert_eq!(serial, parallel, "divergence at {threads} threads");
+    }
+}
+
+#[test]
+fn per_scheme_runs_match_the_comparison_fanout() {
+    use proteus_costsim::{SchemeKind, StudyEnv};
+    let env = StudyEnv::new(config());
+    let exec = StudyExecutor::new(4);
+    let comparison = env.run_comparison_with(&exec);
+    let solo = [
+        env.run_scheme(SchemeKind::AllOnDemand { machines: 128 }),
+        env.run_scheme(SchemeKind::paper_checkpoint()),
+        env.run_scheme(SchemeKind::paper_standard_agileml()),
+        env.run_scheme(SchemeKind::paper_proteus()),
+    ];
+    assert_eq!(comparison.as_slice(), solo.as_slice());
+}

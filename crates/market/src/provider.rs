@@ -50,6 +50,8 @@ pub struct SpotAllocation {
     pub hour_start: SimTime,
     /// Whether an eviction warning is outstanding.
     pub warned: bool,
+    /// When the outstanding warning will evict the instances, if warned.
+    pub evict_at: Option<SimTime>,
 }
 
 /// An on-demand allocation (never evicted by the provider).
@@ -89,8 +91,14 @@ pub enum ProviderEvent {
 }
 
 /// The simulated provider.
-pub struct CloudProvider {
-    traces: TraceSet,
+///
+/// The trace set is held as a [`Cow`](std::borrow::Cow): pass a
+/// `&TraceSet` to share one price history across many providers (the
+/// cost-study engine runs thousands of simulations against a single
+/// generated history) or an owned `TraceSet` for a self-contained
+/// provider.
+pub struct CloudProvider<'a> {
+    traces: std::borrow::Cow<'a, TraceSet>,
     now: SimTime,
     next_id: u64,
     spot: BTreeMap<AllocationId, SpotLease>,
@@ -99,18 +107,21 @@ pub struct CloudProvider {
     warning_lead: SimDuration,
 }
 
-impl CloudProvider {
-    /// Creates a provider over the given price traces, using the EC2
-    /// two-minute eviction warning.
-    pub fn new(traces: TraceSet) -> Self {
+impl<'a> CloudProvider<'a> {
+    /// Creates a provider over the given price traces (owned or
+    /// borrowed), using the EC2 two-minute eviction warning.
+    pub fn new(traces: impl Into<std::borrow::Cow<'a, TraceSet>>) -> Self {
         Self::with_warning_lead(traces, crate::EC2_EVICTION_WARNING)
     }
 
     /// Creates a provider with a custom warning lead (e.g. 30 s for a
     /// GCE-style provider, or zero to model warning-less revocation).
-    pub fn with_warning_lead(traces: TraceSet, warning_lead: SimDuration) -> Self {
+    pub fn with_warning_lead(
+        traces: impl Into<std::borrow::Cow<'a, TraceSet>>,
+        warning_lead: SimDuration,
+    ) -> Self {
         CloudProvider {
-            traces,
+            traces: traces.into(),
             now: SimTime::EPOCH,
             next_id: 0,
             spot: BTreeMap::new(),
@@ -161,6 +172,10 @@ impl CloudProvider {
                 granted_at: l.granted_at,
                 hour_start: l.hour_start,
                 warned: l.is_warned(),
+                evict_at: match l.state {
+                    SpotState::WarningIssued { evict_at } => Some(evict_at),
+                    _ => None,
+                },
             })
             .collect()
     }
@@ -463,7 +478,7 @@ mod tests {
         MarketKey::new(catalog::c4_xlarge(), Zone(0))
     }
 
-    fn provider_with(points: Vec<(SimTime, f64)>) -> CloudProvider {
+    fn provider_with(points: Vec<(SimTime, f64)>) -> CloudProvider<'static> {
         let mut set = TraceSet::new();
         set.insert(key(), PriceTrace::from_points(points).expect("trace"));
         CloudProvider::new(set)

@@ -212,6 +212,21 @@ impl TraceSet {
     }
 }
 
+// Borrow-or-own conversions so consumers (notably `CloudProvider`) can
+// accept either an owned set or a shared reference without cloning the
+// underlying traces.
+impl<'a> From<TraceSet> for std::borrow::Cow<'a, TraceSet> {
+    fn from(set: TraceSet) -> Self {
+        std::borrow::Cow::Owned(set)
+    }
+}
+
+impl<'a> From<&'a TraceSet> for std::borrow::Cow<'a, TraceSet> {
+    fn from(set: &'a TraceSet) -> Self {
+        std::borrow::Cow::Borrowed(set)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

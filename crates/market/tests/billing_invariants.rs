@@ -14,7 +14,7 @@ fn market() -> MarketKey {
 }
 
 /// A provider over a generated trace for the given seed/model.
-fn provider(seed: u64, volatile: bool) -> CloudProvider {
+fn provider(seed: u64, volatile: bool) -> CloudProvider<'static> {
     let model = if volatile {
         MarketModel::volatile()
     } else {

@@ -244,13 +244,13 @@ mod tests {
     fn kmeans_converges_on_blobs() {
         let dim = 3;
         let clusters = 3;
-        let data = blobs(240, dim, clusters, 3.0, 0.4, 8);
+        let data = blobs(240, dim, clusters, 3.0, 0.4, 5);
         let app = KMeans::new(KmConfig {
             dim,
             clusters,
             init_scale: 2.0,
         });
-        let mut t = SequentialTrainer::new(app, data, 8);
+        let mut t = SequentialTrainer::new(app, data, 5);
         t.run(2);
         let early = t.objective();
         t.run(18);

@@ -40,28 +40,21 @@ impl<M: Send + 'static> ClusterInner<M> {
     /// Routes an application message, counting drops to dead targets.
     pub(crate) fn deliver(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), SendError> {
         let nodes = self.nodes.read();
-        match nodes.get(&to) {
-            Some(entry) if !entry.dead => {
-                // A send only fails if the receiver was torn down between
-                // the liveness check and the send; treat it as a drop.
-                if entry.tx.send(Incoming::App(Envelope { from, msg })).is_ok() {
-                    self.messages.fetch_add(1, Ordering::Relaxed);
-                    *self.traffic.write().entry((from, to)).or_insert(0) += 1;
-                    Ok(())
-                } else {
-                    self.dropped.fetch_add(1, Ordering::Relaxed);
-                    Err(SendError::Unreachable(to))
-                }
-            }
-            _ => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-                Err(SendError::Unreachable(to))
+        if let Some(entry) = nodes.get(&to).filter(|e| !e.dead) {
+            // A send only fails if the receiver was torn down between
+            // the liveness check and the send; treat it as a drop.
+            if entry.tx.send(Incoming::App(Envelope { from, msg })).is_ok() {
+                self.messages.fetch_add(1, Ordering::Relaxed);
+                *self.traffic.write().entry((from, to)).or_insert(0) += 1;
+                return Ok(());
             }
         }
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        Err(SendError::Unreachable(to))
     }
 
     pub(crate) fn is_dead(&self, node: NodeId) -> bool {
-        self.nodes.read().get(&node).map_or(true, |e| e.dead)
+        self.nodes.read().get(&node).is_none_or(|e| e.dead)
     }
 
     pub(crate) fn is_alive(&self, node: NodeId) -> bool {

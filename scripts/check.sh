@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, and the full test suite.
+# Run before every push; CI runs the same three commands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> all checks passed"

@@ -1,0 +1,491 @@
+//! Offline stub of `proptest`.
+//!
+//! Keeps the property-test surface the workspace uses — the
+//! [`proptest!`] macro, `prop_assert*!`, [`strategy::Strategy`] with
+//! `prop_map`, range/tuple/`any` strategies, [`collection`] and
+//! [`sample`] — but trades proptest's failure *shrinking* for
+//! simplicity: each case draws values from a deterministic per-test
+//! RNG and a failing case panics with the ordinary `assert!` message.
+//! Seeds derive from the test's module path + name, so failures
+//! reproduce exactly on re-run.
+
+pub mod test_runner {
+    /// Runner configuration; only the case count is honored.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of value tuples drawn and checked per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` iterations.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator backing every strategy draw
+    /// (SplitMix64 over an FNV-1a hash of the test's identity).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG whose stream is a pure function of `identity`.
+        pub fn deterministic(identity: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in identity.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform draw in `[0, 1)` with 53-bit resolution.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the deterministic RNG.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+
+    /// Types with a canonical full-domain strategy (see [`any`]).
+    pub trait Arbitrary {
+        /// Draws an unconstrained value of `Self`.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            (rng.unit_f64() - 0.5) * 2.0e6
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Length bounds shared by the container strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_excl: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut crate::test_runner::TestRng) -> usize {
+        if self.max_excl <= self.min {
+            self.min
+        } else {
+            self.min + rng.below((self.max_excl - self.min) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max_excl: exact + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max_excl: r.end.max(r.start),
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use crate::SizeRange;
+    use std::collections::BTreeMap;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`. Duplicate key draws collapse, so
+    /// the generated map's length is *at most* the drawn size.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    /// Generates maps with keys from `keys` and values from `values`.
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.draw(rng);
+            (0..len)
+                .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use crate::SizeRange;
+
+    /// Strategy drawing an order-preserving subsequence of a base vector.
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T> {
+        base: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// Picks `size`-many elements of `base`, keeping their relative order.
+    pub fn subsequence<T: Clone>(base: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            base,
+            size: size.into(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let len = self.size.draw(rng).min(self.base.len());
+            // Partial Fisher–Yates over the index set, then restore order.
+            let mut idx: Vec<usize> = (0..self.base.len()).collect();
+            for i in 0..len {
+                let j = i + rng.below((idx.len() - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            let mut picked = idx[..len].to_vec();
+            picked.sort_unstable();
+            picked.iter().map(|&i| self.base[i].clone()).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a property holds for the current case; panics (with the
+/// formatted message, if given) on failure instead of shrinking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality form of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that draws `cases` value tuples from a
+/// deterministic RNG and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for _ in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..2000 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(-2.0f64..3.5), &mut rng);
+            assert!((-2.0..3.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_membership() {
+        let mut rng = TestRng::deterministic("subseq");
+        for _ in 0..500 {
+            let s = crate::sample::subsequence(vec![0u32, 1, 2, 3], 0..4);
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v.len() < 4);
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn collections_honor_size() {
+        let mut rng = TestRng::deterministic("coll");
+        let exact = crate::collection::vec(0u64..10, 5usize);
+        assert_eq!(Strategy::generate(&exact, &mut rng).len(), 5);
+        let m = crate::collection::btree_map(0u32..4, 0.0f32..1.0, 0..8);
+        for _ in 0..200 {
+            let map = Strategy::generate(&m, &mut rng);
+            assert!(map.len() <= 7);
+            assert!(map.keys().all(|k| *k < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: tuples, any, prop_map, trailing commas.
+        #[test]
+        fn macro_end_to_end(
+            pair in (0u64..16, -1.0f32..1.0),
+            flag in any::<bool>(),
+            doubled in (1u32..10).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(pair.0 < 16);
+            prop_assert!(pair.1.abs() <= 1.0);
+            prop_assert!(flag || !flag);
+            prop_assert_eq!(doubled % 2, 0, "prop_map output {}", doubled);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_identity() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::deterministic("id");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::deterministic("id");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = TestRng::deterministic("other");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+}

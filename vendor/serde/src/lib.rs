@@ -1,0 +1,32 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize`; nothing
+//! binds on the traits or drives a serializer (trace persistence goes
+//! through the dependency-free CSV codec in `proteus-market::io`). The
+//! traits here are empty markers and the derive macros (re-exported
+//! from the stub `serde_derive`) expand to nothing, which keeps every
+//! `#[derive(Serialize, Deserialize)]` in the tree compiling without
+//! network access. Swapping the real serde back in later is a
+//! one-line `[patch.crates-io]` removal.
+
+/// Marker for types declared serializable.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing.
+pub trait DeserializeOwned: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization half of the data model (empty in the stub).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Deserialization half of the data model (empty in the stub).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

@@ -1,0 +1,23 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` throughout as a
+//! forward-looking marker but never actually serializes anything (no
+//! `serde_json`, no bincode, no trait bounds on the serde traits). The
+//! container cannot fetch the real implementation, so these derives
+//! expand to nothing — which type-checks precisely because no code
+//! consumes the impls. The `serde` attribute is still registered so
+//! field/container attributes would not break compilation if added.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
