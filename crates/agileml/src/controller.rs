@@ -21,6 +21,7 @@ use proteus_simnet::{Control, Incoming, NodeClass, NodeCtx, NodeId, RecvError};
 use proteus_simtime::rng::seeded_stream;
 
 use crate::config::AgileConfig;
+use crate::error::JobFault;
 use crate::events::{JobEvent, JobStatus};
 use crate::job::ModelSnapshot;
 use crate::msg::{AgileMsg, Command, NodeAssignment, Values};
@@ -56,8 +57,13 @@ pub fn run_controller<A: MlApp>(
 enum Pending {
     /// Initial start: waiting for every member's `Ready`.
     StartJob,
-    /// Node addition: waiting for configured nodes' `Ready`.
-    AddNodes { added: Vec<NodeId> },
+    /// Node addition: waiting for the added nodes' `Hello`s
+    /// (`configured: false`), then for configured nodes' `Ready`. The
+    /// flag keeps a duplicated `Hello` from re-running integration.
+    AddNodes {
+        added: Vec<NodeId>,
+        configured: bool,
+    },
     /// Failure recovery phase 1: collecting backup clock reports.
     RecoveryQuery {
         failed: Vec<NodeId>,
@@ -100,6 +106,18 @@ struct Controller<A: MlApp> {
     pending_ready: BTreeSet<NodeId>,
     queued: VecDeque<Command>,
     snapshot: Option<SnapshotCollect>,
+    /// Partition migrations ordered but not yet acknowledged:
+    /// source → `(destination, partitions)` batches. A source that dies
+    /// with an entry here may have taken the only serving copy with it,
+    /// so its failure must trigger full rollback recovery even if the
+    /// source was already removed from membership (eviction in flight).
+    migrations: BTreeMap<NodeId, Vec<(NodeId, Vec<PartitionId>)>>,
+    /// Nodes reported dead while another action was pending. Their
+    /// `NodesFailed` sits in the command queue, but until it runs no new
+    /// pending action may count on them (as a `Ready` sender, a new
+    /// partition owner, or a clock participant) — a recovery that waits
+    /// on a corpse never finishes. Cleared when the queued report runs.
+    known_dead: BTreeSet<NodeId>,
     /// Parameter values to start from (checkpoint restore); `None`
     /// means fresh random initialization.
     initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
@@ -141,6 +159,8 @@ impl<A: MlApp> Controller<A> {
             pending_ready: BTreeSet::new(),
             queued: VecDeque::new(),
             snapshot: None,
+            migrations: BTreeMap::new(),
+            known_dead: BTreeSet::new(),
             initial_model,
             events,
             debug: std::env::var_os("AGILE_DEBUG").is_some(),
@@ -265,9 +285,23 @@ impl<A: MlApp> Controller<A> {
             }
             AgileMsg::Ready => {
                 self.pending_ready.remove(&from);
+                // Migrations into this node have landed (Ready is sent
+                // only after all awaited installs arrive, and per-sender
+                // FIFO orders it after the last install's relay chain).
+                for batches in self.migrations.values_mut() {
+                    batches.retain(|(dest, _)| *dest != from);
+                }
+                self.migrations.retain(|_, batches| !batches.is_empty());
                 self.dbg(|| format!("Ready from {from:?}, remaining {:?}", self.pending_ready));
                 self.try_finish_pending(ctx);
             }
+            // A node relayed the provider's warning directly. Route it
+            // through the command path so it queues behind any in-flight
+            // action exactly like a driver-issued warning.
+            AgileMsg::EvictionNotice { .. } if self.members.contains_key(&from) => {
+                return self.handle_command(Command::EvictWarned { nodes: vec![from] }, ctx);
+            }
+            AgileMsg::EvictionNotice { .. } => {}
             AgileMsg::ClockDone { clock, epoch } => {
                 if epoch != self.epoch {
                     return true;
@@ -285,22 +319,9 @@ impl<A: MlApp> Controller<A> {
                 if let Some(snap) = self.snapshot.as_mut() {
                     if snap.expect.remove(&partition) {
                         snap.images.insert(partition, image);
-                        if snap.expect.is_empty() {
-                            let snap = self.snapshot.take().expect("present");
-                            let mut params = BTreeMap::new();
-                            for (_, image) in snap.images {
-                                for (k, v) in image {
-                                    params.insert(k, v);
-                                }
-                            }
-                            let _ = snap.reply.send(ModelSnapshot {
-                                params,
-                                clock: self.clock.min_clock().unwrap_or(0),
-                            });
-                            self.drain_queue(ctx);
-                        }
                     }
                 }
+                self.finish_snapshot_if_complete(ctx);
             }
             AgileMsg::Cmd(cmd) => return self.handle_command(cmd, ctx),
             // Data-plane traffic never targets the controller.
@@ -337,6 +358,17 @@ impl<A: MlApp> Controller<A> {
                 let _ = reply.send(());
                 false
             }
+            Command::NodesFailed { nodes } if self.busy() => {
+                // The dead nodes can no longer acknowledge anything the
+                // in-flight action is waiting on — strip them from its
+                // expectations, or the queued recovery never runs. Queue
+                // first: unwedging the pending action drains the queue.
+                self.queued.push_back(Command::NodesFailed {
+                    nodes: nodes.clone(),
+                });
+                self.note_dead_during_pending(&nodes, ctx);
+                true
+            }
             cmd if self.busy() => {
                 self.dbg(|| {
                     format!(
@@ -360,6 +392,7 @@ impl<A: MlApp> Controller<A> {
                 } else {
                     self.pending = Some(Pending::AddNodes {
                         added: nodes.iter().map(|(n, _)| *n).collect(),
+                        configured: false,
                     });
                 }
                 self.try_progress_membership(ctx);
@@ -417,6 +450,31 @@ impl<A: MlApp> Controller<A> {
         }
     }
 
+    /// Delivers an in-flight snapshot once every expected partition
+    /// image arrived (or its expectation was stripped because the owner
+    /// died), then resumes queued commands.
+    fn finish_snapshot_if_complete(&mut self, ctx: &NodeCtx<AgileMsg>) {
+        if !self
+            .snapshot
+            .as_ref()
+            .is_some_and(|snap| snap.expect.is_empty())
+        {
+            return;
+        }
+        let snap = self.snapshot.take().expect("checked above");
+        let mut params = BTreeMap::new();
+        for (_, image) in snap.images {
+            for (k, v) in image {
+                params.insert(k, v);
+            }
+        }
+        let _ = snap.reply.send(ModelSnapshot {
+            params,
+            clock: self.clock.min_clock().unwrap_or(0),
+        });
+        self.drain_queue(ctx);
+    }
+
     fn maybe_broadcast_min(&mut self, ctx: &NodeCtx<AgileMsg>) {
         if let Some(min) = self.clock.min_clock() {
             if min > self.last_min_broadcast {
@@ -447,7 +505,10 @@ impl<A: MlApp> Controller<A> {
             {
                 self.initial_layout(ctx);
             }
-            Some(Pending::AddNodes { added }) => {
+            Some(Pending::AddNodes {
+                added,
+                configured: false,
+            }) => {
                 let added = added.clone();
                 if added.iter().all(|n| self.helloed.contains(n)) {
                     self.integrate_nodes(&added, ctx);
@@ -653,6 +714,10 @@ impl<A: MlApp> Controller<A> {
                     retain_as_backup: retain,
                 },
             );
+            self.migrations
+                .entry(*old)
+                .or_default()
+                .push((*new, parts.clone()));
             awaits
                 .entry(*new)
                 .or_default()
@@ -693,11 +758,10 @@ impl<A: MlApp> Controller<A> {
             });
         }
         // Register new workers (and deregister reliable ones on 2→3).
+        // `register_at` keeps a rejoining worker from dragging the
+        // consistent clock back to zero.
         for w in &workers {
-            if self.clock.clock_of(w.0).is_none() {
-                self.clock.register(w.0);
-                self.clock.advance(w.0, resume);
-            }
+            self.clock.register_at(w.0, resume);
         }
         let worker_set: BTreeSet<NodeId> = workers.iter().copied().collect();
         let registered: Vec<u32> = self
@@ -722,6 +786,7 @@ impl<A: MlApp> Controller<A> {
         } else {
             self.pending = Some(Pending::AddNodes {
                 added: added.to_vec(),
+                configured: true,
             });
         }
     }
@@ -759,7 +824,7 @@ impl<A: MlApp> Controller<A> {
                 });
                 self.drain_queue(ctx);
             }
-            Some(Pending::AddNodes { added }) => self.finish_add(added, ctx),
+            Some(Pending::AddNodes { added, .. }) => self.finish_add(added, ctx),
             Some(Pending::RecoveryInstall { failed, clock }) => {
                 self.broadcast(ctx, &AgileMsg::Start);
                 self.broadcast(
@@ -784,10 +849,20 @@ impl<A: MlApp> Controller<A> {
     // ------------------------------------------------------------------
 
     fn handle_eviction(&mut self, nodes: Vec<NodeId>, ctx: &NodeCtx<AgileMsg>) {
-        let victims: Vec<NodeId> = nodes
+        let (victims, reliable_victims): (Vec<NodeId>, Vec<NodeId>) = nodes
             .into_iter()
             .filter(|n| self.members.contains_key(n))
-            .collect();
+            .partition(|n| self.members.get(n) == Some(&NodeClass::Transient));
+        if !reliable_victims.is_empty() {
+            // The market never revokes the reliable tier (paper Sec. 2),
+            // and draining solution state off it has no destination —
+            // refuse with a typed fault and keep the job running.
+            self.emit(JobEvent::Faulted {
+                fault: JobFault::ReliableNodesEvicted {
+                    nodes: reliable_victims,
+                },
+            });
+        }
         if victims.is_empty() {
             // Nothing to do (unknown or already-gone nodes); report the
             // no-op so drivers waiting on the eviction don't hang.
@@ -803,7 +878,14 @@ impl<A: MlApp> Controller<A> {
         self.join_order.retain(|n| !victims.contains(n));
         self.helloed.retain(|n| !victims.contains(n));
 
-        let new_stage = self.pick_stage();
+        let mut new_stage = self.pick_stage();
+        if self.transient().is_empty() && new_stage.uses_backups() {
+            // Even a forced stage 2/3 cannot host ActivePSs once an
+            // eviction storm took every transient machine: fall back to
+            // the stage the thresholds dictate and re-serve from the
+            // BackupPSs.
+            new_stage = Stage::Stage1;
+        }
         let victim_actives: Vec<NodeId> = victims
             .iter()
             .filter(|v| self.active_hosts.contains(v))
@@ -826,12 +908,7 @@ impl<A: MlApp> Controller<A> {
                 let _ = ctx.send(*a, AgileMsg::DrainToBackup);
             }
             self.active_hosts.clear();
-            self.partition_owner = self
-                .backup_owner
-                .iter()
-                .map(|b| b.expect("stage 2/3 always has backups"))
-                .collect();
-            self.backup_owner = vec![None; self.layout.count() as usize];
+            self.promote_backups_to_serving();
         } else if old_stage.uses_backups() && !victim_actives.is_empty() {
             // Partial eviction in stage 2/3: migrate victims' partitions
             // to surviving transient nodes, preferring ones without an
@@ -839,7 +916,7 @@ impl<A: MlApp> Controller<A> {
             let survivors_without: Vec<NodeId> = self
                 .transient()
                 .into_iter()
-                .filter(|n| !self.active_hosts.contains(n))
+                .filter(|n| !self.active_hosts.contains(n) && !self.known_dead.contains(n))
                 .collect();
             let mut fresh = survivors_without.into_iter();
             for victim in &victim_actives {
@@ -847,15 +924,35 @@ impl<A: MlApp> Controller<A> {
                 if parts.is_empty() {
                     continue;
                 }
-                let new_owner = fresh.next().unwrap_or_else(|| {
-                    // Merge into the surviving ActivePS with the fewest
-                    // partitions.
-                    *self
-                        .active_hosts
+                // Merge into the surviving ActivePS with the fewest
+                // partitions when no fresh host remains. A node whose
+                // `NodesFailed` is still queued must not become an
+                // owner: images shipped to a corpse are lost.
+                let new_owner = fresh.next().or_else(|| {
+                    self.active_hosts
                         .iter()
+                        .filter(|n| !self.known_dead.contains(n))
                         .min_by_key(|n| self.owned_by(**n).len())
-                        .expect("partial eviction leaves surviving actives")
+                        .copied()
                 });
+                let Some(new_owner) = new_owner else {
+                    // No transient survivor can host these partitions
+                    // (a storm took every candidate): drain the victim
+                    // and re-serve from the BackupPS copies instead.
+                    let _ = ctx.send(*victim, AgileMsg::DrainToBackup);
+                    for p in parts {
+                        let i = p.0 as usize;
+                        if let Some(b) = self.backup_owner[i] {
+                            self.partition_owner[i] = b;
+                            self.backup_owner[i] = None;
+                        } else {
+                            self.emit(JobEvent::Faulted {
+                                fault: JobFault::PartitionStateLost { partition: p.0 },
+                            });
+                        }
+                    }
+                    continue;
+                };
                 self.active_hosts.insert(new_owner);
                 let _ = ctx.send(
                     *victim,
@@ -865,6 +962,10 @@ impl<A: MlApp> Controller<A> {
                         retain_as_backup: false,
                     },
                 );
+                self.migrations
+                    .entry(*victim)
+                    .or_default()
+                    .push((new_owner, parts.clone()));
                 migrating_to
                     .entry(new_owner)
                     .or_default()
@@ -897,11 +998,12 @@ impl<A: MlApp> Controller<A> {
         }
         let worker_set: BTreeSet<NodeId> = workers.iter().copied().collect();
         for n in self.members.keys() {
-            if worker_set.contains(n) {
-                if self.clock.clock_of(n.0).is_none() {
-                    self.clock.register(n.0);
-                    self.clock.advance(n.0, self.last_min_broadcast);
-                }
+            if worker_set.contains(n) && !self.known_dead.contains(n) {
+                // Re-registering at the broadcast floor (not zero) keeps
+                // stage flips from regressing the consistent clock. A
+                // corpse awaiting its queued `NodesFailed` is skipped:
+                // registering it would pin the minimum forever.
+                self.clock.register_at(n.0, self.last_min_broadcast);
             } else {
                 self.clock.deregister(n.0);
             }
@@ -962,25 +1064,53 @@ impl<A: MlApp> Controller<A> {
     // ------------------------------------------------------------------
 
     fn handle_failure(&mut self, nodes: Vec<NodeId>, ctx: &NodeCtx<AgileMsg>) {
+        let requested = nodes.clone();
+        // This is the queued report `note_dead_during_pending` was
+        // holding the mark for; from here the normal removal below takes
+        // over.
+        for n in &requested {
+            self.known_dead.remove(n);
+        }
+        // A node with an in-flight migration may hold the only serving
+        // copy of its outbound partitions even after eviction removed it
+        // from membership — its death still matters.
         let victims: Vec<NodeId> = nodes
             .into_iter()
-            .filter(|n| self.members.contains_key(n))
+            .filter(|n| self.members.contains_key(n) || self.migrations.contains_key(n))
             .collect();
         if victims.is_empty() {
+            // Unknown or already-gone nodes: acknowledge the no-op with
+            // the requested list so waiting drivers don't hang.
+            self.emit(JobEvent::NodesFailedRecovered {
+                nodes: requested,
+                rolled_back_to: self.last_min_broadcast,
+            });
             return;
         }
-        assert!(
-            victims
-                .iter()
-                .all(|v| self.members.get(v) == Some(&NodeClass::Transient)),
-            "reliable-node failures require external checkpointing (paper Sec. 3.3) \
-             and are not recoverable by the elasticity controller"
-        );
-        let owners_lost = victims.iter().any(|v| self.partition_owner.contains(v));
+        let reliable_victims: Vec<NodeId> = victims
+            .iter()
+            .filter(|v| self.members.get(v) == Some(&NodeClass::Reliable))
+            .copied()
+            .collect();
+        if !reliable_victims.is_empty() {
+            // Reliable-node failures require external checkpointing
+            // (paper Sec. 3.3) and are not recoverable by the
+            // elasticity controller: report instead of panicking.
+            self.emit(JobEvent::Faulted {
+                fault: JobFault::ReliableNodesFailed {
+                    nodes: reliable_victims,
+                },
+            });
+            return;
+        }
+        let owners_lost = victims
+            .iter()
+            .any(|v| self.partition_owner.contains(v) || self.migrations.contains_key(v));
 
         for v in &victims {
             self.members.remove(v);
             self.clock.deregister(v.0);
+            self.migrations.remove(v);
         }
         self.join_order.retain(|n| !victims.contains(n));
         self.helloed.retain(|n| !victims.contains(n));
@@ -1017,7 +1147,7 @@ impl<A: MlApp> Controller<A> {
             self.broadcast(ctx, &AgileMsg::Topology(topo));
             self.broadcast(ctx, &AgileMsg::Start);
             self.emit(JobEvent::NodesFailedRecovered {
-                nodes: victims,
+                nodes: requested,
                 rolled_back_to: self.last_min_broadcast,
             });
             self.maybe_broadcast_min(ctx);
@@ -1026,22 +1156,28 @@ impl<A: MlApp> Controller<A> {
 
         // Phase 1: ask every backup holder for its consistent clock.
         let backups: BTreeSet<NodeId> = self.backup_owner.iter().flatten().copied().collect();
-        assert!(
-            !backups.is_empty(),
-            "partition owners failed but no backups exist; stage 2/3 always has backups"
-        );
+        if backups.is_empty() {
+            // Partition owners died with nothing to recover from (e.g.
+            // an unwarned failure in stage 1 took a serving node, which
+            // only reliable machines host — already reported above — or
+            // every backup was stripped by a concurrent failure).
+            self.emit(JobEvent::Faulted {
+                fault: JobFault::NoBackups,
+            });
+            return;
+        }
         for b in &backups {
             let _ = ctx.send(*b, AgileMsg::BackupClockQuery);
         }
         self.pending = Some(Pending::RecoveryQuery {
-            failed: victims,
+            failed: requested,
             replies: BTreeMap::new(),
             expect: backups,
         });
     }
 
     fn on_backup_clock_info(&mut self, from: NodeId, min_clock: u64, ctx: &NodeCtx<AgileMsg>) {
-        let (failed, done, target) = match self.pending.as_mut() {
+        let (failed, target) = match self.pending.as_mut() {
             Some(Pending::RecoveryQuery {
                 failed,
                 replies,
@@ -1051,25 +1187,42 @@ impl<A: MlApp> Controller<A> {
                     return;
                 }
                 replies.insert(from, min_clock);
-                if replies.len() == expect.len() {
-                    let target = replies.values().copied().min().unwrap_or(0);
-                    (failed.clone(), true, target)
+                // Completion is judged against `expect`, not reply
+                // counts: a backup stripped from `expect` after replying
+                // must not wedge (or skew) the quorum.
+                if expect.iter().all(|b| replies.contains_key(b)) {
+                    let target = expect
+                        .iter()
+                        .filter_map(|b| replies.get(b))
+                        .copied()
+                        .min()
+                        .unwrap_or(0);
+                    (failed.clone(), target)
                 } else {
                     return;
                 }
             }
             _ => return,
         };
-        if done {
-            self.run_recovery(failed, target, ctx);
-        }
+        self.pending = None;
+        self.run_recovery(failed, target, ctx);
     }
 
     /// Phase 2 of failure recovery: new owners, rollback-aligned images
     /// from backups, epoch bump, worker restart.
     fn run_recovery(&mut self, failed: Vec<NodeId>, target: u64, ctx: &NodeCtx<AgileMsg>) {
         self.epoch += 1;
-        let transient = self.transient();
+        // Recovery reassigns and reinstalls every partition from the
+        // rolled-back backups; in-flight migrations are moot.
+        self.migrations.clear();
+        // Nodes whose own `NodesFailed` is still queued are members on
+        // paper but corpses in practice: this recovery must not make
+        // them owners or wait on them.
+        let transient: Vec<NodeId> = self
+            .transient()
+            .into_iter()
+            .filter(|n| !self.known_dead.contains(n))
+            .collect();
 
         if transient.is_empty() {
             // All transient resources failed at once (the paper's "all
@@ -1079,12 +1232,7 @@ impl<A: MlApp> Controller<A> {
             // the lost iterations. The job degenerates to stage 1.
             let old_stage = self.stage;
             self.active_hosts.clear();
-            self.partition_owner = self
-                .backup_owner
-                .iter()
-                .map(|b| b.expect("stage 2/3 always has backups"))
-                .collect();
-            self.backup_owner = vec![None; self.layout.count() as usize];
+            self.promote_backups_to_serving();
             self.stage = Stage::Stage1;
             if old_stage != Stage::Stage1 {
                 self.emit(JobEvent::StageChanged {
@@ -1098,7 +1246,7 @@ impl<A: MlApp> Controller<A> {
                 .partition_owner
                 .iter()
                 .enumerate()
-                .filter(|(_, o)| !self.members.contains_key(o))
+                .filter(|(_, o)| !self.members.contains_key(o) || self.known_dead.contains(o))
                 .map(|(i, _)| PartitionId(i as u32))
                 .collect();
             let fresh: Vec<NodeId> = transient
@@ -1108,15 +1256,32 @@ impl<A: MlApp> Controller<A> {
                 .collect();
             let mut fresh_iter = fresh.iter();
             for p in &dead_partitions {
-                let new_owner = fresh_iter.next().copied().unwrap_or_else(|| {
-                    *self
-                        .active_hosts
+                let i = p.0 as usize;
+                let new_owner = fresh_iter.next().copied().or_else(|| {
+                    self.active_hosts
                         .iter()
+                        .filter(|n| !self.known_dead.contains(n))
                         .min_by_key(|n| self.owned_by(**n).len())
-                        .expect("surviving actives exist")
+                        .copied()
                 });
-                self.active_hosts.insert(new_owner);
-                self.partition_owner[p.0 as usize] = new_owner;
+                match new_owner {
+                    Some(n) => {
+                        self.active_hosts.insert(n);
+                        self.partition_owner[i] = n;
+                    }
+                    // No transient survivor can serve (every one is
+                    // dead or unusable): fall back to the backup copy,
+                    // or report the partition lost.
+                    None => match self.backup_owner[i] {
+                        Some(b) => {
+                            self.partition_owner[i] = b;
+                            self.backup_owner[i] = None;
+                        }
+                        None => self.emit(JobEvent::Faulted {
+                            fault: JobFault::PartitionStateLost { partition: p.0 },
+                        }),
+                    },
+                }
             }
         }
 
@@ -1128,11 +1293,14 @@ impl<A: MlApp> Controller<A> {
             }
         }
 
-        // Reset clocks: every worker resumes from the target.
+        // Reset clocks: every worker resumes from the target. A corpse
+        // registered here would pin the minimum at `target` forever.
         self.clock = ClockTable::new(self.cfg.slack);
         for w in &workers {
-            self.clock.register(w.0);
-            self.clock.advance(w.0, target);
+            if self.known_dead.contains(w) {
+                continue;
+            }
+            self.clock.register_at(w.0, target);
         }
         self.last_min_broadcast = target;
 
@@ -1183,7 +1351,7 @@ impl<A: MlApp> Controller<A> {
                 .as_ref()
                 .map(|a| a.blocks_of(n))
                 .unwrap_or_default();
-            if !serve.is_empty() {
+            if !serve.is_empty() && !self.known_dead.contains(&n) {
                 self.pending_ready.insert(n);
             }
             let assign = NodeAssignment {
@@ -1205,5 +1373,152 @@ impl<A: MlApp> Controller<A> {
             clock: target,
         });
         self.try_finish_pending(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-tolerance helpers
+    // ------------------------------------------------------------------
+
+    /// Promotes every BackupPS copy to serving owner (degeneration to
+    /// stage 1 after losing the whole ActivePS tier). A partition with
+    /// no backup keeps its current owner when that owner is still a
+    /// live member, and is reported lost otherwise.
+    fn promote_backups_to_serving(&mut self) {
+        for i in 0..self.partition_owner.len() {
+            match self.backup_owner[i] {
+                Some(b) => {
+                    self.partition_owner[i] = b;
+                    self.backup_owner[i] = None;
+                }
+                None => {
+                    if !self.members.contains_key(&self.partition_owner[i]) {
+                        self.emit(JobEvent::Faulted {
+                            fault: JobFault::PartitionStateLost {
+                                partition: i as u32,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Nodes died while an action is in flight: strip every expectation
+    /// only the dead could satisfy, so the pending action completes and
+    /// the queued `NodesFailed` gets to run instead of wedging forever.
+    fn note_dead_during_pending(&mut self, dead: &[NodeId], ctx: &NodeCtx<AgileMsg>) {
+        // Remember the corpses: the pending action (and any recovery it
+        // triggers) must not hand them new partitions, wait on their
+        // `Ready`, or count them in the clock barrier. Their own queued
+        // `NodesFailed` clears the mark when it finally runs.
+        self.known_dead.extend(dead.iter().copied());
+        for d in dead {
+            self.pending_ready.remove(d);
+        }
+        // A migration destination waiting on installs from a dead
+        // source will never see them, so its `Ready` never comes; the
+        // rollback recovery queued behind this action re-installs it.
+        let stranded: Vec<NodeId> = dead
+            .iter()
+            .filter_map(|d| self.migrations.get(d))
+            .flat_map(|batches| batches.iter().map(|(dest, _)| *dest))
+            .collect();
+        for n in stranded {
+            self.pending_ready.remove(&n);
+        }
+        // Snapshot exports from a dead owner will never arrive.
+        if let Some(snap) = self.snapshot.as_mut() {
+            let owners = &self.partition_owner;
+            snap.expect
+                .retain(|p| !dead.contains(&owners[p.0 as usize]));
+        }
+        self.finish_snapshot_if_complete(ctx);
+
+        // Deferred continuations: the match below holds a borrow of
+        // `self.pending`, so whole-`self` calls run after it.
+        enum Act {
+            Progress,
+            Finish,
+            Recover { failed: Vec<NodeId>, target: u64 },
+            Fault(JobFault),
+        }
+        let act = match self.pending.as_mut() {
+            Some(Pending::StartJob) => {
+                // The job has not started: drop the dead from the
+                // roster and (re-)run the initial layout with the
+                // survivors once their `Hello`s are all in.
+                self.members.retain(|n, _| !dead.contains(n));
+                self.join_order.retain(|n| !dead.contains(n));
+                self.helloed.retain(|n| !dead.contains(n));
+                for d in dead {
+                    self.clock.deregister(d.0);
+                }
+                Act::Progress
+            }
+            Some(Pending::AddNodes {
+                added,
+                configured: false,
+            }) => {
+                // Integration has not run: dead added nodes simply
+                // never join. Dead *existing* members that hold no
+                // parameter state can be dropped too (their queued
+                // `NodesFailed` becomes a no-op acknowledgement);
+                // state-bearing ones must wait for the queued recovery.
+                added.retain(|n| !dead.contains(n));
+                let droppable: Vec<NodeId> = dead
+                    .iter()
+                    .filter(|d| {
+                        !self.partition_owner.contains(d) && !self.migrations.contains_key(d)
+                    })
+                    .copied()
+                    .collect();
+                self.members.retain(|n, _| !droppable.contains(n));
+                self.join_order.retain(|n| !droppable.contains(n));
+                self.helloed.retain(|n| !droppable.contains(n));
+                for d in &droppable {
+                    self.clock.deregister(d.0);
+                }
+                Act::Progress
+            }
+            Some(Pending::RecoveryQuery {
+                failed,
+                replies,
+                expect,
+            }) => {
+                expect.retain(|b| !dead.contains(b));
+                if expect.is_empty() {
+                    Act::Fault(JobFault::NoBackups)
+                } else if expect.iter().all(|b| replies.contains_key(b)) {
+                    let target = expect
+                        .iter()
+                        .filter_map(|b| replies.get(b))
+                        .copied()
+                        .min()
+                        .unwrap_or(0);
+                    Act::Recover {
+                        failed: failed.clone(),
+                        target,
+                    }
+                } else {
+                    Act::Finish
+                }
+            }
+            // Configured AddNodes, RecoveryInstall, or snapshot-only:
+            // the stripped `pending_ready` may already be empty.
+            _ => Act::Finish,
+        };
+        match act {
+            Act::Progress => self.try_progress_membership(ctx),
+            Act::Finish => self.try_finish_pending(ctx),
+            Act::Recover { failed, target } => {
+                self.pending = None;
+                self.run_recovery(failed, target, ctx);
+            }
+            Act::Fault(fault) => {
+                self.pending = None;
+                self.emit(JobEvent::Faulted { fault });
+                self.drain_queue(ctx);
+            }
+        }
     }
 }

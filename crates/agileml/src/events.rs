@@ -3,6 +3,7 @@
 use proteus_simnet::NodeId;
 use serde::{Deserialize, Serialize};
 
+use crate::error::JobFault;
 use crate::stage::Stage;
 
 /// Events the controller emits to the driver's event channel as the job
@@ -42,6 +43,13 @@ pub enum JobEvent {
         nodes: Vec<NodeId>,
         /// The consistent clock the job rolled back to.
         rolled_back_to: u64,
+    },
+    /// The controller hit an unrecoverable condition and reported it
+    /// instead of panicking; waiting drivers surface it as
+    /// [`crate::error::JobError::Fault`].
+    Faulted {
+        /// What went wrong.
+        fault: JobFault,
     },
 }
 

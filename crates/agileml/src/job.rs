@@ -13,10 +13,11 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver};
 use proteus_mlapps::app::{MlApp, ParamReader};
 use proteus_ps::{DenseVec, ParamKey};
-use proteus_simnet::{Cluster, ClusterHandle, NodeClass, NodeId};
+use proteus_simnet::{Cluster, ClusterHandle, FaultPlan, FaultStats, NodeClass, NodeId};
 
 use crate::config::AgileConfig;
 use crate::controller::run_controller;
+use crate::error::JobError;
 use crate::events::{JobEvent, JobStatus};
 use crate::msg::{AgileMsg, Command};
 use crate::node::run_node;
@@ -83,8 +84,22 @@ impl<A: MlApp> AgileMlJob<A> {
         cfg: AgileConfig,
         reliable: usize,
         transient: usize,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, JobError> {
         Self::launch_with_model(app, dataset, cfg, reliable, transient, None)
+    }
+
+    /// Like [`AgileMlJob::launch`] but installs a [`FaultPlan`] at the
+    /// cluster boundary *before* any node is spawned, so even the very
+    /// first `Hello` traffic crosses the chaos layer.
+    pub fn launch_with_faults(
+        app: A,
+        dataset: Vec<A::Datum>,
+        cfg: AgileConfig,
+        reliable: usize,
+        transient: usize,
+        faults: FaultPlan<AgileMsg>,
+    ) -> Result<Self, JobError> {
+        Self::launch_inner(app, dataset, cfg, reliable, transient, None, Some(faults))
     }
 
     /// Like [`AgileMlJob::launch`] but restores parameter state from a
@@ -99,7 +114,7 @@ impl<A: MlApp> AgileMlJob<A> {
         reliable: usize,
         transient: usize,
         checkpoint: ModelSnapshot,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, JobError> {
         Self::launch_with_model(
             app,
             dataset,
@@ -117,14 +132,31 @@ impl<A: MlApp> AgileMlJob<A> {
         reliable: usize,
         transient: usize,
         initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
-    ) -> Result<Self, String> {
-        cfg.validate()?;
+    ) -> Result<Self, JobError> {
+        Self::launch_inner(app, dataset, cfg, reliable, transient, initial_model, None)
+    }
+
+    fn launch_inner(
+        app: A,
+        dataset: Vec<A::Datum>,
+        cfg: AgileConfig,
+        reliable: usize,
+        transient: usize,
+        initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
+        faults: Option<FaultPlan<AgileMsg>>,
+    ) -> Result<Self, JobError> {
+        cfg.validate().map_err(JobError::InvalidConfig)?;
         if reliable == 0 {
-            return Err("AgileML needs at least one reliable machine".into());
+            return Err(JobError::InvalidConfig(
+                "AgileML needs at least one reliable machine".into(),
+            ));
         }
         let app = Arc::new(app);
         let dataset = Arc::new(dataset);
         let mut cluster: Cluster<AgileMsg> = Cluster::new();
+        if let Some(plan) = faults {
+            cluster.set_faults(plan);
+        }
         let (ev_tx, ev_rx) = unbounded();
 
         // The controller runs on reliable infrastructure (node 0).
@@ -150,7 +182,7 @@ impl<A: MlApp> AgileMlJob<A> {
         let mut nodes = job.spawn_machines(NodeClass::Reliable, reliable);
         nodes.extend(job.spawn_machines(NodeClass::Transient, transient));
         job.send_cmd(Command::AddNodes { nodes })?;
-        job.wait_for_event(|e| matches!(e, JobEvent::Started { .. }), WAIT)?;
+        job.wait_for_event(|e| matches!(e, JobEvent::Started { .. }), WAIT, "job start")?;
         Ok(job)
     }
 
@@ -169,15 +201,19 @@ impl<A: MlApp> AgileMlJob<A> {
         out
     }
 
-    fn send_cmd(&self, cmd: Command) -> Result<(), String> {
+    fn send_cmd(&self, cmd: Command) -> Result<(), JobError> {
         self.handle
             .send_as_harness(self.controller, AgileMsg::Cmd(cmd))
-            .map_err(|e| format!("controller unreachable: {e}"))
+            .map_err(|e| JobError::ControllerUnreachable(e.to_string()))
     }
 
     /// Adds `count` machines of `class` to the running job; blocks until
     /// the controller integrated them. Returns the new node ids.
-    pub fn add_machines(&mut self, class: NodeClass, count: usize) -> Result<Vec<NodeId>, String> {
+    pub fn add_machines(
+        &mut self,
+        class: NodeClass,
+        count: usize,
+    ) -> Result<Vec<NodeId>, JobError> {
         let nodes = self.spawn_machines(class, count);
         let ids: Vec<NodeId> = nodes.iter().map(|(n, _)| *n).collect();
         self.send_cmd(Command::AddNodes { nodes })?;
@@ -185,6 +221,7 @@ impl<A: MlApp> AgileMlJob<A> {
         self.wait_for_event(
             move |e| matches!(e, JobEvent::NodesAdded { nodes } if *nodes == want),
             WAIT,
+            "node addition",
         )?;
         Ok(ids)
     }
@@ -193,7 +230,7 @@ impl<A: MlApp> AgileMlJob<A> {
     /// controller drained and removed them (the machines shut themselves
     /// down after draining, like spot instances racing their two-minute
     /// warning).
-    pub fn evict_with_warning(&mut self, nodes: &[NodeId]) -> Result<(), String> {
+    pub fn evict_with_warning(&mut self, nodes: &[NodeId]) -> Result<(), JobError> {
         self.send_cmd(Command::EvictWarned {
             nodes: nodes.to_vec(),
         })?;
@@ -207,6 +244,7 @@ impl<A: MlApp> AgileMlJob<A> {
                 if nodes.iter().all(|n| want.contains(n)))
             },
             WAIT,
+            "eviction drain",
         )
         // No kill here: the victims drain (final backup pushes,
         // partition migrations) and then stop themselves on the
@@ -217,9 +255,32 @@ impl<A: MlApp> AgileMlJob<A> {
         // late to drain) is modelled by [`AgileMlJob::fail_nodes`].
     }
 
+    /// Delivers a provider-style eviction warning to `nodes` through the
+    /// simnet control channel **without** telling the controller directly:
+    /// each node relays the warning as an `EvictionNotice`, which is how a
+    /// real spot instance's two-minute notice reaches the controller. The
+    /// call does not wait for the drain — chaos harnesses race it against
+    /// kills (warning-then-crash) or drop the notices entirely
+    /// (warning-with-no-eviction).
+    pub fn warn_only(&self, nodes: &[NodeId], deadline_ms: u64) -> Result<(), JobError> {
+        for n in nodes {
+            self.cluster
+                .revoke(*n, deadline_ms)
+                .map_err(|e| JobError::ControllerUnreachable(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// A cloneable handle to the underlying cluster — chaos harnesses run
+    /// a background thread over it that periodically flushes delayed
+    /// messages so a held-back message can never deadlock a driver wait.
+    pub fn cluster_handle(&self) -> ClusterHandle<AgileMsg> {
+        self.handle.clone()
+    }
+
     /// Kills `nodes` abruptly (no warning) and blocks until rollback
     /// recovery completes. Returns the clock the job rolled back to.
-    pub fn fail_nodes(&mut self, nodes: &[NodeId]) -> Result<u64, String> {
+    pub fn fail_nodes(&mut self, nodes: &[NodeId]) -> Result<u64, JobError> {
         for n in nodes {
             self.cluster.kill(*n);
         }
@@ -240,12 +301,50 @@ impl<A: MlApp> AgileMlJob<A> {
                 _ => false,
             },
             WAIT,
+            "failure recovery",
         )?;
         Ok(rolled)
     }
 
+    /// Like [`AgileMlJob::fail_nodes`] but returns immediately after the
+    /// kill + report, without waiting for recovery — chaos harnesses use
+    /// it to crash more machines while a rollback is already in flight.
+    pub fn fail_nodes_async(&mut self, nodes: &[NodeId]) -> Result<(), JobError> {
+        for n in nodes {
+            self.cluster.kill(*n);
+        }
+        self.send_cmd(Command::NodesFailed {
+            nodes: nodes.to_vec(),
+        })
+    }
+
+    /// Blocks until a job event matching `pred` arrives; `waiting_for`
+    /// labels the timeout error. Chaos harnesses use this to await the
+    /// out-of-band completions of [`AgileMlJob::warn_only`] and
+    /// [`AgileMlJob::fail_nodes_async`].
+    pub fn wait_event(
+        &mut self,
+        mut pred: impl FnMut(&JobEvent) -> bool,
+        timeout: Duration,
+        waiting_for: &'static str,
+    ) -> Result<(), JobError> {
+        // The event may already have been drained into the log by an
+        // earlier `events()` / wait call.
+        if self.event_log.iter().any(&mut pred) {
+            return Ok(());
+        }
+        self.wait_for_event(pred, timeout, waiting_for)
+    }
+
     /// Blocks until the global minimum clock reaches `clock`.
-    pub fn wait_clock(&mut self, clock: u64) -> Result<(), String> {
+    pub fn wait_clock(&mut self, clock: u64) -> Result<(), JobError> {
+        self.wait_clock_for(clock, WAIT)
+    }
+
+    /// Like [`AgileMlJob::wait_clock`] with an explicit timeout — chaos
+    /// harnesses poll with short deadlines between delayed-message
+    /// flushes.
+    pub fn wait_clock_for(&mut self, clock: u64, timeout: Duration) -> Result<(), JobError> {
         if self
             .event_log
             .iter()
@@ -255,30 +354,56 @@ impl<A: MlApp> AgileMlJob<A> {
         }
         self.wait_for_event(
             |e| matches!(e, JobEvent::ClockAdvanced { min } if *min >= clock),
-            WAIT,
+            timeout,
+            "clock advance",
         )
     }
 
     /// Fetches a full model snapshot from the serving parameter servers.
-    pub fn snapshot(&self) -> Result<ModelSnapshot, String> {
+    pub fn snapshot(&self) -> Result<ModelSnapshot, JobError> {
         let (tx, rx) = bounded(1);
         self.send_cmd(Command::Snapshot { reply: tx })?;
-        rx.recv_timeout(WAIT)
-            .map_err(|_| "snapshot timed out".to_string())
+        rx.recv_timeout(WAIT).map_err(|_| JobError::Timeout {
+            waiting_for: "model snapshot",
+        })
     }
 
     /// The training objective of the current model over `data`.
-    pub fn objective(&self, data: &[A::Datum]) -> Result<f64, String> {
+    pub fn objective(&self, data: &[A::Datum]) -> Result<f64, JobError> {
         let snap = self.snapshot()?;
         Ok(self.app.objective(data, &snap.reader(self.app.as_ref())))
     }
 
     /// Controller status (stage, counts, clock).
-    pub fn status(&self) -> Result<JobStatus, String> {
+    pub fn status(&self) -> Result<JobStatus, JobError> {
         let (tx, rx) = bounded(1);
         self.send_cmd(Command::Status { reply: tx })?;
-        rx.recv_timeout(WAIT)
-            .map_err(|_| "status timed out".to_string())
+        rx.recv_timeout(WAIT).map_err(|_| JobError::Timeout {
+            waiting_for: "controller status",
+        })
+    }
+
+    /// Installs (or replaces) the seed-deterministic fault plan applied
+    /// to every subsequently delivered message.
+    pub fn set_faults(&self, plan: FaultPlan<AgileMsg>) {
+        self.cluster.set_faults(plan);
+    }
+
+    /// Removes the fault plan, first releasing any held-back messages.
+    pub fn clear_faults(&self) {
+        self.cluster.clear_faults();
+    }
+
+    /// Releases every delayed message currently held by the fault layer
+    /// (breaks artificial quiescence when a held message is the only
+    /// traffic left); returns how many were released.
+    pub fn flush_delayed(&self) -> usize {
+        self.cluster.flush_delayed()
+    }
+
+    /// Counts of faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.cluster.fault_stats()
     }
 
     /// Every job event observed so far (drains the channel).
@@ -312,38 +437,53 @@ impl<A: MlApp> AgileMlJob<A> {
     }
 
     /// Stops every node and tears the cluster down.
-    pub fn shutdown(self) -> Result<(), String> {
+    pub fn shutdown(self) -> Result<(), JobError> {
+        // Held-back (delayed) messages must not strand a drain order.
+        self.cluster.clear_faults();
         let (tx, rx) = bounded(1);
         self.send_cmd(Command::Shutdown { reply: tx })?;
-        rx.recv_timeout(WAIT)
-            .map_err(|_| "shutdown timed out".to_string())?;
-        self.cluster.join();
+        rx.recv_timeout(WAIT).map_err(|_| JobError::Timeout {
+            waiting_for: "shutdown acknowledgement",
+        })?;
+        // Kill-then-join rather than a bare join: a victim holding out
+        // for a relay that will never arrive (its migration source died
+        // unwarned) must not hang teardown forever.
+        self.cluster.abort_all();
         Ok(())
     }
 
     /// Waits until an event matching `pred` arrives (events seen along
-    /// the way are logged).
+    /// the way are logged). A [`JobEvent::Faulted`] arriving mid-wait
+    /// aborts the wait with the typed fault: the controller has declared
+    /// the thing being waited for unreachable.
     fn wait_for_event(
         &mut self,
         mut pred: impl FnMut(&JobEvent) -> bool,
         timeout: Duration,
-    ) -> Result<(), String> {
+        waiting_for: &'static str,
+    ) -> Result<(), JobError> {
         let deadline = Instant::now() + timeout;
-        // Check already-logged events first.
         loop {
             let now = Instant::now();
             if now >= deadline {
-                return Err("timed out waiting for job event".into());
+                return Err(JobError::Timeout { waiting_for });
             }
             match self.events.recv_timeout(deadline - now) {
                 Ok(e) => {
                     let hit = pred(&e);
+                    let fault = match &e {
+                        JobEvent::Faulted { fault } if !hit => Some(fault.clone()),
+                        _ => None,
+                    };
                     self.event_log.push(e);
                     if hit {
                         return Ok(());
                     }
+                    if let Some(fault) = fault {
+                        return Err(JobError::Fault(fault));
+                    }
                 }
-                Err(_) => return Err("timed out waiting for job event".into()),
+                Err(_) => return Err(JobError::Timeout { waiting_for }),
             }
         }
     }

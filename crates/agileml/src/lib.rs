@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod controller;
+pub mod error;
 pub mod events;
 pub mod job;
 pub mod msg;
@@ -37,7 +38,9 @@ pub mod topology;
 pub mod worker;
 
 pub use config::AgileConfig;
+pub use error::{JobError, JobFault, ProtocolError};
 pub use events::JobEvent;
 pub use job::{AgileMlJob, ModelSnapshot};
 pub use stage::Stage;
 pub use topology::Topology;
+pub use worker::find_read_req;

@@ -40,6 +40,14 @@ pub enum AgileMsg {
     Start,
     /// Controller → node: exit the behavior loop (end of job).
     Stop,
+    /// Node → controller: the provider delivered an eviction warning to
+    /// this node (simnet `Control::EvictionWarning`). The controller
+    /// treats it like a driver-issued [`Command::EvictWarned`] so warned
+    /// nodes drain even when no driver relays the warning.
+    EvictionNotice {
+        /// Milliseconds the provider granted before termination.
+        deadline_ms: u64,
+    },
 
     // ------------------------------------------------------------------
     // Clocks

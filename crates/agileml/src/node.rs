@@ -54,6 +54,7 @@ pub fn run_node<A: MlApp>(
         recent_installs: BTreeSet::new(),
         ready_pending: false,
         pending_updates: Vec::new(),
+        stop_deferred: false,
         pending_exports: Vec::new(),
         epoch: 0,
         configured_once: false,
@@ -70,11 +71,12 @@ pub fn run_node<A: MlApp>(
                     break;
                 }
             }
-            Ok(Incoming::Control(Control::Shutdown)) => break,
-            Ok(Incoming::Control(Control::EvictionWarning { .. })) => {
-                // Eviction orchestration is controller-driven; the
-                // warning itself needs no local action.
+            Ok(Incoming::Control(Control::EvictionWarning { deadline_ms })) => {
+                // Relay the provider's warning so the controller drains
+                // this node even when no driver forwards the eviction.
+                let _ = ctx.send(controller, AgileMsg::EvictionNotice { deadline_ms });
             }
+            Ok(Incoming::Control(Control::Shutdown)) => break,
             Ok(Incoming::Control(Control::Kill)) | Err(RecvError::Killed) => break,
             Err(_) => break,
         }
@@ -98,6 +100,10 @@ struct NodeState<A: MlApp> {
     ready_pending: bool,
     /// Updates buffered for partitions in `awaiting`.
     pending_updates: Vec<(PartitionId, Values)>,
+    /// A `Stop` arrived while migrated-away partitions still awaited
+    /// their inbound images (we must relay them to the new owner, or the
+    /// only copy dies with us). Honored once the relays drain.
+    stop_deferred: bool,
     /// Export requests deferred until the awaited image arrives.
     pending_exports: Vec<(PartitionId, NodeId)>,
     epoch: u64,
@@ -163,7 +169,18 @@ impl<A: MlApp> NodeState<A> {
                 self.worker.start();
                 self.progress_worker(ctx);
             }
-            AgileMsg::Stop => return false,
+            AgileMsg::Stop => {
+                if self.must_relay_before_stopping() {
+                    // An eviction victim can be a migration *chain* link:
+                    // partitions migrated away while their own images are
+                    // still in flight to us. Stopping now would drop the
+                    // relay and lose the only serving copy — finish the
+                    // drain work the warning window exists for, then stop.
+                    self.stop_deferred = true;
+                    return true;
+                }
+                return false;
+            }
             AgileMsg::GlobalClock { min, epoch } => {
                 self.worker.on_global_clock(min, epoch);
                 if epoch == self.epoch && self.server.is_active() && min > self.last_push_min {
@@ -178,8 +195,16 @@ impl<A: MlApp> NodeState<A> {
             }
             AgileMsg::ReadResp { token, values } => {
                 if let Some(topo) = self.topology.clone() {
-                    let out = self.worker.on_read_resp(token, values, &topo);
+                    let out = self.worker.on_read_resp(from, token, values, &topo);
                     self.dispatch(out, ctx);
+                    // A finished iteration may immediately admit the next
+                    // one (SSP gate willing). A worker running behind the
+                    // broadcast minimum — e.g. a reliable worker rejoining
+                    // on a stage 3→2 flip — gets no `GlobalClock` until
+                    // *its own* progress advances the minimum, so waiting
+                    // for one here would wedge it after a single
+                    // iteration.
+                    self.progress_worker(ctx);
                 }
             }
             AgileMsg::UpdateBatch {
@@ -264,7 +289,7 @@ impl<A: MlApp> NodeState<A> {
                         self.ready_pending = false;
                         let _ = ctx.send(self.controller, AgileMsg::Ready);
                     }
-                    return true;
+                    return !self.stop_deferred || self.must_relay_before_stopping();
                 }
                 self.server.install_image(partition, image);
                 self.awaiting.remove(&partition);
@@ -299,6 +324,9 @@ impl<A: MlApp> NodeState<A> {
                 if self.awaiting.is_empty() && self.ready_pending {
                     self.ready_pending = false;
                     let _ = ctx.send(self.controller, AgileMsg::Ready);
+                }
+                if self.stop_deferred && !self.must_relay_before_stopping() {
+                    return false;
                 }
             }
             AgileMsg::MigratePartitions {
@@ -413,9 +441,17 @@ impl<A: MlApp> NodeState<A> {
             | AgileMsg::Ready
             | AgileMsg::ClockDone { .. }
             | AgileMsg::BackupClockInfo { .. }
+            | AgileMsg::EvictionNotice { .. }
             | AgileMsg::Cmd(_) => {}
         }
         true
+    }
+
+    /// Whether any migrated-away partition's inbound image is still in
+    /// flight to this node — stopping before relaying it would destroy
+    /// the only serving copy.
+    fn must_relay_before_stopping(&self) -> bool {
+        self.awaiting.iter().any(|p| self.forward.contains_key(p))
     }
 
     /// Streams the coalesced dirty deltas of every served partition to
@@ -466,7 +502,7 @@ impl<A: MlApp> NodeState<A> {
             };
             if ctx.send(dst, msg).is_err() {
                 if let (Some(token), Some(topo)) = (failed_token, self.topology.clone()) {
-                    let more = self.worker.on_read_failed(token, &topo);
+                    let more = self.worker.on_read_failed(dst, token, &topo);
                     queue.extend(more);
                 }
                 // Failed updates/clocks are dropped: updates are lost work

@@ -12,7 +12,7 @@
 //! send instead of sending them, so iteration logic is unit-testable
 //! without threads; `node.rs` performs the actual I/O.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use proteus_mlapps::app::{MlApp, ParamReader};
@@ -20,8 +20,27 @@ use proteus_ps::{DenseVec, ParamKey, PartitionId, PartitionMap, WorkerCache};
 use proteus_simnet::NodeId;
 use rand::rngs::StdRng;
 
+use crate::error::ProtocolError;
 use crate::msg::{AgileMsg, Values};
 use crate::topology::{block_ranges, BlockId, Topology};
+
+/// Finds the first `ReadReq` in an outbox as `(destination, token)`,
+/// tolerating interleaved or duplicated traffic around it.
+///
+/// Returns a typed [`ProtocolError`] instead of panicking when no read
+/// request is present, so harnesses report protocol-shape violations as
+/// failures with context rather than aborting the process.
+pub fn find_read_req(out: &[(NodeId, AgileMsg)]) -> Result<(NodeId, u64), ProtocolError> {
+    for (dst, msg) in out {
+        if let AgileMsg::ReadReq { token, .. } = msg {
+            return Ok((*dst, *token));
+        }
+    }
+    Err(ProtocolError {
+        expected: "ReadReq",
+        got: format!("{:?}", out.iter().map(|(_, m)| m).collect::<Vec<_>>()),
+    })
+}
 
 /// Where the worker is within its iteration cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +81,11 @@ pub struct WorkerState<A: MlApp> {
     epoch: u64,
     started: bool,
     phase: WorkerPhase,
+    /// Owners that still owe a response for the current read round.
+    /// Responses are counted per *owner*, not per message, so a
+    /// duplicated `ReadResp` (fault injection) cannot complete a round
+    /// while another owner's values are still missing.
+    read_sources: BTreeSet<NodeId>,
     next_token: u64,
     controller: NodeId,
 }
@@ -110,6 +134,7 @@ impl<A: MlApp> WorkerState<A> {
             epoch: 0,
             started: false,
             phase: WorkerPhase::Idle,
+            read_sources: BTreeSet::new(),
             next_token: 0,
             controller,
         }
@@ -197,6 +222,7 @@ impl<A: MlApp> WorkerState<A> {
     pub fn abort_inflight_reads(&mut self) {
         if matches!(self.phase, WorkerPhase::WaitReads { .. }) {
             self.phase = WorkerPhase::WaitBarrier;
+            self.read_sources.clear();
         }
     }
 
@@ -249,24 +275,38 @@ impl<A: MlApp> WorkerState<A> {
         if pending == 0 {
             // No parameters needed (degenerate); complete immediately.
             self.phase = WorkerPhase::WaitReads { token, pending: 0 };
+            self.read_sources.clear();
             return self.finish_iteration(topology);
         }
         self.phase = WorkerPhase::WaitReads { token, pending };
+        self.read_sources = by_owner.keys().copied().collect();
         by_owner
             .into_iter()
             .map(|(owner, keys)| (owner, AgileMsg::ReadReq { token, keys }))
             .collect()
     }
 
-    /// Handles a read response; when the last one lands, processes the
-    /// data and returns the flush + clock messages.
-    pub fn on_read_resp(&mut self, token: u64, values: Values, topology: &Topology) -> Outbox {
+    /// Handles a read response from `from`; when the last outstanding
+    /// owner answers, processes the data and returns the flush + clock
+    /// messages. Duplicated or stale responses are ignored.
+    pub fn on_read_resp(
+        &mut self,
+        from: NodeId,
+        token: u64,
+        values: Values,
+        topology: &Topology,
+    ) -> Outbox {
         match self.phase {
-            WorkerPhase::WaitReads { token: t, pending } if t == token => {
+            WorkerPhase::WaitReads { token: t, .. } if t == token => {
+                if !self.read_sources.remove(&from) {
+                    // Duplicate from an owner that already answered (or
+                    // a sender we never asked): nothing new to count.
+                    return Vec::new();
+                }
                 for (k, v) in values {
                     self.cache.refresh(k, v);
                 }
-                let left = pending.saturating_sub(1);
+                let left = self.read_sources.len();
                 self.phase = WorkerPhase::WaitReads {
                     token,
                     pending: left,
@@ -281,10 +321,11 @@ impl<A: MlApp> WorkerState<A> {
         }
     }
 
-    /// A read request failed (owner unreachable mid-eviction): count it
-    /// as an empty response so the iteration proceeds on cached values.
-    pub fn on_read_failed(&mut self, token: u64, topology: &Topology) -> Outbox {
-        self.on_read_resp(token, Vec::new(), topology)
+    /// A read request to `dst` failed (owner unreachable mid-eviction):
+    /// count it as an empty response so the iteration proceeds on cached
+    /// values.
+    pub fn on_read_failed(&mut self, dst: NodeId, token: u64, topology: &Topology) -> Outbox {
+        self.on_read_resp(dst, token, Vec::new(), topology)
     }
 
     /// Processes all local data and emits update batches + `ClockDone`.
@@ -415,23 +456,19 @@ mod tests {
     }
 
     #[test]
-    fn iteration_flow_reads_then_updates_then_clock() {
+    fn iteration_flow_reads_then_updates_then_clock() -> Result<(), ProtocolError> {
         let mut w = worker();
         let t = topo(NodeId(1));
         w.assign_blocks(&[BlockId(0), BlockId(1)]);
         w.start();
         let reads = w.poll(&t);
         assert_eq!(reads.len(), 1, "single owner gets one read");
-        let (dst, msg) = &reads[0];
-        assert_eq!(*dst, NodeId(1));
-        let token = match msg {
-            AgileMsg::ReadReq { token, keys } => {
-                assert!(!keys.is_empty());
-                *token
-            }
-            other => panic!("expected ReadReq, got {other:?}"),
-        };
-        let out = w.on_read_resp(token, Vec::new(), &t);
+        let (dst, token) = find_read_req(&reads)?;
+        assert_eq!(dst, NodeId(1));
+        assert!(reads
+            .iter()
+            .any(|(_, m)| matches!(m, AgileMsg::ReadReq { keys, .. } if !keys.is_empty())));
+        let out = w.on_read_resp(dst, token, Vec::new(), &t);
         // Updates to owner plus ClockDone to controller.
         assert!(out
             .iter()
@@ -439,59 +476,81 @@ mod tests {
         let clock_done = out
             .iter()
             .find(|(_, m)| matches!(m, AgileMsg::ClockDone { .. }))
-            .expect("clock done");
+            .ok_or_else(|| ProtocolError {
+                expected: "ClockDone",
+                got: format!("{:?}", out.iter().map(|(_, m)| m).collect::<Vec<_>>()),
+            })?;
         assert_eq!(clock_done.0, NodeId(0));
         assert_eq!(w.clock(), 1);
+        Ok(())
     }
 
     #[test]
-    fn ssp_barrier_blocks_until_global_clock() {
+    fn ssp_barrier_blocks_until_global_clock() -> Result<(), ProtocolError> {
         let mut w = worker();
         let t = topo(NodeId(1));
         w.assign_blocks(&[BlockId(0)]);
         w.start();
         // Complete iteration 0.
-        let reads = w.poll(&t);
-        let token = match &reads[0].1 {
-            AgileMsg::ReadReq { token, .. } => *token,
-            _ => unreachable!(),
-        };
-        w.on_read_resp(token, Vec::new(), &t);
+        let (dst, token) = find_read_req(&w.poll(&t))?;
+        w.on_read_resp(dst, token, Vec::new(), &t);
         assert_eq!(w.clock(), 1);
         // Slack 0: cannot start clock 1 until global min reaches 1.
         assert!(w.poll(&t).is_empty());
         w.on_global_clock(1, 0);
         assert!(!w.poll(&t).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn stale_read_responses_are_ignored() {
+    fn stale_read_responses_are_ignored() -> Result<(), ProtocolError> {
         let mut w = worker();
         let t = topo(NodeId(1));
         w.assign_blocks(&[BlockId(0)]);
         w.start();
-        let reads = w.poll(&t);
-        let token = match &reads[0].1 {
-            AgileMsg::ReadReq { token, .. } => *token,
-            _ => unreachable!(),
-        };
-        assert!(w.on_read_resp(token + 99, Vec::new(), &t).is_empty());
+        let (dst, token) = find_read_req(&w.poll(&t))?;
+        assert!(w.on_read_resp(dst, token + 99, Vec::new(), &t).is_empty());
         assert_eq!(w.clock(), 0);
-        assert!(!w.on_read_resp(token, Vec::new(), &t).is_empty());
+        assert!(!w.on_read_resp(dst, token, Vec::new(), &t).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn restart_rewinds_and_pauses() {
+    fn duplicate_read_responses_are_counted_once() -> Result<(), ProtocolError> {
+        // Two partitions on two owners → two outstanding responses. A
+        // duplicated response from the first owner must not complete
+        // the round while the second owner's values are still missing.
+        let mut w = worker();
+        let t = Topology {
+            version: 1,
+            stage: crate::stage::Stage::Stage1,
+            partition_owner: vec![NodeId(1), NodeId(2)],
+            backup_owner: vec![None; 2],
+            workers: vec![NodeId(5)],
+        };
+        w.assign_blocks(&[BlockId(0), BlockId(1)]);
+        w.start();
+        let reads = w.poll(&t);
+        assert_eq!(reads.len(), 2, "one read per owner");
+        let (_, token) = find_read_req(&reads)?;
+        assert!(w.on_read_resp(NodeId(1), token, Vec::new(), &t).is_empty());
+        // Fault-injected duplicate of owner 1's response.
+        assert!(w.on_read_resp(NodeId(1), token, Vec::new(), &t).is_empty());
+        assert_eq!(w.clock(), 0, "round must not complete on a duplicate");
+        // Owner 2's (unique) response completes the round.
+        assert!(!w.on_read_resp(NodeId(2), token, Vec::new(), &t).is_empty());
+        assert_eq!(w.clock(), 1);
+        Ok(())
+    }
+
+    #[test]
+    fn restart_rewinds_and_pauses() -> Result<(), ProtocolError> {
         let mut w = worker();
         let t = topo(NodeId(1));
         w.assign_blocks(&[BlockId(0)]);
         w.start();
-        let reads = w.poll(&t);
-        let token = match &reads[0].1 {
-            AgileMsg::ReadReq { token, .. } => *token,
-            _ => unreachable!(),
-        };
-        w.on_read_resp(token, Vec::new(), &t);
+        let (dst, token) = find_read_req(&w.poll(&t))?;
+        w.on_read_resp(dst, token, Vec::new(), &t);
         assert_eq!(w.clock(), 1);
         w.restart_from(0, 1);
         assert_eq!(w.clock(), 0);
@@ -502,6 +561,7 @@ mod tests {
         w.start();
         let out = w.poll(&t);
         assert!(!out.is_empty());
+        Ok(())
     }
 
     #[test]

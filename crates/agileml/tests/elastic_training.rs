@@ -261,13 +261,14 @@ fn mlr_trains_distributed_in_stage2() {
         ..AgileConfig::default()
     };
     let mut job = AgileMlJob::launch(app, data.clone(), config, 1, 3).expect("launch");
-    let before = job.objective(&data).expect("objective");
     job.wait_clock(15).expect("progress");
     let after = job.objective(&data).expect("objective");
-    assert!(
-        after < before * 0.6,
-        "distributed MLR learns: {before} -> {after}"
-    );
+    // Workers start iterating the moment launch returns, so a "before"
+    // objective sampled here races with training (this tiny job can
+    // converge within one scheduler slice). Judge learning against the
+    // untrained loss instead: uniform softmax over 3 classes scores
+    // ln(3) ≈ 1.10.
+    assert!(after < 0.2, "distributed MLR learns: -> {after}");
     job.shutdown().expect("shutdown");
 }
 

@@ -95,7 +95,7 @@ fn main() {
         job.wait_clock(45)?;
         let o3 = job.objective(&data)?;
         println!("  objective: iter10 {o1:.4} -> iter34 {o2:.4} -> iter45 {o3:.4} (monotone progress through add+evict)");
-        job.shutdown()
+        job.shutdown().map_err(String::from)
     };
     run().expect("live replay succeeds");
 }

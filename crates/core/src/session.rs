@@ -133,7 +133,7 @@ impl<A: MlApp> Proteus<A> {
 
     /// Waits until the training job completes `clock` global iterations.
     pub fn wait_clock(&mut self, clock: u64) -> Result<(), String> {
-        self.job.wait_clock(clock)
+        self.job.wait_clock(clock).map_err(String::from)
     }
 
     fn handle_event(&mut self, ev: ProviderEvent) -> Result<(), String> {

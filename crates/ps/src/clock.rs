@@ -51,8 +51,27 @@ impl ClockTable {
     }
 
     /// Registers a worker starting at clock 0.
+    ///
+    /// Only for workers joining a *fresh* job: re-adding a worker to a
+    /// job whose clocks have advanced must use
+    /// [`ClockTable::register_at`], or the newcomer drags
+    /// [`ClockTable::consistent_clock`] — the rollback target — back to
+    /// zero.
     pub fn register(&mut self, worker: u32) {
-        self.clocks.entry(worker).or_insert(0);
+        self.register_at(worker, 0);
+    }
+
+    /// Registers a worker starting at `clock`.
+    ///
+    /// Controllers re-adding workers after an eviction or rescale seed
+    /// them with the last broadcast minimum so the consistent clock (and
+    /// with it the recovery rollback target) never regresses. If the
+    /// worker is already registered its clock only moves forward.
+    pub fn register_at(&mut self, worker: u32, clock: u64) {
+        let entry = self.clocks.entry(worker).or_insert(clock);
+        if clock > *entry {
+            *entry = clock;
+        }
     }
 
     /// Removes a worker (evicted or reassigned); its clock no longer
@@ -156,6 +175,30 @@ mod tests {
         t.deregister(1);
         assert!(t.may_proceed(4));
         assert_eq!(t.consistent_clock(), Some(4));
+    }
+
+    #[test]
+    fn register_at_does_not_regress_consistent_clock() {
+        let mut t = ClockTable::new(1);
+        t.register(0);
+        t.register(1);
+        t.advance(0, 7);
+        t.advance(1, 7);
+        t.deregister(1); // evicted
+        assert_eq!(t.consistent_clock(), Some(7));
+        // `register` would pin the rejoiner at 0 and drag the rollback
+        // target back to the start of the job:
+        let mut naive = t.clone();
+        naive.register(2);
+        assert_eq!(naive.consistent_clock(), Some(0));
+        // `register_at` seeds it with the current consistent clock:
+        t.register_at(2, 7);
+        assert_eq!(t.consistent_clock(), Some(7));
+        // Re-registering an existing worker never moves it backwards.
+        t.register_at(0, 3);
+        assert_eq!(t.clock_of(0), Some(7));
+        t.register_at(0, 9);
+        assert_eq!(t.clock_of(0), Some(9));
     }
 
     #[test]

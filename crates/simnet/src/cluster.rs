@@ -8,6 +8,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::RwLock;
 
+use crate::fault::{FaultLayer, FaultPlan, FaultStats};
 use crate::message::{Control, Envelope, Incoming, SendError};
 use crate::node::{NodeClass, NodeCtx, NodeId};
 
@@ -34,11 +35,32 @@ pub struct ClusterInner<M> {
     dropped: AtomicU64,
     /// Delivered-message counts per (sender, receiver) pair.
     traffic: RwLock<HashMap<(NodeId, NodeId), u64>>,
+    /// Installed message-fault layer, if any.
+    faults: RwLock<Option<Arc<FaultLayer<M>>>>,
 }
 
-impl<M: Send + 'static> ClusterInner<M> {
-    /// Routes an application message, counting drops to dead targets.
+impl<M: Send + Clone + 'static> ClusterInner<M> {
+    /// Routes an application message through the fault layer (if any),
+    /// counting drops to dead targets.
     pub(crate) fn deliver(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), SendError> {
+        let layer = self.faults.read().clone();
+        match layer {
+            None => self.route(from, to, msg),
+            Some(layer) => {
+                // An absorbed message (fault-dropped or held back) looks
+                // like success to the sender: the network ate it.
+                let mut result = Ok(());
+                for m in layer.apply(from, to, msg) {
+                    result = self.route(from, to, m);
+                }
+                result
+            }
+        }
+    }
+
+    /// Delivers one message to its destination mailbox, bypassing the
+    /// fault layer.
+    fn route(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), SendError> {
         let nodes = self.nodes.read();
         if let Some(entry) = nodes.get(&to).filter(|e| !e.dead) {
             // A send only fails if the receiver was torn down between
@@ -51,6 +73,39 @@ impl<M: Send + 'static> ClusterInner<M> {
         }
         self.dropped.fetch_add(1, Ordering::Relaxed);
         Err(SendError::Unreachable(to))
+    }
+
+    /// Installs (or replaces) the message-fault layer.
+    pub(crate) fn set_faults(&self, plan: FaultPlan<M>) {
+        *self.faults.write() = Some(Arc::new(FaultLayer::new(plan)));
+    }
+
+    /// Removes the message-fault layer, first flushing held messages.
+    pub(crate) fn clear_faults(&self) {
+        self.flush_delayed();
+        *self.faults.write() = None;
+    }
+
+    /// Releases every delayed (held-back) message to its destination.
+    /// Returns how many were flushed.
+    pub(crate) fn flush_delayed(&self) -> usize {
+        let layer = self.faults.read().clone();
+        let Some(layer) = layer else { return 0 };
+        let held = layer.drain_held();
+        let n = held.len();
+        for (from, to, msg) in held {
+            let _ = self.route(from, to, msg);
+        }
+        n
+    }
+
+    /// Counters of message faults injected so far.
+    pub(crate) fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .read()
+            .as_ref()
+            .map(|l| l.stats())
+            .unwrap_or_default()
     }
 
     pub(crate) fn is_dead(&self, node: NodeId) -> bool {
@@ -66,11 +121,11 @@ impl<M: Send + 'static> ClusterInner<M> {
 /// (e.g. from the test harness or the BidBrain driver).
 ///
 /// Cloneable; all clones share the same registry.
-pub struct ClusterHandle<M: Send + 'static> {
+pub struct ClusterHandle<M: Send + Clone + 'static> {
     inner: Arc<ClusterInner<M>>,
 }
 
-impl<M: Send + 'static> Clone for ClusterHandle<M> {
+impl<M: Send + Clone + 'static> Clone for ClusterHandle<M> {
     fn clone(&self) -> Self {
         ClusterHandle {
             inner: Arc::clone(&self.inner),
@@ -78,7 +133,7 @@ impl<M: Send + 'static> Clone for ClusterHandle<M> {
     }
 }
 
-impl<M: Send + 'static> ClusterHandle<M> {
+impl<M: Send + Clone + 'static> ClusterHandle<M> {
     /// Sends a control signal to a node.
     pub fn send_control(&self, to: NodeId, ctrl: Control) -> Result<(), SendError> {
         let nodes = self.inner.nodes.read();
@@ -101,6 +156,22 @@ impl<M: Send + 'static> ClusterHandle<M> {
     /// Whether `node` is alive (spawned and not killed).
     pub fn alive(&self, node: NodeId) -> bool {
         self.inner.is_alive(node)
+    }
+
+    /// Installs (or replaces) a message-[`FaultPlan`] on the cluster.
+    pub fn set_faults(&self, plan: FaultPlan<M>) {
+        self.inner.set_faults(plan);
+    }
+
+    /// Releases every delayed (held-back) message; see
+    /// [`Cluster::flush_delayed`].
+    pub fn flush_delayed(&self) -> usize {
+        self.inner.flush_delayed()
+    }
+
+    /// Counters of message faults injected so far (zeros if no plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
     }
 }
 
@@ -127,19 +198,19 @@ impl<M: Send + 'static> ClusterHandle<M> {
 /// cluster.join();
 /// # let _ = probe;
 /// ```
-pub struct Cluster<M: Send + 'static> {
+pub struct Cluster<M: Send + Clone + 'static> {
     inner: Arc<ClusterInner<M>>,
     handles: Vec<(NodeId, JoinHandle<()>)>,
     next_id: u32,
 }
 
-impl<M: Send + 'static> Default for Cluster<M> {
+impl<M: Send + Clone + 'static> Default for Cluster<M> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M: Send + 'static> Cluster<M> {
+impl<M: Send + Clone + 'static> Cluster<M> {
     /// Creates an empty cluster.
     pub fn new() -> Self {
         Cluster {
@@ -148,10 +219,37 @@ impl<M: Send + 'static> Cluster<M> {
                 messages: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
                 traffic: RwLock::new(HashMap::new()),
+                faults: RwLock::new(None),
             }),
             handles: Vec::new(),
             next_id: 0,
         }
+    }
+
+    /// Installs (or replaces) a message-[`FaultPlan`]: every subsequent
+    /// application message is routed through it. Node-level faults
+    /// (crashes, warnings) are scripted via [`Cluster::kill`] /
+    /// [`Cluster::revoke`] instead.
+    pub fn set_faults(&self, plan: FaultPlan<M>) {
+        self.inner.set_faults(plan);
+    }
+
+    /// Removes the fault layer, flushing any held-back messages first.
+    pub fn clear_faults(&self) {
+        self.inner.clear_faults();
+    }
+
+    /// Releases every delayed (held-back) message to its destination;
+    /// returns how many were flushed. Drivers call this before blocking
+    /// on protocol progress so a delayed message that happens to be the
+    /// last traffic on its pair cannot deadlock the run.
+    pub fn flush_delayed(&self) -> usize {
+        self.inner.flush_delayed()
+    }
+
+    /// Counters of message faults injected so far (zeros if no plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
     }
 
     /// A cloneable handle for harness-side interaction.
@@ -431,6 +529,37 @@ mod tests {
         gate_tx.send(()).unwrap();
         let result = obs_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(result, Err(SendError::SelfDead));
+        cluster.abort_all();
+    }
+
+    #[test]
+    fn fault_plan_applies_at_the_cluster_boundary() {
+        use crate::fault::FaultPlan;
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let (done_tx, done_rx) = unbounded();
+        let sink = cluster.spawn(NodeClass::Reliable, move |ctx| {
+            let mut got = Vec::new();
+            while let Ok(Incoming::App(env)) = ctx.recv() {
+                got.push(env.msg);
+                if env.msg == 99 {
+                    done_tx.send(got.clone()).unwrap();
+                }
+            }
+        });
+        let harness = NodeId(u32::MAX);
+        // Delay every harness→sink message: each send releases the
+        // previous one, and the flush releases the last.
+        cluster.set_faults(FaultPlan::new(5).delay_between(harness, sink, 1.0));
+        let h = cluster.handle();
+        for i in [1u32, 2, 3] {
+            h.send_as_harness(sink, i).unwrap();
+        }
+        assert_eq!(cluster.fault_stats().delayed, 3);
+        assert_eq!(cluster.flush_delayed(), 1);
+        cluster.clear_faults();
+        h.send_as_harness(sink, 99).unwrap();
+        let got = done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, vec![1, 2, 3, 99]);
         cluster.abort_all();
     }
 

@@ -1,0 +1,418 @@
+//! Seed-deterministic message-fault injection at the cluster boundary.
+//!
+//! A [`FaultPlan`] describes which (sender, receiver) pairs misbehave and
+//! how often: messages can be **dropped** (silently eaten by the network —
+//! the sender still sees success), **duplicated** (delivered twice, like a
+//! retransmit racing its ack), or **delayed** (held back and released
+//! after the *next* message on the same pair, producing a one-message
+//! reorder). Node-level faults — crash-without-warning, warning-with-no-
+//! eviction, warning-then-crash-before-drain, eviction storms — are
+//! scripted directly through [`Cluster::revoke`](crate::Cluster::revoke)
+//! and [`Cluster::kill`](crate::Cluster::kill); this module only covers
+//! the message plane.
+//!
+//! # Determinism
+//!
+//! Each (sender, receiver) pair gets its own SplitMix64 stream seeded from
+//! `plan.seed` and the two node ids. Because simnet delivery runs on the
+//! *sender's* thread and per-pair message order is FIFO, the n-th message
+//! on a pair always consumes the n-th random draw of that pair's stream —
+//! so the set of dropped/duplicated/delayed messages is a pure function of
+//! `(plan, per-pair message sequence)` no matter how threads interleave
+//! across pairs. A chaos failure is therefore reproducible from the plan
+//! seed alone, given a deterministic protocol above.
+//!
+//! # Delay without deadlock
+//!
+//! A held message is released when the next message on its pair arrives.
+//! If the held message was the *last* traffic on the pair (e.g. the
+//! `ClockDone` the whole barrier is waiting on), nothing would ever flush
+//! it — so drivers call
+//! [`ClusterHandle::flush_delayed`](crate::ClusterHandle::flush_delayed)
+//! before (or while) blocking on progress.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::node::NodeId;
+
+/// Predicate selecting which payloads a rule applies to.
+pub type MsgFilter<M> = Arc<dyn Fn(&M) -> bool + Send + Sync>;
+
+/// One fault rule: probabilities applied to messages on matching pairs.
+///
+/// `from`/`to` of `None` are wildcards. Probabilities are cumulative per
+/// message: a single uniform draw picks drop, then duplicate, then delay
+/// (so `drop + duplicate + delay` must be ≤ 1). The first matching rule
+/// wins; non-matching traffic is untouched and consumes no randomness.
+#[derive(Clone)]
+pub struct FaultRule<M> {
+    /// Sender this rule applies to (`None` = any).
+    pub from: Option<NodeId>,
+    /// Receiver this rule applies to (`None` = any).
+    pub to: Option<NodeId>,
+    /// Probability a matching message is silently dropped.
+    pub drop: f64,
+    /// Probability a matching message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a matching message is held back one message (reorder).
+    pub delay: f64,
+    /// Optional payload predicate; `None` matches every payload.
+    pub filter: Option<MsgFilter<M>>,
+}
+
+impl<M> FaultRule<M> {
+    fn matches(&self, from: NodeId, to: NodeId, msg: &M) -> bool {
+        self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+            && self.filter.as_ref().is_none_or(|p| p(msg))
+    }
+}
+
+impl<M> std::fmt::Debug for FaultRule<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultRule")
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("drop", &self.drop)
+            .field("duplicate", &self.duplicate)
+            .field("delay", &self.delay)
+            .field("filtered", &self.filter.is_some())
+            .finish()
+    }
+}
+
+/// A seeded catalogue of message-fault rules for one run.
+#[derive(Clone, Debug)]
+pub struct FaultPlan<M> {
+    /// Root seed; every per-pair stream derives from it.
+    pub seed: u64,
+    /// Rules, first match wins.
+    pub rules: Vec<FaultRule<M>>,
+}
+
+impl<M> FaultPlan<M> {
+    /// An empty plan (no message faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule; builder style.
+    pub fn with_rule(mut self, rule: FaultRule<M>) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Drops messages from `from` to `to` with probability `p`.
+    pub fn drop_between(self, from: NodeId, to: NodeId, p: f64) -> Self {
+        self.with_rule(FaultRule {
+            from: Some(from),
+            to: Some(to),
+            drop: p,
+            duplicate: 0.0,
+            delay: 0.0,
+            filter: None,
+        })
+    }
+
+    /// Duplicates messages from `from` to `to` with probability `p`.
+    pub fn duplicate_between(self, from: NodeId, to: NodeId, p: f64) -> Self {
+        self.with_rule(FaultRule {
+            from: Some(from),
+            to: Some(to),
+            drop: 0.0,
+            duplicate: p,
+            delay: 0.0,
+            filter: None,
+        })
+    }
+
+    /// Delays (reorders by one) messages from `from` to `to` with
+    /// probability `p`.
+    pub fn delay_between(self, from: NodeId, to: NodeId, p: f64) -> Self {
+        self.with_rule(FaultRule {
+            from: Some(from),
+            to: Some(to),
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: p,
+            filter: None,
+        })
+    }
+}
+
+/// Counters of faults actually injected so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Messages silently dropped.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages held back for a one-message reorder.
+    pub delayed: u64,
+}
+
+/// SplitMix64 — tiny, seedable, and good enough for fault coin flips.
+#[derive(Clone, Copy, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// What the fault layer decided to do with one message.
+enum Verdict {
+    Deliver,
+    Drop,
+    Duplicate,
+    Delay,
+}
+
+/// Per-(sender, receiver) stream state.
+struct PairState<M> {
+    rng: SplitMix64,
+    /// At most one held-back message per pair, released on the pair's
+    /// next traffic or by an explicit flush.
+    held: Option<M>,
+}
+
+/// The installed fault layer: plan + per-pair streams + counters.
+pub(crate) struct FaultLayer<M> {
+    plan: FaultPlan<M>,
+    pairs: Mutex<HashMap<(NodeId, NodeId), PairState<M>>>,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl<M: Clone> FaultLayer<M> {
+    pub(crate) fn new(plan: FaultPlan<M>) -> Self {
+        FaultLayer {
+            plan,
+            pairs: Mutex::new(HashMap::new()),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> FaultStats {
+        FaultStats {
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Applies the plan to one message, returning the payloads to deliver
+    /// *now*, in order. Empty means the message was absorbed (dropped or
+    /// held back) — the sender must still see success.
+    pub(crate) fn apply(&self, from: NodeId, to: NodeId, msg: M) -> Vec<M> {
+        let rule = match self.plan.rules.iter().find(|r| r.matches(from, to, &msg)) {
+            Some(r) => r,
+            // Untouched traffic still flushes anything held on its pair so
+            // a delayed message is reordered by exactly one message.
+            None => {
+                let mut out = vec![msg];
+                out.extend(self.take_held(from, to));
+                return out;
+            }
+        };
+        let (drop_p, dup_p, delay_p) = (rule.drop, rule.duplicate, rule.delay);
+        let mut pairs = self.pairs.lock();
+        let pair = pairs.entry((from, to)).or_insert_with(|| PairState {
+            rng: SplitMix64(
+                self.plan.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    ^ ((from.0 as u64) << 32 | to.0 as u64),
+            ),
+            held: None,
+        });
+        let u = pair.rng.next_f64();
+        let verdict = if u < drop_p {
+            Verdict::Drop
+        } else if u < drop_p + dup_p {
+            Verdict::Duplicate
+        } else if u < drop_p + dup_p + delay_p {
+            Verdict::Delay
+        } else {
+            Verdict::Deliver
+        };
+        let mut out = Vec::new();
+        match verdict {
+            Verdict::Deliver => {
+                out.push(msg);
+                out.extend(pair.held.take());
+            }
+            Verdict::Drop => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                out.extend(pair.held.take());
+            }
+            Verdict::Duplicate => {
+                self.duplicated.fetch_add(1, Ordering::Relaxed);
+                out.push(msg.clone());
+                out.push(msg);
+                out.extend(pair.held.take());
+            }
+            Verdict::Delay => {
+                self.delayed.fetch_add(1, Ordering::Relaxed);
+                // Release anything already held first so at most one
+                // message per pair is ever in flight "late".
+                out.extend(pair.held.take());
+                pair.held = Some(msg);
+            }
+        }
+        out
+    }
+
+    fn take_held(&self, from: NodeId, to: NodeId) -> Option<M> {
+        self.pairs
+            .lock()
+            .get_mut(&(from, to))
+            .and_then(|p| p.held.take())
+    }
+
+    /// Drains every held-back message, returning them with their pair so
+    /// the cluster can deliver them directly (bypassing re-injection).
+    pub(crate) fn drain_held(&self) -> Vec<(NodeId, NodeId, M)> {
+        let mut pairs = self.pairs.lock();
+        let mut out: Vec<(NodeId, NodeId, M)> = pairs
+            .iter_mut()
+            .filter_map(|(&(f, t), p)| p.held.take().map(|m| (f, t, m)))
+            .collect();
+        // Deterministic flush order.
+        out.sort_by_key(|(f, t, _)| (*f, *t));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_all(seed: u64, drop: f64, dup: f64, delay: f64) -> FaultPlan<u32> {
+        FaultPlan::new(seed).with_rule(FaultRule {
+            from: None,
+            to: None,
+            drop,
+            duplicate: dup,
+            delay,
+            filter: None,
+        })
+    }
+
+    #[test]
+    fn same_seed_same_verdicts() {
+        let a = FaultLayer::new(plan_all(42, 0.3, 0.3, 0.3));
+        let b = FaultLayer::new(plan_all(42, 0.3, 0.3, 0.3));
+        for i in 0..200u32 {
+            assert_eq!(
+                a.apply(NodeId(1), NodeId(2), i),
+                b.apply(NodeId(1), NodeId(2), i)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultLayer::new(plan_all(1, 0.5, 0.0, 0.0));
+        let b = FaultLayer::new(plan_all(2, 0.5, 0.0, 0.0));
+        let va: Vec<_> = (0..100u32)
+            .map(|i| a.apply(NodeId(1), NodeId(2), i))
+            .collect();
+        let vb: Vec<_> = (0..100u32)
+            .map(|i| b.apply(NodeId(1), NodeId(2), i))
+            .collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn pairs_are_independent_streams() {
+        // Interleaving traffic on another pair must not perturb the
+        // verdicts on this one.
+        let a = FaultLayer::new(plan_all(7, 0.4, 0.2, 0.2));
+        let b = FaultLayer::new(plan_all(7, 0.4, 0.2, 0.2));
+        let mut va = Vec::new();
+        let mut vb = Vec::new();
+        for i in 0..100u32 {
+            va.push(a.apply(NodeId(1), NodeId(2), i));
+            a.apply(NodeId(3), NodeId(4), i); // extra traffic
+            vb.push(b.apply(NodeId(1), NodeId(2), i));
+        }
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn drop_absorbs_the_message() {
+        let layer = FaultLayer::new(plan_all(0, 1.0, 0.0, 0.0));
+        assert!(layer.apply(NodeId(1), NodeId(2), 9).is_empty());
+        assert_eq!(layer.stats().dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let layer = FaultLayer::new(plan_all(0, 0.0, 1.0, 0.0));
+        assert_eq!(layer.apply(NodeId(1), NodeId(2), 9), vec![9, 9]);
+        assert_eq!(layer.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn delay_reorders_by_one_message() {
+        // First message held; second released before it — a reorder.
+        let plan = FaultPlan::new(0).with_rule(FaultRule {
+            from: None,
+            to: None,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 1.0,
+            filter: None,
+        });
+        let layer = FaultLayer::new(plan);
+        assert!(layer.apply(NodeId(1), NodeId(2), 1).is_empty());
+        // Second message is also "delayed": releases the first, holds self.
+        assert_eq!(layer.apply(NodeId(1), NodeId(2), 2), vec![1]);
+        assert_eq!(layer.drain_held(), vec![(NodeId(1), NodeId(2), 2)]);
+        assert_eq!(layer.drain_held(), vec![]);
+        assert_eq!(layer.stats().delayed, 2);
+    }
+
+    #[test]
+    fn filter_restricts_rule_to_matching_payloads() {
+        let plan = FaultPlan::new(0).with_rule(FaultRule {
+            from: None,
+            to: None,
+            drop: 1.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            filter: Some(Arc::new(|m: &u32| m.is_multiple_of(2))),
+        });
+        let layer = FaultLayer::new(plan);
+        assert!(layer.apply(NodeId(1), NodeId(2), 4).is_empty()); // dropped
+        assert_eq!(layer.apply(NodeId(1), NodeId(2), 5), vec![5]); // untouched
+    }
+
+    #[test]
+    fn wildcard_and_specific_pair_matching() {
+        let plan = FaultPlan::new(0).drop_between(NodeId(1), NodeId(2), 1.0);
+        let layer = FaultLayer::new(plan);
+        assert!(layer.apply(NodeId(1), NodeId(2), 1).is_empty());
+        assert_eq!(layer.apply(NodeId(2), NodeId(1), 1), vec![1]);
+        assert_eq!(layer.apply(NodeId(1), NodeId(3), 1), vec![1]);
+    }
+}

@@ -22,9 +22,11 @@
 //! protocol tests must assert convergence properties, not exact schedules.
 
 pub mod cluster;
+pub mod fault;
 pub mod message;
 pub mod node;
 
 pub use cluster::{Cluster, ClusterHandle, NetStats};
+pub use fault::{FaultPlan, FaultRule, FaultStats, MsgFilter};
 pub use message::{Control, Envelope, Incoming, RecvError, SendError};
 pub use node::{NodeClass, NodeCtx, NodeId};

@@ -42,14 +42,14 @@ impl NodeClass {
 /// All interaction with the rest of the cluster flows through this handle:
 /// sending, receiving (application messages and control signals are
 /// multiplexed into [`Incoming`]), and introspecting identity.
-pub struct NodeCtx<M: Send + 'static> {
+pub struct NodeCtx<M: Send + Clone + 'static> {
     pub(crate) id: NodeId,
     pub(crate) class: NodeClass,
     pub(crate) inner: Arc<ClusterInner<M>>,
     pub(crate) rx: crossbeam::channel::Receiver<Incoming<M>>,
 }
 
-impl<M: Send + 'static> NodeCtx<M> {
+impl<M: Send + Clone + 'static> NodeCtx<M> {
     /// This node's identity.
     pub fn id(&self) -> NodeId {
         self.id

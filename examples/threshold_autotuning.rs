@@ -81,5 +81,5 @@ fn main() -> Result<(), String> {
     let min = job.status()?.min_clock;
     job.wait_clock(min + 10)?;
     println!("  objective: {:.4}", job.objective(&data)?);
-    job.shutdown()
+    job.shutdown().map_err(String::from)
 }

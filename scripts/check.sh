@@ -13,4 +13,9 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+# Bounded fault-injection pass: one fixed seed keeps the wall-clock cost
+# small; nightly/deep runs set PROTEUS_CHAOS_FULL=1 instead.
+echo "==> chaos suite (fixed seed)"
+PROTEUS_CHAOS_SEEDS=3 cargo test -q -p proteus-agileml --test chaos
+
 echo "==> all checks passed"
