@@ -120,6 +120,7 @@ impl<A: MlApp> NodeState<A> {
             AgileMsg::Configure(assign) => {
                 if !self.configured_once {
                     self.worker.set_clock(assign.resume_clock);
+                    self.worker.set_epoch(assign.epoch);
                     self.epoch = assign.epoch;
                     self.configured_once = true;
                 }

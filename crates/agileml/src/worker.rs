@@ -183,6 +183,15 @@ impl<A: MlApp> WorkerState<A> {
         self.global_min = self.global_min.max(clock);
     }
 
+    /// Enters `epoch` without a rollback — the first configuration of a
+    /// node added after a recovery bumped the epoch. A worker left at
+    /// epoch 0 would have every `ClockDone` dropped as stale and would
+    /// ignore every `GlobalClock` broadcast, wedging the consistent
+    /// clock at the rollback target.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Marks the worker started (controller `Start`).
     pub fn start(&mut self) {
         self.started = true;

@@ -455,6 +455,27 @@ fn message_plane_chaos_duplicates_and_delays() {
 // Named regressions for chaos-found bugs
 // ---------------------------------------------------------------------
 
+/// A node added *after* a rollback recovery must adopt the recovery's
+/// epoch on its first `Configure`. Found by the market chaos suite's
+/// launch-then-die scenario: the fresh worker stayed at epoch 0 while
+/// the controller had advanced, so its `ClockDone`s were dropped as
+/// stale and its entry pinned the consistent clock — the whole cluster
+/// SSP-blocked on a healthy-looking worker.
+#[test]
+fn node_added_after_recovery_joins_the_new_epoch() {
+    let mut job = AgileMlJob::launch(mf_app(), mf_data(), chaos_cfg(3), 1, 3).expect("launch");
+    job.wait_clock(4).expect("initial progress");
+    // A warning-less failure triggers rollback recovery, which bumps
+    // the epoch.
+    job.fail_nodes(&[NodeId(2)]).expect("recovery");
+    // The replacement arrives in the post-recovery epoch; before the
+    // fix its clock entry never advanced and this wait timed out.
+    job.add_machines(NodeClass::Transient, 1).expect("add");
+    job.wait_clock_for(TARGET, STEP)
+        .expect("the cluster must keep clocking with the new node");
+    job.shutdown().expect("shutdown");
+}
+
 /// Revoking (or losing) the reliable tier is unrecoverable *by design* —
 /// but it must surface as a typed fault, not a controller panic.
 #[test]

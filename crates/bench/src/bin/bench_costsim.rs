@@ -29,6 +29,7 @@ fn main() {
         job_hours: 2.0,
         market_model: MarketModel::default(),
         max_job_hours: 96.0,
+        market_faults: None,
     };
     let schemes = 4usize;
     let runs = schemes * starts;

@@ -20,6 +20,7 @@ pub fn standard_study(job_hours: f64, starts: usize) -> StudyConfig {
         job_hours,
         market_model: proteus_market::MarketModel::default(),
         max_job_hours: (job_hours * 24.0).max(72.0),
+        market_faults: None,
     }
 }
 

@@ -23,12 +23,14 @@
 //! always pick the currently cheapest market and bid the on-demand price
 //! (the EC2 Spot Fleet default policy).
 
+pub mod acquire;
 pub mod beta;
 pub mod objective;
 pub mod params;
 pub mod policy;
 pub mod standard;
 
+pub use acquire::MarketBackoff;
 pub use beta::{BetaEstimator, BetaPoint, BetaTable};
 pub use objective::Objective;
 pub use params::AppParams;

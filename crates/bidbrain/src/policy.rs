@@ -230,18 +230,39 @@ impl<'a> BidBrain<'a> {
         &self,
         footprint: &[AllocView],
         markets: &[(MarketKey, f64)],
-        _now: SimTime,
+        now: SimTime,
     ) -> Option<AllocationRequest> {
+        self.ranked_acquisitions(footprint, markets, now)
+            .into_iter()
+            .next()
+    }
+
+    /// Every acquisition that would improve the objective by the
+    /// configured margin, best first — at most one candidate (the best
+    /// bid delta) per market.
+    ///
+    /// The head of the list is exactly what [`consider_acquisition`]
+    /// returns; the tail ranks the fallback markets a resilient caller
+    /// walks when the best market refuses the request (capacity
+    /// droughts), so a refusal never strands the driver with no plan.
+    ///
+    /// [`consider_acquisition`]: BidBrain::consider_acquisition
+    pub fn ranked_acquisitions(
+        &self,
+        footprint: &[AllocView],
+        markets: &[(MarketKey, f64)],
+        _now: SimTime,
+    ) -> Vec<AllocationRequest> {
         let current_cores = Self::footprint_cores(footprint);
         if current_cores >= self.config.target_cores {
-            return None;
+            return Vec::new();
         }
         let current_score = self
             .config
             .objective
             .score(&self.evaluate(footprint, false));
 
-        let mut best: Option<(f64, AllocationRequest)> = None;
+        let mut ranked: Vec<(f64, AllocationRequest)> = Vec::new();
         // One reusable footprint+candidate buffer for the whole
         // (market × delta) sweep: only the last slot changes per
         // candidate, so the footprint prefix is copied once, not once
@@ -255,6 +276,7 @@ impl<'a> BidBrain<'a> {
             if count == 0 {
                 continue;
             }
+            let mut best: Option<(f64, AllocationRequest)> = None;
             for &delta in &self.config.bid_deltas {
                 let candidate = AllocView {
                     market,
@@ -279,19 +301,23 @@ impl<'a> BidBrain<'a> {
                     ));
                 }
             }
-        }
-        match best {
-            Some((score, req))
-                if self.config.objective.improves(
-                    score,
-                    current_score,
-                    self.config.min_improvement,
-                ) =>
-            {
-                Some(req)
+            // The improvement gate is monotone in the score, so
+            // filtering per candidate is equivalent to gating only the
+            // global best (as the single-result path did).
+            if let Some((score, req)) = best {
+                if self
+                    .config
+                    .objective
+                    .improves(score, current_score, self.config.min_improvement)
+                {
+                    ranked.push((score, req));
+                }
             }
-            _ => None,
         }
+        // Stable sort: equal scores keep market order, matching the
+        // strict-< first-wins tie-break of the single-result sweep.
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+        ranked.into_iter().map(|(_, req)| req).collect()
     }
 
     /// Decides, just before an allocation's billing hour ends, whether to
@@ -511,7 +537,7 @@ mod tests {
             work_rate: 4.0,
         };
         // Renewing at a cheap price is fine…
-        assert!(brain.should_renew(&doomed, &[keeper.clone()], 0.04));
+        assert!(brain.should_renew(&doomed, std::slice::from_ref(&keeper), 0.04));
         // …renewing at 20× is not.
         assert!(!brain.should_renew(&doomed, &[keeper], 0.80));
     }

@@ -2,7 +2,7 @@
 
 use proteus_agileml::AgileConfig;
 use proteus_bidbrain::{AppParams, BidBrainConfig};
-use proteus_market::{catalog, MarketKey, MarketModel};
+use proteus_market::{catalog, MarketFaultPlan, MarketKey, MarketModel};
 use proteus_simtime::SimDuration;
 
 /// Configuration of a [`Proteus`](crate::Proteus) session.
@@ -30,6 +30,24 @@ pub struct ProteusConfig {
     /// Cap on instances a session will hold concurrently (keeps the
     /// threaded cluster laptop-sized; the paper ran up to 192 machines).
     pub max_machines: u32,
+    /// Provider-side fault regimes to install (capacity droughts,
+    /// throttling, boot delays, infant mortality). `None` — the default
+    /// — leaves the market pristine and every trace bit-identical.
+    pub market_faults: Option<MarketFaultPlan>,
+    /// How long the acquisition loop may go with refusals and no grant
+    /// before the watchdog declares it wedged and degrades to the
+    /// reliable tier (plus `fallback_on_demand` machines). While
+    /// degraded, the spot sweep is re-probed once per window.
+    pub watchdog_window: SimDuration,
+    /// Extra on-demand machines provisioned when the watchdog degrades,
+    /// so forward progress never depends on a drought ending. Zero
+    /// disables the fallback (degraded mode then just stops sweeping).
+    pub fallback_on_demand: u32,
+    /// Base backoff after a market refuses a request (doubles per
+    /// consecutive refusal).
+    pub backoff_base: SimDuration,
+    /// Cap on the per-market backoff delay.
+    pub backoff_cap: SimDuration,
 }
 
 impl Default for ProteusConfig {
@@ -53,6 +71,11 @@ impl Default for ProteusConfig {
             market_horizon: SimDuration::from_hours(24 * 21),
             beta_training: SimDuration::from_hours(24 * 14),
             max_machines: 12,
+            market_faults: None,
+            watchdog_window: SimDuration::from_mins(20),
+            fallback_on_demand: 1,
+            backoff_base: SimDuration::from_mins(2),
+            backoff_cap: SimDuration::from_mins(30),
         }
     }
 }
@@ -72,6 +95,12 @@ impl ProteusConfig {
         }
         if self.max_machines <= self.reliable_machines {
             return Err("max_machines must leave room for transient machines".into());
+        }
+        if self.watchdog_window < crate::session::STEP {
+            return Err("watchdog window must cover at least one decision step".into());
+        }
+        if self.backoff_base > self.backoff_cap {
+            return Err("backoff base must not exceed the backoff cap".into());
         }
         Ok(())
     }

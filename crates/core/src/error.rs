@@ -1,0 +1,101 @@
+//! Typed failures for the session-facing API.
+//!
+//! Every driver method on [`Proteus`](crate::Proteus) returns a
+//! [`ProteusError`] instead of a bare `String`, so callers (and the
+//! market-chaos harness) can distinguish a market-side refusal from a
+//! training-job fault and react in kind. Each variant's `Display`
+//! renders exactly what the former string said, so example and bench
+//! output is unchanged.
+
+use std::fmt;
+
+use proteus_agileml::JobError;
+use proteus_market::MarketError;
+
+/// An error surfaced by a [`Proteus`](crate::Proteus) session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProteusError {
+    /// Configuration was rejected before launch.
+    Config(String),
+    /// The simulated provider refused an operation.
+    Market(MarketError),
+    /// The elastic training job failed or became unrecoverable.
+    Job(JobError),
+}
+
+impl fmt::Display for ProteusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProteusError::Config(why) => write!(f, "{why}"),
+            ProteusError::Market(e) => write!(f, "{e}"),
+            ProteusError::Job(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProteusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProteusError::Config(_) => None,
+            ProteusError::Market(e) => Some(e),
+            ProteusError::Job(e) => Some(e),
+        }
+    }
+}
+
+impl From<MarketError> for ProteusError {
+    fn from(e: MarketError) -> Self {
+        ProteusError::Market(e)
+    }
+}
+
+impl From<JobError> for ProteusError {
+    fn from(e: JobError) -> Self {
+        ProteusError::Job(e)
+    }
+}
+
+impl From<String> for ProteusError {
+    fn from(why: String) -> Self {
+        ProteusError::Config(why)
+    }
+}
+
+/// Lets callers that still traffic in `Result<_, String>` propagate a
+/// [`ProteusError`] with `?`.
+impl From<ProteusError> for String {
+    fn from(e: ProteusError) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_simtime::SimDuration;
+
+    #[test]
+    fn display_is_transparent() {
+        let cfg = ProteusError::Config("max_machines must leave room".into());
+        assert_eq!(cfg.to_string(), "max_machines must leave room");
+        let market = ProteusError::from(MarketError::RequestLimitExceeded {
+            retry_after: SimDuration::from_secs(30),
+        });
+        assert_eq!(
+            market.to_string(),
+            "request limit exceeded; retry after 30s"
+        );
+        let job = ProteusError::from(JobError::Timeout {
+            waiting_for: "clock",
+        });
+        assert_eq!(job.to_string(), "timed out waiting for clock");
+    }
+
+    #[test]
+    fn source_chains_to_the_wrapped_error() {
+        use std::error::Error;
+        let e = ProteusError::from(MarketError::EmptyRequest);
+        assert!(e.source().is_some());
+        assert!(ProteusError::Config("x".into()).source().is_none());
+    }
+}

@@ -38,11 +38,17 @@
 //! println!("cost ${:.2}, objective {:.4}", report.cost, report.final_objective);
 //! ```
 
+// Fault- and refusal-reachable paths must return typed errors; any
+// retained `expect` must document a real invariant at its use site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod config;
+pub mod error;
 pub mod report;
 pub mod session;
 
 pub use config::ProteusConfig;
+pub use error::ProteusError;
 pub use report::ProteusReport;
 pub use session::Proteus;
 

@@ -22,6 +22,16 @@ pub struct ProteusReport {
     pub clocks: u64,
     /// Final training objective over the full dataset (lower is better).
     pub final_objective: f64,
+    /// Spot requests refused for lack of capacity (fault regimes only).
+    pub refusals: u32,
+    /// Spot requests rejected by provider-API throttling.
+    pub throttles: u32,
+    /// Spot grants that delivered fewer instances than requested.
+    pub partial_grants: u32,
+    /// Total time the watchdog kept the loop degraded to reliable-only.
+    pub degraded_time: SimDuration,
+    /// On-demand machines provisioned as degraded-mode fallback.
+    pub fallback_on_demand: u32,
 }
 
 impl ProteusReport {
@@ -56,6 +66,11 @@ mod tests {
             allocations: 3,
             clocks: 40,
             final_objective: 0.05,
+            refusals: 0,
+            throttles: 0,
+            partial_grants: 0,
+            degraded_time: SimDuration::ZERO,
+            fallback_on_demand: 0,
         };
         assert!((report.on_demand_equivalent(0.2) - 2.0).abs() < 1e-12);
         assert!((report.free_fraction() - 0.2).abs() < 1e-12);

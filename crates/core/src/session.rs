@@ -16,20 +16,21 @@
 //! * allocations whose renewal would raise cost-per-work are released
 //!   just before their next billing hour.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use proteus_agileml::AgileMlJob;
-use proteus_bidbrain::{AllocView, BetaEstimator, BidBrain};
-use proteus_market::{AllocationId, CloudProvider, ProviderEvent, TraceGenerator};
+use proteus_bidbrain::{AllocView, BetaEstimator, BidBrain, MarketBackoff};
+use proteus_market::{AllocationId, CloudProvider, MarketError, ProviderEvent, TraceGenerator};
 use proteus_mlapps::app::MlApp;
 use proteus_simnet::{NodeClass, NodeId};
 use proteus_simtime::{SimDuration, SimTime};
 
 use crate::config::ProteusConfig;
+use crate::error::ProteusError;
 use crate::report::ProteusReport;
 
 /// BidBrain's decision cadence (Sec. 5: "every two minutes").
-const STEP: SimDuration = SimDuration::from_secs(120);
+pub(crate) const STEP: SimDuration = SimDuration::from_secs(120);
 
 /// A live Proteus session over one training job.
 pub struct Proteus<A: MlApp> {
@@ -40,18 +41,47 @@ pub struct Proteus<A: MlApp> {
     provider: CloudProvider<'static>,
     brain: BidBrain<'static>,
     job: AgileMlJob<A>,
-    /// Spot allocation → the simulated machines it granted.
+    /// Allocation → the simulated machines it granted (spot grants plus
+    /// any degraded-mode on-demand fallback).
     alloc_nodes: BTreeMap<AllocationId, Vec<NodeId>>,
     job_start: SimTime,
     evictions: u32,
     allocations: u32,
+    /// Per-market backoff under refusals and provider-wide throttles.
+    backoff: MarketBackoff,
+    /// Boot-delayed grants: machines join the job at `Launched`.
+    pending_launches: BTreeMap<AllocationId, u32>,
+    /// Allocations whose eviction warning already drained the machines —
+    /// their `Evicted` needs no rollback, unlike a warning-less death.
+    warned: BTreeSet<AllocationId>,
+    /// Watchdog state: last time a spot request was granted.
+    last_grant: SimTime,
+    /// Refusals (capacity or throttle) since the last grant.
+    refusals_since_grant: u32,
+    /// When the watchdog degraded the loop to reliable-only, if active.
+    degraded_since: Option<SimTime>,
+    /// Next time a degraded loop re-probes the spot markets.
+    next_probe: SimTime,
+    /// Total time spent degraded.
+    degraded_time: SimDuration,
+    /// Degraded-mode on-demand fallback allocations and their counts.
+    fallback_allocs: Vec<(AllocationId, u32)>,
+    /// Counters surfaced in the report.
+    refusals: u32,
+    throttles: u32,
+    partial_grants: u32,
+    fallback_on_demand: u32,
 }
 
 impl<A: MlApp> Proteus<A> {
     /// Launches a session: synthesizes market history, trains β on the
     /// configured window, provisions the reliable tier, starts the
     /// elastic training job, and makes the first allocation decision.
-    pub fn launch(app: A, dataset: Vec<A::Datum>, config: ProteusConfig) -> Result<Self, String> {
+    pub fn launch(
+        app: A,
+        dataset: Vec<A::Datum>,
+        config: ProteusConfig,
+    ) -> Result<Self, ProteusError> {
         config.validate()?;
 
         // Synthesize the market and train β on its early window — the
@@ -60,9 +90,12 @@ impl<A: MlApp> Proteus<A> {
         let traces = gen.generate_set(&config.spot_markets, config.market_horizon);
         let mut beta = BetaEstimator::new();
         for m in &config.spot_markets {
+            let trace = traces
+                .get(m)
+                .ok_or(ProteusError::Market(MarketError::UnknownMarket(*m)))?;
             beta.train(
                 *m,
-                traces.get(m).expect("trace generated"),
+                trace,
                 SimTime::EPOCH,
                 SimTime::EPOCH + config.beta_training,
                 SimDuration::from_mins(30),
@@ -72,11 +105,12 @@ impl<A: MlApp> Proteus<A> {
         let brain = BidBrain::new(config.params, beta, config.brain.clone());
 
         let mut provider = CloudProvider::new(traces);
+        if let Some(plan) = config.market_faults.clone() {
+            provider.set_fault_plan(plan);
+        }
         let job_start = SimTime::EPOCH + config.beta_training;
-        provider.advance_to(job_start).map_err(|e| e.to_string())?;
-        provider
-            .request_on_demand(config.on_demand_market, config.reliable_machines)
-            .map_err(|e| e.to_string())?;
+        provider.advance_to(job_start)?;
+        provider.request_on_demand(config.on_demand_market, config.reliable_machines)?;
 
         let job = AgileMlJob::launch(
             app,
@@ -86,6 +120,7 @@ impl<A: MlApp> Proteus<A> {
             0,
         )?;
 
+        let backoff = MarketBackoff::new(config.backoff_base, config.backoff_cap);
         let mut session = Proteus {
             config,
             provider,
@@ -95,6 +130,19 @@ impl<A: MlApp> Proteus<A> {
             job_start,
             evictions: 0,
             allocations: 0,
+            backoff,
+            pending_launches: BTreeMap::new(),
+            warned: BTreeSet::new(),
+            last_grant: job_start,
+            refusals_since_grant: 0,
+            degraded_since: None,
+            next_probe: job_start,
+            degraded_time: SimDuration::ZERO,
+            fallback_allocs: Vec::new(),
+            refusals: 0,
+            throttles: 0,
+            partial_grants: 0,
+            fallback_on_demand: 0,
         };
         session.consider_acquisition()?;
         Ok(session)
@@ -115,15 +163,21 @@ impl<A: MlApp> Proteus<A> {
         self.alloc_nodes.values().map(Vec::len).sum()
     }
 
+    /// Whether the watchdog has degraded the loop to reliable-only
+    /// (plus any on-demand fallback) because spot acquisition wedged.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_since.is_some()
+    }
+
     /// Advances the market by `hours`, driving allocation decisions and
     /// elasticity while training threads keep running.
-    pub fn run_market_hours(&mut self, hours: f64) -> Result<(), String> {
+    pub fn run_market_hours(&mut self, hours: f64) -> Result<(), ProteusError> {
         let target = self.provider.now() + SimDuration::from_hours_f64(hours);
         while self.provider.now() < target {
             self.renewals()?;
             self.consider_acquisition()?;
             let next = (self.provider.now() + STEP).min(target);
-            let events = self.provider.advance_to(next).map_err(|e| e.to_string())?;
+            let events = self.provider.advance_to(next)?;
             for (_, ev) in events {
                 self.handle_event(ev)?;
             }
@@ -132,27 +186,51 @@ impl<A: MlApp> Proteus<A> {
     }
 
     /// Waits until the training job completes `clock` global iterations.
-    pub fn wait_clock(&mut self, clock: u64) -> Result<(), String> {
-        self.job.wait_clock(clock).map_err(String::from)
+    pub fn wait_clock(&mut self, clock: u64) -> Result<(), ProteusError> {
+        Ok(self.job.wait_clock(clock)?)
     }
 
-    fn handle_event(&mut self, ev: ProviderEvent) -> Result<(), String> {
+    fn handle_event(&mut self, ev: ProviderEvent) -> Result<(), ProteusError> {
         match ev {
             ProviderEvent::EvictionWarning { allocation, .. } => {
                 // Forward to the elasticity controller: drain within the
                 // warning window (the drain itself is wall-clock fast).
+                self.warned.insert(allocation);
                 if let Some(nodes) = self.alloc_nodes.get(&allocation).cloned() {
                     self.job.evict_with_warning(&nodes)?;
                 }
             }
             ProviderEvent::Evicted { allocation } => {
                 self.evictions += 1;
-                self.alloc_nodes.remove(&allocation);
+                let was_warned = self.warned.remove(&allocation);
+                if let Some(nodes) = self.alloc_nodes.remove(&allocation) {
+                    if !was_warned && !nodes.is_empty() {
+                        // A warning-less death (infant mortality): the
+                        // machines vanish abruptly and AgileML rolls
+                        // back from the BackupPSs.
+                        self.job.fail_nodes(&nodes)?;
+                    }
+                }
                 // Free compute was already banked; BidBrain reconsiders
                 // immediately after evictions (Sec. 5).
                 self.consider_acquisition()?;
             }
             ProviderEvent::HourCharged { .. } => {}
+            ProviderEvent::Launched { allocation } => {
+                // A boot-delayed grant came up: its machines join now.
+                if let Some(count) = self.pending_launches.remove(&allocation) {
+                    let nodes = self
+                        .job
+                        .add_machines(NodeClass::Transient, count as usize)?;
+                    self.alloc_nodes.insert(allocation, nodes);
+                }
+            }
+            ProviderEvent::LaunchFailed { allocation } => {
+                // The market moved before the instances booted; nothing
+                // was billed and no machines existed. Re-plan.
+                self.pending_launches.remove(&allocation);
+                self.consider_acquisition()?;
+            }
         }
         Ok(())
     }
@@ -165,7 +243,20 @@ impl<A: MlApp> Proteus<A> {
             self.config.reliable_machines,
             0.0,
         )];
+        // Degraded-mode fallback machines compute, unlike the reliable
+        // tier's serving-only role.
+        for &(_, count) in &self.fallback_allocs {
+            views.push(AllocView::on_demand(
+                self.config.on_demand_market,
+                count,
+                f64::from(self.config.on_demand_market.instance_type().vcpus),
+            ));
+        }
         for a in self.provider.spot_allocations() {
+            if a.booting {
+                // Not billed and not computing until launch.
+                continue;
+            }
             let paid = self
                 .provider
                 .spot_price_at(a.market, a.hour_start)
@@ -182,12 +273,29 @@ impl<A: MlApp> Proteus<A> {
         views
     }
 
-    fn consider_acquisition(&mut self) -> Result<(), String> {
+    /// One acquisition sweep: walk BidBrain's ranked candidates until a
+    /// market grants, treating refusals as typed, transient outcomes.
+    ///
+    /// * capacity refusal → back that market off and try the next-best
+    ///   market per Eq. 4;
+    /// * throttle → back off provider-wide until the suggested retry;
+    /// * no grant for a watchdog window → degrade to reliable-only with
+    ///   an optional on-demand fallback, re-probing once per window.
+    fn consider_acquisition(&mut self) -> Result<(), ProteusError> {
+        let now = self.provider.now();
+        if self.degraded_since.is_some() {
+            // Degraded: don't hammer a wedged market every step.
+            if now < self.next_probe {
+                return Ok(());
+            }
+            self.next_probe = now + self.config.watchdog_window;
+        }
         let headroom = self
             .config
             .max_machines
             .saturating_sub(self.config.reliable_machines)
-            .saturating_sub(self.transient_machines() as u32);
+            .saturating_sub(self.transient_machines() as u32)
+            .saturating_sub(self.pending_launches.values().sum::<u32>());
         if headroom == 0 {
             return Ok(());
         }
@@ -195,24 +303,106 @@ impl<A: MlApp> Proteus<A> {
             .config
             .spot_markets
             .iter()
+            .filter(|m| !self.backoff.is_blocked(**m, now))
             .filter_map(|m| self.provider.spot_price(*m).ok().map(|p| (*m, p)))
             .collect();
         let footprint = self.footprint();
-        if let Some(req) = self
-            .brain
-            .consider_acquisition(&footprint, &prices, self.provider.now())
-        {
+        let ranked = self.brain.ranked_acquisitions(&footprint, &prices, now);
+        let mut granted = false;
+        for req in ranked {
             let count = req.count.min(headroom);
             if count == 0 {
-                return Ok(());
+                continue;
             }
-            if let Ok(id) = self.provider.request_spot(req.market, count, req.bid) {
-                let nodes = self
-                    .job
-                    .add_machines(NodeClass::Transient, count as usize)?;
-                self.alloc_nodes.insert(id, nodes);
-                self.allocations += 1;
+            match self.provider.request_spot(req.market, count, req.bid) {
+                Ok(grant) => {
+                    self.backoff.on_success(req.market);
+                    self.allocations += 1;
+                    if grant.is_partial() {
+                        self.partial_grants += 1;
+                    }
+                    self.last_grant = now;
+                    self.refusals_since_grant = 0;
+                    if grant.usable_at > now {
+                        // Machines join the job when the provider
+                        // reports the launch.
+                        self.pending_launches.insert(grant.id, grant.granted);
+                    } else {
+                        let nodes = self
+                            .job
+                            .add_machines(NodeClass::Transient, grant.granted as usize)?;
+                        self.alloc_nodes.insert(grant.id, nodes);
+                    }
+                    self.exit_degraded(now)?;
+                    granted = true;
+                    break;
+                }
+                Err(MarketError::RequestLimitExceeded { retry_after }) => {
+                    // Provider-wide: no point trying the next market.
+                    self.throttles += 1;
+                    self.refusals_since_grant += 1;
+                    self.backoff.on_throttle(now, retry_after);
+                    break;
+                }
+                Err(MarketError::InsufficientCapacity { .. }) => {
+                    // Market-local: back it off, fall to the next-best.
+                    self.refusals += 1;
+                    self.refusals_since_grant += 1;
+                    self.backoff.on_refusal(req.market, now);
+                }
+                Err(MarketError::BidBelowMarket { .. }) => {
+                    // The price moved between ranking and requesting;
+                    // the next candidate market may still be good.
+                }
+                Err(e) => return Err(e.into()),
             }
+        }
+        if !granted {
+            self.maybe_degrade(now)?;
+        }
+        Ok(())
+    }
+
+    /// Watchdog: if refusals have kept the loop grantless for a full
+    /// window, degrade to the reliable tier instead of spinning, and
+    /// provision the configured on-demand fallback so the job keeps
+    /// making progress through the drought.
+    fn maybe_degrade(&mut self, now: SimTime) -> Result<(), ProteusError> {
+        if self.degraded_since.is_some()
+            || self.refusals_since_grant == 0
+            || now.since(self.last_grant) < self.config.watchdog_window
+        {
+            return Ok(());
+        }
+        self.degraded_since = Some(now);
+        self.next_probe = now + self.config.watchdog_window;
+        if self.config.fallback_on_demand > 0 && self.fallback_allocs.is_empty() {
+            let count = self.config.fallback_on_demand;
+            let id = self
+                .provider
+                .request_on_demand(self.config.on_demand_market, count)?;
+            let nodes = self
+                .job
+                .add_machines(NodeClass::Transient, count as usize)?;
+            self.alloc_nodes.insert(id, nodes);
+            self.fallback_allocs.push((id, count));
+            self.fallback_on_demand += count;
+        }
+        Ok(())
+    }
+
+    /// Leaves degraded mode after a successful grant: bank the degraded
+    /// interval and release the on-demand fallback (spot is cheaper).
+    fn exit_degraded(&mut self, now: SimTime) -> Result<(), ProteusError> {
+        let Some(since) = self.degraded_since.take() else {
+            return Ok(());
+        };
+        self.degraded_time += now.since(since);
+        for (id, _) in std::mem::take(&mut self.fallback_allocs) {
+            if let Some(nodes) = self.alloc_nodes.remove(&id) {
+                self.job.evict_with_warning(&nodes)?;
+            }
+            let _ = self.provider.terminate(id);
         }
         Ok(())
     }
@@ -223,11 +413,11 @@ impl<A: MlApp> Proteus<A> {
     /// abruptly and AgileML runs online rollback recovery from the
     /// BackupPSs. Returns the clock the job rolled back to, or `None`
     /// when no spot allocation is live.
-    pub fn inject_failure(&mut self) -> Result<Option<u64>, String> {
+    pub fn inject_failure(&mut self) -> Result<Option<u64>, ProteusError> {
         let Some((&alloc, _)) = self.alloc_nodes.iter().next() else {
             return Ok(None);
         };
-        let nodes = self.alloc_nodes.remove(&alloc).expect("key just observed");
+        let nodes = self.alloc_nodes.remove(&alloc).unwrap_or_default();
         // The provider still refunds the hour (it evicted the machines);
         // terminate bills nothing further since we model the provider's
         // own revocation as an immediate teardown.
@@ -239,11 +429,11 @@ impl<A: MlApp> Proteus<A> {
 
     /// Hour-end renewal decisions: allocations not worth renewing are
     /// released (machines leave gracefully — a voluntary drain).
-    fn renewals(&mut self) -> Result<(), String> {
+    fn renewals(&mut self) -> Result<(), ProteusError> {
         let now = self.provider.now();
         for a in self.provider.spot_allocations() {
             let to_end = (a.hour_start + SimDuration::from_hours(1)).since(now);
-            if to_end > STEP || a.warned {
+            if to_end > STEP || a.warned || a.booting {
                 continue;
             }
             let renew_price = self.provider.spot_price(a.market).unwrap_or(a.bid);
@@ -278,12 +468,18 @@ impl<A: MlApp> Proteus<A> {
     /// allocations would idle to the end of their billing hours hoping
     /// for a refund — the simulated equivalent simply terminates them,
     /// since their current hours are already paid either way.
-    pub fn finish(mut self) -> Result<ProteusReport, String> {
+    pub fn finish(mut self) -> Result<ProteusReport, ProteusError> {
         let dataset: Vec<A::Datum> = self.job.dataset().to_vec();
         let final_objective = self.job.objective(&dataset)?;
         let status = self.job.status()?;
         for (id, _) in std::mem::take(&mut self.alloc_nodes) {
             let _ = self.provider.terminate(id);
+        }
+        for (id, _) in std::mem::take(&mut self.pending_launches) {
+            let _ = self.provider.terminate(id);
+        }
+        if let Some(since) = self.degraded_since.take() {
+            self.degraded_time += self.provider.now().since(since);
         }
         let market_time = self.provider.now() - self.job_start;
         self.job.shutdown()?;
@@ -295,6 +491,11 @@ impl<A: MlApp> Proteus<A> {
             allocations: self.allocations,
             clocks: status.min_clock,
             final_objective,
+            refusals: self.refusals,
+            throttles: self.throttles,
+            partial_grants: self.partial_grants,
+            degraded_time: self.degraded_time,
+            fallback_on_demand: self.fallback_on_demand,
         })
     }
 }

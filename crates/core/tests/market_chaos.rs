@@ -1,0 +1,241 @@
+//! Seed-deterministic chaos suite for the *market side* of a Proteus
+//! session.
+//!
+//! The AgileML chaos suite (`crates/agileml/tests/chaos.rs`) storms the
+//! training plane; this suite storms the provider: capacity droughts
+//! that refuse every spot request, API throttling, multi-minute boot
+//! delays, and launch-then-die instances. The contract under every
+//! regime is the same — the session either keeps training (the reliable
+//! tier guarantees forward progress) or surfaces a typed
+//! [`ProteusError`]; it never panics and never wedges past a driver
+//! timeout.
+//!
+//! Each run prints `chaos: scenario=<name> seed=<seed>` *before* doing
+//! anything, so a CI failure replays from the printed seed alone:
+//! `PROTEUS_CHAOS_SEEDS=<seed> cargo test -p proteus --test
+//! market_chaos <name>`. `PROTEUS_CHAOS_FULL=1` widens the sweep.
+
+use proteus::market::MarketFaultPlan;
+use proteus::simtime::{SimDuration, SimTime};
+use proteus::{Proteus, ProteusConfig, ProteusError, ProteusReport};
+use proteus_mlapps::data::{netflix_like, MfDataConfig};
+use proteus_mlapps::mf::{MatrixFactorization, MfConfig, Rating};
+
+/// Training clock every scenario must reach — modest, because a
+/// drought-starved session trains on the reliable tier alone.
+const TARGET: u64 = 10;
+
+fn app() -> MatrixFactorization {
+    MatrixFactorization::new(MfConfig {
+        rows: 30,
+        cols: 20,
+        rank: 3,
+        learning_rate: 0.05,
+        reg: 1e-4,
+        init_scale: 0.2,
+    })
+}
+
+fn data() -> Vec<Rating> {
+    netflix_like(
+        &MfDataConfig {
+            rows: 30,
+            cols: 20,
+            true_rank: 2,
+            observed: 500,
+            noise: 0.02,
+        },
+        7,
+    )
+}
+
+/// Session shape shared by every scenario: laptop-sized cluster, a
+/// short watchdog window and backoff cap so wedge → degrade → recover
+/// all fits inside a two-hour market run.
+fn chaos_config(plan: MarketFaultPlan) -> ProteusConfig {
+    ProteusConfig {
+        max_machines: 8,
+        market_faults: Some(plan),
+        watchdog_window: SimDuration::from_mins(10),
+        backoff_base: SimDuration::from_mins(2),
+        backoff_cap: SimDuration::from_mins(10),
+        ..ProteusConfig::default()
+    }
+}
+
+/// Seeds to sweep; the seed feeds the provider's fault-plan RNG.
+fn seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("PROTEUS_CHAOS_SEEDS") {
+        return s.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+    }
+    if std::env::var("PROTEUS_CHAOS_FULL").is_ok() {
+        return vec![3, 5, 7, 11, 13, 17, 19, 23];
+    }
+    vec![3, 11]
+}
+
+/// Runs `scenario` across the seed sweep. Every market regime leaves
+/// the reliable tier untouched, so recovery is always possible: a typed
+/// error is a failure here, a panic doubly so.
+fn sweep(name: &str, scenario: impl Fn(u64) -> Result<ProteusReport, ProteusError>) {
+    for seed in seeds() {
+        println!("chaos: scenario={name} seed={seed}");
+        let report = match scenario(seed) {
+            Ok(r) => r,
+            Err(e) => panic!("chaos: scenario={name} seed={seed}: expected recovery, got: {e}"),
+        };
+        assert!(
+            report.clocks >= TARGET,
+            "chaos: scenario={name} seed={seed}: trained only {} clocks",
+            report.clocks
+        );
+        assert!(
+            report.final_objective.is_finite() && report.final_objective < 0.5,
+            "chaos: scenario={name} seed={seed}: objective {} did not converge",
+            report.final_objective
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------
+
+/// Total capacity drought for the first hour: every spot request is
+/// refused, the backoff ladder climbs, the watchdog degrades the loop
+/// onto the reliable tier plus an on-demand fallback machine, and when
+/// the drought lifts a re-probe reacquires spot capacity.
+fn capacity_drought(seed: u64) -> Result<ProteusReport, ProteusError> {
+    // The job starts after the β-training window; anchor the drought
+    // there so it covers the session's first market hour.
+    let start = SimTime::EPOCH + ProteusConfig::default().beta_training;
+    let plan =
+        MarketFaultPlan::new(seed).with_drought(start, start + SimDuration::from_hours(1), 0);
+    let mut session = Proteus::launch(app(), data(), chaos_config(plan))?;
+    assert_eq!(
+        session.transient_machines(),
+        0,
+        "a total drought must refuse the launch-time sweep"
+    );
+    session.run_market_hours(2.0)?;
+    session.wait_clock(TARGET)?;
+    let report = session.finish()?;
+    assert!(report.refusals >= 1, "no refusal recorded: {report:?}");
+    assert!(
+        report.degraded_time > SimDuration::ZERO,
+        "the watchdog never degraded: {report:?}"
+    );
+    assert!(
+        report.fallback_on_demand >= 1,
+        "degraded mode provisioned no fallback: {report:?}"
+    );
+    assert!(
+        report.allocations >= 1,
+        "the sweep never recovered after the drought: {report:?}"
+    );
+    Ok(report)
+}
+
+/// Heavy API throttling for the whole run: three in four spot requests
+/// bounce with `RequestLimitExceeded`. The loop honors the advertised
+/// retry delay; either a grant lands between bursts or — on seeds where
+/// every draw bounces — the watchdog falls back to on-demand capacity.
+fn throttle_burst(seed: u64) -> Result<ProteusReport, ProteusError> {
+    let plan = MarketFaultPlan::new(seed).with_throttle(0.75, SimDuration::from_mins(5));
+    let mut session = Proteus::launch(app(), data(), chaos_config(plan))?;
+    session.run_market_hours(2.0)?;
+    session.wait_clock(TARGET)?;
+    let report = session.finish()?;
+    assert!(report.throttles >= 1, "no throttle recorded: {report:?}");
+    assert!(
+        report.allocations >= 1 || report.fallback_on_demand >= 1,
+        "neither a grant nor the on-demand fallback landed: {report:?}"
+    );
+    Ok(report)
+}
+
+/// Every launch takes three to ten minutes to boot. Booting instances
+/// must not be handed to the trainer, double-requested against, or
+/// billed before they come up.
+fn slow_boot(seed: u64) -> Result<ProteusReport, ProteusError> {
+    let plan = MarketFaultPlan::new(seed)
+        .with_boot_delay(SimDuration::from_mins(3), SimDuration::from_mins(10));
+    let mut session = Proteus::launch(app(), data(), chaos_config(plan))?;
+    session.run_market_hours(2.0)?;
+    session.wait_clock(TARGET)?;
+    let report = session.finish()?;
+    assert!(report.allocations >= 1, "no allocation landed: {report:?}");
+    assert!(
+        report.cost > 0.0,
+        "launched spot hours must bill: {report:?}"
+    );
+    Ok(report)
+}
+
+/// Launch-then-die: every grant is fated to die — warning-less, hour
+/// refunded — within twenty minutes of coming up. The session must
+/// absorb the repeated rollback recoveries and keep converging on the
+/// reliable tier between corpses.
+fn launch_then_die(seed: u64) -> Result<ProteusReport, ProteusError> {
+    let plan = MarketFaultPlan::new(seed).with_infant_mortality(1.0, SimDuration::from_mins(20));
+    let mut session = Proteus::launch(app(), data(), chaos_config(plan))?;
+    session.run_market_hours(2.0)?;
+    session.wait_clock(TARGET)?;
+    let report = session.finish()?;
+    assert!(report.allocations >= 1, "no allocation landed: {report:?}");
+    assert!(
+        report.evictions >= 1,
+        "every grant was doomed, yet none died: {report:?}"
+    );
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// The sweep
+// ---------------------------------------------------------------------
+
+#[test]
+fn capacity_drought_degrades_then_recovers() {
+    sweep("capacity_drought", capacity_drought);
+}
+
+#[test]
+fn throttle_burst_backs_off_and_lands_grants() {
+    sweep("throttle_burst", throttle_burst);
+}
+
+#[test]
+fn slow_boot_defers_integration_and_billing() {
+    sweep("slow_boot", slow_boot);
+}
+
+#[test]
+fn launch_then_die_rolls_back_and_converges() {
+    sweep("launch_then_die", launch_then_die);
+}
+
+/// Misconfigured resilience knobs surface as typed config errors, not
+/// panics deep in the loop.
+#[test]
+fn resilience_config_is_validated() {
+    let bad = ProteusConfig {
+        watchdog_window: SimDuration::from_secs(30),
+        ..ProteusConfig::default()
+    };
+    let err = match Proteus::launch(app(), data(), bad) {
+        Err(e) => e,
+        Ok(_) => panic!("sub-step watchdog must be rejected"),
+    };
+    assert!(matches!(err, ProteusError::Config(_)), "got: {err:?}");
+
+    let bad = ProteusConfig {
+        backoff_base: SimDuration::from_mins(40),
+        backoff_cap: SimDuration::from_mins(10),
+        ..ProteusConfig::default()
+    };
+    let err = match Proteus::launch(app(), data(), bad) {
+        Err(e) => e,
+        Ok(_) => panic!("inverted backoff must be rejected"),
+    };
+    assert!(matches!(err, ProteusError::Config(_)), "got: {err:?}");
+}

@@ -12,7 +12,10 @@ use proteus_bidbrain::{
 };
 use std::collections::BTreeMap;
 
-use proteus_market::{catalog, CloudProvider, MarketKey, ProviderEvent, TraceSet, UsageBreakdown};
+use proteus_market::{
+    catalog, CloudProvider, MarketError, MarketFaultPlan, MarketKey, ProviderEvent, TraceSet,
+    UsageBreakdown,
+};
 use proteus_simtime::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -53,7 +56,24 @@ pub fn run_job(
     start: SimTime,
     horizon: SimDuration,
 ) -> SimOutcome {
+    run_job_with_faults(scheme, traces, beta, start, horizon, None)
+}
+
+/// Runs one job under one scheme with provider-side fault regimes
+/// installed — the fault-regime ablation axis. `faults: None` is
+/// exactly [`run_job`].
+pub fn run_job_with_faults(
+    scheme: &Scheme,
+    traces: &TraceSet,
+    beta: &BetaEstimator,
+    start: SimTime,
+    horizon: SimDuration,
+    faults: Option<&MarketFaultPlan>,
+) -> SimOutcome {
     let mut sim = JobSim::new(scheme, traces, beta, start);
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan.clone());
+    }
     sim.run(start + horizon)
 }
 
@@ -87,6 +107,13 @@ pub(crate) struct JobSim<'a> {
     credits: f64,
     /// The on-demand allocation, when provisioned.
     od_alloc: Option<proteus_market::AllocationId>,
+    /// Degraded-mode on-demand machines, provisioned when every spot
+    /// market refuses capacity and the footprint produces no work;
+    /// released the moment usable spot capacity returns. Only a fault
+    /// plan can refuse capacity, so this stays `None` fault-free.
+    fallback_alloc: Option<proteus_market::AllocationId>,
+    fallback_count: u32,
+    fallback_since: SimTime,
 }
 
 impl<'a> JobSim<'a> {
@@ -141,6 +168,9 @@ impl<'a> JobSim<'a> {
             market_mix: BTreeMap::new(),
             credits: 0.0,
             od_alloc: None,
+            fallback_alloc: None,
+            fallback_count: 0,
+            fallback_since: start,
         }
     }
 
@@ -156,6 +186,12 @@ impl<'a> JobSim<'a> {
     /// Mutable provider access (teardown orchestration).
     pub(crate) fn provider_mut(&mut self) -> &mut CloudProvider<'a> {
         &mut self.provider
+    }
+
+    /// Installs provider-side fault regimes (capacity caps, throttling,
+    /// boot delays, infant mortality).
+    pub(crate) fn set_fault_plan(&mut self, plan: MarketFaultPlan) {
+        self.provider.set_fault_plan(plan);
     }
 
     /// Starts a fresh work quota for the next job in a queue.
@@ -199,11 +235,13 @@ impl<'a> JobSim<'a> {
         *self.market_mix.entry(market.to_string()).or_insert(0) += count;
     }
 
-    /// Current total vCPUs across live spot allocations.
+    /// Current total vCPUs across live spot allocations (booting
+    /// instances produce no work yet).
     fn spot_cores(&self) -> u32 {
         self.provider
             .spot_allocations()
             .iter()
+            .filter(|a| !a.booting)
             .map(|a| a.count * a.market.instance_type().vcpus)
             .sum()
     }
@@ -217,6 +255,7 @@ impl<'a> JobSim<'a> {
         if self.job.on_demand_works {
             cores += od_cores;
         }
+        cores += f64::from(self.fallback_count * self.job.on_demand_market.instance_type().vcpus);
         if let SchemeKind::AllOnDemand { machines } = self.kind {
             cores = f64::from(machines * self.job.on_demand_market.instance_type().vcpus);
         }
@@ -251,6 +290,10 @@ impl<'a> JobSim<'a> {
             ));
         }
         for a in self.provider.spot_allocations() {
+            if a.booting {
+                // Not billed and not computing until launch.
+                continue;
+            }
             let paid = self
                 .provider
                 .spot_price_at(a.market, a.hour_start)
@@ -315,6 +358,10 @@ impl<'a> JobSim<'a> {
                     }
                 }
                 ProviderEvent::HourCharged { .. } => {}
+                // Launch state is read from the allocation views each
+                // step; a failed launch billed nothing and computed
+                // nothing, so neither event needs bookkeeping here.
+                ProviderEvent::Launched { .. } | ProviderEvent::LaunchFailed { .. } => {}
             }
         }
     }
@@ -344,7 +391,7 @@ impl<'a> JobSim<'a> {
         let allocs = self.provider.spot_allocations();
         for a in &allocs {
             let to_end = (a.hour_start + SimDuration::from_hours(1)).since(now);
-            if to_end > STEP || a.warned {
+            if to_end > STEP || a.warned || a.booting {
                 continue;
             }
             let keep = match self.kind {
@@ -393,33 +440,76 @@ impl<'a> JobSim<'a> {
             SchemeKind::AllOnDemand { .. } => {}
             SchemeKind::StandardCheckpoint { .. } | SchemeKind::StandardAgileML { .. } => {
                 // Re-acquire the full fleet whenever empty (initially and
-                // after evictions complete).
-                if self.spot_cores() == 0 && self.pending_evictions == 0 {
+                // after evictions complete). A refusal retries naturally:
+                // spot_cores stays zero, so the next step asks again.
+                if self.spot_cores() == 0
+                    && self.pending_evictions == 0
+                    && !self.provider.spot_allocations().iter().any(|a| a.booting)
+                {
                     if let Some(req) = self.standard.acquire(prices) {
-                        if self
-                            .provider
-                            .request_spot(req.market, req.count, req.bid)
-                            .is_ok()
+                        if let Ok(grant) =
+                            self.provider.request_spot(req.market, req.count, req.bid)
                         {
-                            self.note_acquisition(req.market, req.count);
+                            self.note_acquisition(req.market, grant.granted);
                         }
                     }
                 }
             }
             SchemeKind::Proteus { scale_pause, .. } => {
+                // Walk the ranked candidates: a capacity refusal falls
+                // through to the next-best market per Eq. 4; a throttle
+                // is provider-wide, so stop and retry next step.
                 let footprint = self.footprint();
-                if let Some(req) =
+                let ranked =
                     self.brain
-                        .consider_acquisition(&footprint, prices, self.provider.now())
-                {
-                    if self
-                        .provider
-                        .request_spot(req.market, req.count, req.bid)
-                        .is_ok()
-                    {
-                        self.note_acquisition(req.market, req.count);
-                        self.pause(scale_pause);
+                        .ranked_acquisitions(&footprint, prices, self.provider.now());
+                let mut capacity_refused = false;
+                for req in ranked {
+                    match self.provider.request_spot(req.market, req.count, req.bid) {
+                        Ok(grant) => {
+                            self.note_acquisition(req.market, grant.granted);
+                            self.pause(scale_pause);
+                            break;
+                        }
+                        Err(MarketError::InsufficientCapacity { .. }) => {
+                            capacity_refused = true;
+                        }
+                        Err(MarketError::BidBelowMarket { .. }) => {}
+                        Err(_) => break,
                     }
+                }
+                self.manage_fallback(capacity_refused);
+            }
+        }
+    }
+
+    /// Degraded mode for the Proteus scheme, mirroring the session
+    /// loop's watchdog: when every spot market refuses capacity and the
+    /// footprint produces no work, replace the transient fleet with
+    /// on-demand machines so the job keeps moving; hand the cores back
+    /// the moment usable spot capacity returns. The fallback is kept
+    /// out of BidBrain's footprint so the brain keeps probing spot.
+    fn manage_fallback(&mut self, capacity_refused: bool) {
+        if self.spot_cores() > 0 {
+            if let Some(id) = self.fallback_alloc.take() {
+                let _ = self.provider.terminate(id);
+                self.fallback_count = 0;
+            }
+            return;
+        }
+        let booting = self.provider.spot_allocations().iter().any(|a| a.booting);
+        if capacity_refused && !booting && self.fallback_alloc.is_none() && self.work_rate() <= 0.0
+        {
+            let vcpus = self.job.on_demand_market.instance_type().vcpus.max(1);
+            let count = self.job.standard_cores.div_ceil(vcpus);
+            if count > 0 {
+                self.fallback_since = self.provider.now();
+                self.fallback_alloc = self
+                    .provider
+                    .request_on_demand(self.job.on_demand_market, count)
+                    .ok();
+                if self.fallback_alloc.is_some() {
+                    self.fallback_count = count;
                 }
             }
         }
@@ -487,6 +577,10 @@ impl<'a> JobSim<'a> {
         if let Some(id) = self.od_alloc.take() {
             let _ = self.provider.terminate(id);
         }
+        if let Some(id) = self.fallback_alloc.take() {
+            let _ = self.provider.terminate(id);
+            self.fallback_count = 0;
+        }
     }
 
     /// Runs to completion (or the horizon), returning the outcome.
@@ -501,6 +595,11 @@ impl<'a> JobSim<'a> {
         // unused fraction of each live allocation's current hour back.
         let mut refund = 0.0;
         for a in self.provider.spot_allocations() {
+            if a.booting {
+                // Nothing billed yet; cancelling the boot is free.
+                let _ = self.provider.terminate(a.id);
+                continue;
+            }
             let unused = (a.hour_start + SimDuration::from_hours(1))
                 .since(now)
                 .as_hours_f64();
@@ -523,6 +622,16 @@ impl<'a> JobSim<'a> {
             let into_hour = now.time_into_billing_hour(self.start).as_hours_f64();
             let unused = 1.0 - into_hour;
             refund += od_price * f64::from(od_count) * unused;
+        }
+        // Degraded-mode fallback still held at the end: same final-hour
+        // credit, anchored at its own billing epoch.
+        if let Some(id) = self.fallback_alloc.take() {
+            let into_hour = now
+                .time_into_billing_hour(self.fallback_since)
+                .as_hours_f64();
+            refund += od_price * f64::from(self.fallback_count) * (1.0 - into_hour);
+            let _ = self.provider.terminate(id);
+            self.fallback_count = 0;
         }
 
         SimOutcome {

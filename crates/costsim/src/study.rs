@@ -9,7 +9,9 @@
 //! evaluation window.
 
 use proteus_bidbrain::BetaEstimator;
-use proteus_market::{catalog, MarketModel, TraceGenerator, TraceSet, UsageBreakdown};
+use proteus_market::{
+    catalog, MarketFaultPlan, MarketModel, TraceGenerator, TraceSet, UsageBreakdown,
+};
 use proteus_simtime::rng::seeded_stream;
 use proteus_simtime::{SimDuration, SimTime};
 use rand::Rng;
@@ -17,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::executor::StudyExecutor;
 use crate::scheme::{JobSpec, Scheme, SchemeKind};
-use crate::sim::{run_job, SimOutcome};
+use crate::sim::{run_job_with_faults, SimOutcome};
 use std::sync::OnceLock;
 
 /// Study parameters.
@@ -38,6 +40,11 @@ pub struct StudyConfig {
     /// Simulation horizon per job (jobs not finished by then count as
     /// incomplete).
     pub max_job_hours: f64,
+    /// Provider-side fault regimes installed in every job simulation.
+    /// `None` (the default, and what absent-field deserialization
+    /// yields) keeps the study bit-identical to the pristine market.
+    #[serde(default)]
+    pub market_faults: Option<MarketFaultPlan>,
 }
 
 impl Default for StudyConfig {
@@ -50,6 +57,7 @@ impl Default for StudyConfig {
             job_hours: 2.0,
             market_model: MarketModel::default(),
             max_job_hours: 96.0,
+            market_faults: None,
         }
     }
 }
@@ -154,12 +162,13 @@ impl StudyEnv {
                 kind: SchemeKind::AllOnDemand { machines: 128 },
                 job: self.job(),
             };
-            run_job(
+            run_job_with_faults(
                 &scheme,
                 &self.traces,
                 &self.beta,
                 self.starts[0],
                 self.horizon(),
+                self.config.market_faults.as_ref(),
             )
         })
     }
@@ -219,7 +228,14 @@ impl StudyEnv {
             job,
         };
         let outcomes = exec.run_indexed(self.starts.len(), |i| {
-            run_job(&scheme, &self.traces, &self.beta, self.starts[i], horizon)
+            run_job_with_faults(
+                &scheme,
+                &self.traces,
+                &self.beta,
+                self.starts[i],
+                horizon,
+                self.config.market_faults.as_ref(),
+            )
         });
         self.aggregate(&kind, &outcomes)
     }
@@ -246,12 +262,13 @@ impl StudyEnv {
             .collect();
         let n = self.starts.len();
         let outcomes = exec.run_indexed(kinds.len() * n, |t| {
-            run_job(
+            run_job_with_faults(
                 &schemes[t / n],
                 &self.traces,
                 &self.beta,
                 self.starts[t % n],
                 horizon,
+                self.config.market_faults.as_ref(),
             )
         });
         kinds
@@ -290,6 +307,7 @@ mod tests {
             job_hours: 2.0,
             market_model: MarketModel::default(),
             max_job_hours: 48.0,
+            market_faults: None,
         }
     }
 

@@ -1,0 +1,130 @@
+//! Cost-study behavior under capacity-limited markets: schemes must
+//! still complete every job (the on-demand tier is never rationed),
+//! spot exploitation must shrink in proportion to the drought, and the
+//! faulted study must stay seed-deterministic.
+
+use proteus_costsim::{run_study, SchemeKind, StudyConfig, StudyEnv};
+use proteus_market::{MarketFaultPlan, MarketModel};
+use proteus_simtime::{SimDuration, SimTime};
+
+fn config(faults: Option<MarketFaultPlan>) -> StudyConfig {
+    StudyConfig {
+        seed: 5,
+        train_days: 5,
+        eval_days: 7,
+        starts: 8,
+        job_hours: 2.0,
+        market_model: MarketModel::default(),
+        max_job_hours: 48.0,
+        market_faults: faults,
+    }
+}
+
+/// A drought covering every possible job window of `config`.
+fn total_drought(cap: u32) -> MarketFaultPlan {
+    let horizon = SimDuration::from_hours(24 * (5 + 7) + 48);
+    MarketFaultPlan::new(9).with_drought(SimTime::EPOCH, SimTime::EPOCH + horizon, cap)
+}
+
+/// With every spot market rationed to zero, Proteus degenerates to its
+/// reliable on-demand core: every job still completes, no spot hour is
+/// ever paid, and the cost premium over the spot-exploiting baseline
+/// reappears.
+#[test]
+fn total_drought_completes_on_demand_only() {
+    let baseline = StudyEnv::new(config(None)).run_scheme(SchemeKind::paper_proteus());
+    assert!(
+        baseline.usage.spot_paid_hours > 0.0,
+        "fault-free baseline must exploit spot: {baseline:?}"
+    );
+
+    let drought =
+        StudyEnv::new(config(Some(total_drought(0)))).run_scheme(SchemeKind::paper_proteus());
+    assert!(
+        (drought.completion_rate - 1.0).abs() < 1e-12,
+        "jobs must complete on the reliable tier alone: {drought:?}"
+    );
+    assert_eq!(
+        drought.usage.spot_paid_hours, 0.0,
+        "a total drought grants no spot capacity: {drought:?}"
+    );
+    assert_eq!(
+        drought.usage.free_hours, 0.0,
+        "no spot, no eviction refunds"
+    );
+    assert!(
+        drought.mean_cost > baseline.mean_cost,
+        "losing spot must cost more: drought {} vs baseline {}",
+        drought.mean_cost,
+        baseline.mean_cost
+    );
+}
+
+/// A partial cap squeezes, but does not eliminate, spot exploitation.
+/// Total paid spot hours may legitimately *grow* (a smaller fleet runs
+/// longer); what must shrink is the concurrent spot footprint — paid
+/// spot machine-hours per job-hour — and jobs take longer to finish.
+#[test]
+fn partial_drought_shrinks_spot_footprint() {
+    let starts = config(None).starts as f64;
+    let baseline = StudyEnv::new(config(None)).run_scheme(SchemeKind::paper_proteus());
+    let capped =
+        StudyEnv::new(config(Some(total_drought(2)))).run_scheme(SchemeKind::paper_proteus());
+    assert!(
+        (capped.completion_rate - 1.0).abs() < 1e-12,
+        "capped jobs must still complete: {capped:?}"
+    );
+    assert!(
+        capped.usage.spot_paid_hours > 0.0,
+        "a partial cap still grants some spot: {capped:?}"
+    );
+    let footprint = |r: &proteus_costsim::StudyResult| {
+        r.usage.spot_paid_hours / (starts * r.mean_runtime_hours)
+    };
+    assert!(
+        footprint(&capped) < footprint(&baseline),
+        "the cap must shrink the concurrent spot footprint: capped {} vs baseline {}",
+        footprint(&capped),
+        footprint(&baseline)
+    );
+    assert!(
+        capped.mean_runtime_hours > baseline.mean_runtime_hours,
+        "a rationed fleet cannot finish as fast: capped {} vs baseline {}",
+        capped.mean_runtime_hours,
+        baseline.mean_runtime_hours
+    );
+}
+
+/// A harsh per-market cap separates the resilient loop from the
+/// baselines: Proteus (degraded-mode fallback) and the all-on-demand
+/// fleet (never rationed) still complete every job; the standard
+/// bidding schemes, which only retry the spot market, may not — but
+/// every scheme must report sane, finite numbers rather than wedge.
+#[test]
+fn harsh_drought_separates_resilient_from_standard() {
+    let results = run_study(config(Some(total_drought(1))));
+    for r in &results {
+        assert!(r.mean_cost.is_finite() && r.mean_cost >= 0.0, "{r:?}");
+        assert!(
+            (0.0..=1.0).contains(&r.completion_rate),
+            "scheme {}: {r:?}",
+            r.scheme
+        );
+        if r.scheme == "Proteus" || r.scheme.starts_with("AllOnDemand") {
+            assert!(
+                (r.completion_rate - 1.0).abs() < 1e-12,
+                "scheme {} must complete under drought: {r:?}",
+                r.scheme
+            );
+        }
+    }
+}
+
+/// The faulted study replays bit-identically from its seeds — chaos
+/// results are quotable and debuggable.
+#[test]
+fn faulted_study_is_deterministic() {
+    let a = run_study(config(Some(total_drought(2))));
+    let b = run_study(config(Some(total_drought(2))));
+    assert_eq!(a, b, "same seeds, same drought, different results");
+}

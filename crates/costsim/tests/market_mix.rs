@@ -15,6 +15,7 @@ fn proteus_spreads_across_markets_over_long_jobs() {
         job_hours: 20.0,
         market_model: proteus_market::MarketModel::default(),
         max_job_hours: 96.0,
+        market_faults: None,
     });
     let mut distinct_markets = 0usize;
     for &start in &env.starts {
@@ -49,6 +50,7 @@ fn market_mix_is_recorded_for_standard_strategy_too() {
         job_hours: 2.0,
         market_model: proteus_market::MarketModel::default(),
         max_job_hours: 48.0,
+        market_faults: None,
     });
     let out = run_job(
         &Scheme {

@@ -15,6 +15,7 @@ fn config() -> StudyConfig {
         job_hours: 2.0,
         market_model: MarketModel::default(),
         max_job_hours: 48.0,
+        market_faults: None,
     }
 }
 

@@ -135,6 +135,9 @@ pub fn rank_markets_by_core_price(
             (*key, per_core)
         })
         .collect();
+    // Invariant: mean_price integrates finite trace points over a
+    // positive window and vcpus ≥ 1, so per-core prices are never NaN.
+    #[allow(clippy::expect_used)]
     out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite prices"));
     out
 }

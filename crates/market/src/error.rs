@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use proteus_simtime::SimDuration;
+
 use crate::instance::MarketKey;
 use crate::provider::AllocationId;
 
@@ -26,6 +28,37 @@ pub enum MarketError {
     TimeWentBackwards,
     /// An allocation request asked for zero instances.
     EmptyRequest,
+    /// The market had no spot capacity left for the request (a
+    /// [`CapacityRule`](crate::fault::CapacityRule) window is active).
+    /// Transient: capacity frees up as other allocations end.
+    InsufficientCapacity {
+        /// The market that refused the request.
+        market: MarketKey,
+        /// Instances asked for.
+        requested: u32,
+        /// Instances the market could still grant (zero here — partial
+        /// fits are granted, not refused).
+        available: u32,
+    },
+    /// The provider API throttled the request before it reached the
+    /// market. Transient: retry after the suggested delay.
+    RequestLimitExceeded {
+        /// Suggested wait before retrying.
+        retry_after: SimDuration,
+    },
+}
+
+impl MarketError {
+    /// Whether retrying the same request later could succeed without
+    /// any change on the caller's side. Capacity refusals and API
+    /// throttling are transient; bad bids, unknown markets, and
+    /// protocol misuse are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MarketError::InsufficientCapacity { .. } | MarketError::RequestLimitExceeded { .. }
+        )
+    }
 }
 
 impl fmt::Display for MarketError {
@@ -43,6 +76,19 @@ impl fmt::Display for MarketError {
             MarketError::UnknownAllocation(id) => write!(f, "unknown allocation {id}"),
             MarketError::TimeWentBackwards => write!(f, "simulation time may not move backwards"),
             MarketError::EmptyRequest => write!(f, "allocation request for zero instances"),
+            MarketError::InsufficientCapacity {
+                market,
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient capacity in {market}: requested {requested}, available {available}"
+            ),
+            MarketError::RequestLimitExceeded { retry_after } => write!(
+                f,
+                "request limit exceeded; retry after {}s",
+                retry_after.as_secs()
+            ),
         }
     }
 }

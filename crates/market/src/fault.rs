@@ -1,0 +1,414 @@
+//! Seed-deterministic provider-side fault regimes.
+//!
+//! The paper's Sec. 2.2 market semantics imply more than price motion:
+//! requests can go unfulfilled (capacity is *why* prices move), the
+//! provider API itself throttles, granted instances take minutes to
+//! boot, and freshly launched instances sometimes die. A
+//! [`MarketFaultPlan`] scripts those behaviors onto a
+//! [`CloudProvider`](crate::CloudProvider):
+//!
+//! * **capacity limits** ([`CapacityRule`]) — a per-market cap on live
+//!   spot instances during a time window. Requests beyond the cap are
+//!   refused with [`MarketError::InsufficientCapacity`](crate::MarketError)
+//!   or partially granted;
+//! * **throttling** ([`ThrottleRule`]) — spot requests fail with
+//!   [`MarketError::RequestLimitExceeded`](crate::MarketError) with some
+//!   probability, carrying a suggested retry delay;
+//! * **boot delay** ([`BootDelayRule`]) — a grant at `t` becomes usable
+//!   at `t + delay`; billing starts when the instances come up, and a
+//!   price crossing during boot aborts the launch unbilled;
+//! * **infant mortality** ([`InfantMortalityRule`]) — a launched
+//!   allocation dies without warning shortly after boot (the current
+//!   hour is refunded, like any provider-side revocation).
+//!
+//! # Determinism
+//!
+//! The plan owns one SplitMix64 stream (the same generator simnet's
+//! message [`FaultPlan`](proteus_simnet::FaultPlan) uses) seeded from
+//! `plan.seed`. The provider is single-threaded and requests arrive in
+//! program order, so the n-th spot request always consumes the same
+//! draws: a chaos failure replays from the printed seed alone. Every
+//! regime is off by default, and a provider with no plan installed
+//! draws nothing — existing traces and benches are bit-identical.
+
+use proteus_simtime::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::instance::MarketKey;
+
+/// SplitMix64 — tiny, seedable, and identical to the stream generator
+/// used by simnet's message-fault plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A per-market cap on live spot instances during a time window.
+///
+/// While active, the provider grants at most `capacity` live spot
+/// instances in the matching market(s): a request that fits is granted
+/// in full, a request that partially fits is granted partially, and a
+/// request arriving with zero headroom is refused.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityRule {
+    /// Market the cap applies to (`None` = every market).
+    #[serde(default)]
+    pub market: Option<MarketKey>,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Maximum live spot instances in the market while active.
+    pub capacity: u32,
+}
+
+impl CapacityRule {
+    fn applies(&self, market: MarketKey, now: SimTime) -> bool {
+        self.market.is_none_or(|m| m == market) && self.from <= now && now < self.until
+    }
+}
+
+/// Transient API throttling: spot requests fail with
+/// [`MarketError::RequestLimitExceeded`](crate::MarketError) with
+/// probability `probability` while the (optional) window is active.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleRule {
+    /// Probability a spot request is rejected.
+    pub probability: f64,
+    /// Retry delay the error suggests to the caller.
+    pub retry_after: SimDuration,
+    /// Window start (`None` = from the epoch).
+    #[serde(default)]
+    pub from: Option<SimTime>,
+    /// Window end (`None` = forever).
+    #[serde(default)]
+    pub until: Option<SimTime>,
+}
+
+impl ThrottleRule {
+    fn active(&self, now: SimTime) -> bool {
+        self.from.is_none_or(|f| f <= now) && self.until.is_none_or(|u| now < u)
+    }
+}
+
+/// Delayed instance launch: a granted allocation becomes usable a
+/// uniform draw in `[min, max]` after the grant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootDelayRule {
+    /// Minimum boot delay.
+    pub min: SimDuration,
+    /// Maximum boot delay.
+    pub max: SimDuration,
+}
+
+/// Launch-then-die: with probability `probability` a granted allocation
+/// dies — warning-less, current hour refunded — a uniform draw in
+/// `(0, max_lifetime]` after it becomes usable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InfantMortalityRule {
+    /// Probability a grant is fated to die young.
+    pub probability: f64,
+    /// Upper bound on the doomed allocation's usable lifetime.
+    pub max_lifetime: SimDuration,
+}
+
+/// A seeded catalogue of provider-side fault regimes for one run.
+///
+/// Every regime defaults to off; an empty plan behaves exactly like no
+/// plan at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketFaultPlan {
+    /// Root seed for every probabilistic draw; printed by chaos
+    /// harnesses so failures replay.
+    pub seed: u64,
+    /// Capacity caps (all matching active rules apply; tightest wins).
+    #[serde(default)]
+    pub capacity: Vec<CapacityRule>,
+    /// API throttling.
+    #[serde(default)]
+    pub throttle: Option<ThrottleRule>,
+    /// Launch delay.
+    #[serde(default)]
+    pub boot: Option<BootDelayRule>,
+    /// Launch-then-die failures.
+    #[serde(default)]
+    pub infant: Option<InfantMortalityRule>,
+}
+
+impl MarketFaultPlan {
+    /// An empty plan (no market faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        MarketFaultPlan {
+            seed,
+            capacity: Vec::new(),
+            throttle: None,
+            boot: None,
+            infant: None,
+        }
+    }
+
+    /// Adds a capacity cap; builder style.
+    pub fn with_capacity(mut self, rule: CapacityRule) -> Self {
+        self.capacity.push(rule);
+        self
+    }
+
+    /// Caps every market at `capacity` live spot instances during
+    /// `[from, until)` — the capacity-drought scenario.
+    pub fn with_drought(self, from: SimTime, until: SimTime, capacity: u32) -> Self {
+        self.with_capacity(CapacityRule {
+            market: None,
+            from,
+            until,
+            capacity,
+        })
+    }
+
+    /// Throttles spot requests with probability `p`, suggesting
+    /// `retry_after` to the caller.
+    pub fn with_throttle(mut self, p: f64, retry_after: SimDuration) -> Self {
+        self.throttle = Some(ThrottleRule {
+            probability: p,
+            retry_after,
+            from: None,
+            until: None,
+        });
+        self
+    }
+
+    /// Delays every launch by a uniform draw in `[min, max]`.
+    pub fn with_boot_delay(mut self, min: SimDuration, max: SimDuration) -> Self {
+        self.boot = Some(BootDelayRule { min, max });
+        self
+    }
+
+    /// Dooms each grant with probability `p` to die warning-less within
+    /// `max_lifetime` of becoming usable.
+    pub fn with_infant_mortality(mut self, p: f64, max_lifetime: SimDuration) -> Self {
+        self.infant = Some(InfantMortalityRule {
+            probability: p,
+            max_lifetime,
+        });
+        self
+    }
+
+    /// The tightest capacity cap applying to `market` at `now`, if any.
+    pub fn capacity_limit(&self, market: MarketKey, now: SimTime) -> Option<u32> {
+        self.capacity
+            .iter()
+            .filter(|r| r.applies(market, now))
+            .map(|r| r.capacity)
+            .min()
+    }
+}
+
+/// Counters of fault-regime activity, for reports and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarketFaultStats {
+    /// Requests rejected by the throttle regime.
+    pub throttled: u64,
+    /// Requests refused outright for lack of capacity.
+    pub capacity_refusals: u64,
+    /// Requests granted below the asked count.
+    pub partial_grants: u64,
+    /// Grants whose launch was delayed.
+    pub boot_delays: u64,
+    /// Launches aborted by a price crossing during boot.
+    pub launch_failures: u64,
+    /// Allocations killed by the infant-mortality regime.
+    pub infant_deaths: u64,
+}
+
+/// Live fault state a provider carries: the plan, its single draw
+/// stream, and activity counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct FaultState {
+    pub(crate) plan: MarketFaultPlan,
+    rng: SplitMix64,
+    pub(crate) stats: MarketFaultStats,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: MarketFaultPlan) -> Self {
+        let rng = SplitMix64::new(plan.seed);
+        FaultState {
+            plan,
+            rng,
+            stats: MarketFaultStats::default(),
+        }
+    }
+
+    /// Draws the throttle gate for a request at `now`. Returns the
+    /// suggested retry delay when the request is rejected.
+    pub(crate) fn draw_throttle(&mut self, now: SimTime) -> Option<SimDuration> {
+        let rule = self.plan.throttle.as_ref()?;
+        if !rule.active(now) {
+            return None;
+        }
+        let p = rule.probability;
+        let retry_after = rule.retry_after;
+        if self.rng.next_f64() < p {
+            self.stats.throttled += 1;
+            Some(retry_after)
+        } else {
+            None
+        }
+    }
+
+    /// Draws the boot delay for a fresh grant ([`SimDuration::ZERO`]
+    /// when the regime is off).
+    pub(crate) fn draw_boot_delay(&mut self) -> SimDuration {
+        let Some(rule) = self.plan.boot else {
+            return SimDuration::ZERO;
+        };
+        let span = rule.max.as_millis().saturating_sub(rule.min.as_millis());
+        let extra = (self.rng.next_f64() * span as f64) as u64;
+        let delay = rule.min + SimDuration::from_millis(extra);
+        if delay > SimDuration::ZERO {
+            self.stats.boot_delays += 1;
+        }
+        delay
+    }
+
+    /// Draws the infant-mortality fate for a grant that becomes usable
+    /// at `usable_at`: `Some(dies_at)` when the allocation is doomed.
+    pub(crate) fn draw_infant_death(&mut self, usable_at: SimTime) -> Option<SimTime> {
+        let rule = self.plan.infant?;
+        if self.rng.next_f64() >= rule.probability {
+            return None;
+        }
+        // Strictly positive lifetime so the death is observable after
+        // the launch.
+        let max_ms = rule.max_lifetime.as_millis().max(1);
+        let life_ms = ((self.rng.next_f64() * max_ms as f64) as u64).max(1);
+        Some(usable_at + SimDuration::from_millis(life_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{catalog, Zone};
+
+    fn key() -> MarketKey {
+        MarketKey::new(catalog::c4_xlarge(), Zone(0))
+    }
+
+    #[test]
+    fn splitmix_streams_are_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let f = SplitMix64::new(9).next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn capacity_limit_takes_the_tightest_active_rule() {
+        let plan = MarketFaultPlan::new(1)
+            .with_drought(SimTime::from_hours(1), SimTime::from_hours(3), 8)
+            .with_capacity(CapacityRule {
+                market: Some(key()),
+                from: SimTime::from_hours(2),
+                until: SimTime::from_hours(4),
+                capacity: 2,
+            });
+        assert_eq!(plan.capacity_limit(key(), SimTime::EPOCH), None);
+        assert_eq!(plan.capacity_limit(key(), SimTime::from_hours(1)), Some(8));
+        assert_eq!(plan.capacity_limit(key(), SimTime::from_hours(2)), Some(2));
+        assert_eq!(plan.capacity_limit(key(), SimTime::from_hours(3)), Some(2));
+        assert_eq!(plan.capacity_limit(key(), SimTime::from_hours(4)), None);
+        // The wildcard drought caps other markets too.
+        let other = MarketKey::new(catalog::c4_2xlarge(), Zone(1));
+        assert_eq!(plan.capacity_limit(other, SimTime::from_hours(2)), Some(8));
+    }
+
+    #[test]
+    fn throttle_draws_match_probability_and_replay() {
+        let mk = |seed| {
+            FaultState::new(
+                MarketFaultPlan::new(seed).with_throttle(0.3, SimDuration::from_secs(30)),
+            )
+        };
+        let mut a = mk(5);
+        let mut b = mk(5);
+        let mut hits = 0;
+        for _ in 0..1000 {
+            let ra = a.draw_throttle(SimTime::EPOCH);
+            assert_eq!(ra, b.draw_throttle(SimTime::EPOCH));
+            hits += u32::from(ra.is_some());
+        }
+        assert!((200..400).contains(&hits), "≈30% expected, got {hits}");
+        assert_eq!(a.stats.throttled, u64::from(hits));
+    }
+
+    #[test]
+    fn boot_delay_draws_stay_in_range() {
+        let mut fs = FaultState::new(
+            MarketFaultPlan::new(2)
+                .with_boot_delay(SimDuration::from_secs(60), SimDuration::from_secs(300)),
+        );
+        for _ in 0..100 {
+            let d = fs.draw_boot_delay();
+            assert!(d >= SimDuration::from_secs(60) && d <= SimDuration::from_secs(300));
+        }
+        assert_eq!(fs.stats.boot_delays, 100);
+    }
+
+    #[test]
+    fn infant_death_lands_after_launch() {
+        let mut fs = FaultState::new(
+            MarketFaultPlan::new(3).with_infant_mortality(1.0, SimDuration::from_mins(10)),
+        );
+        let usable = SimTime::from_hours(1);
+        for _ in 0..50 {
+            let dies = fs.draw_infant_death(usable).expect("p=1 always dooms");
+            assert!(dies > usable);
+            assert!(dies <= usable + SimDuration::from_mins(10));
+        }
+    }
+
+    #[test]
+    fn disabled_regimes_draw_nothing() {
+        let mut fs = FaultState::new(MarketFaultPlan::new(4));
+        assert_eq!(fs.draw_throttle(SimTime::EPOCH), None);
+        assert_eq!(fs.draw_boot_delay(), SimDuration::ZERO);
+        assert_eq!(fs.draw_infant_death(SimTime::EPOCH), None);
+        assert_eq!(fs.stats, MarketFaultStats::default());
+    }
+
+    #[test]
+    fn builder_composes_all_regimes() {
+        let plan = MarketFaultPlan::new(9)
+            .with_drought(SimTime::EPOCH, SimTime::from_hours(2), 4)
+            .with_throttle(0.1, SimDuration::from_secs(15))
+            .with_boot_delay(SimDuration::from_secs(30), SimDuration::from_secs(90))
+            .with_infant_mortality(0.05, SimDuration::from_mins(5));
+        assert_eq!(plan.capacity.len(), 1);
+        assert!(plan.throttle.is_some());
+        assert!(plan.boot.is_some());
+        assert!(plan.infant.is_some());
+        assert_eq!(plan.capacity_limit(key(), SimTime::from_hours(1)), Some(4));
+    }
+}

@@ -174,6 +174,10 @@ impl TraceGenerator {
             }
         }
 
+        // Invariant: push_point deduplicates equal timestamps and the
+        // loop emits strictly forward in time with positive prices —
+        // exactly the well-formedness from_points checks.
+        #[allow(clippy::expect_used)]
         PriceTrace::from_points(points).expect("generator produces well-formed traces")
     }
 

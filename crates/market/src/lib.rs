@@ -24,10 +24,19 @@
 //! [`gce`] models Google Compute Engine preemptible instances (fixed 70 %
 //! discount, 30-second warning, 24-hour lifetime) to demonstrate that the
 //! allocation machinery is not EC2-specific.
+//!
+//! The [`fault`] module adds seed-deterministic provider-side fault
+//! regimes (capacity droughts, API throttling, boot delays, infant
+//! mortality); all are off by default.
+
+// Fault- and refusal-reachable paths must return typed errors; the few
+// retained `expect`s document real invariants at their use sites.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analytics;
 pub mod billing;
 pub mod error;
+pub mod fault;
 pub mod gce;
 pub mod gen;
 pub mod instance;
@@ -39,10 +48,14 @@ pub mod trace;
 pub use analytics::{find_spikes, market_stats, MarketStats, Spike};
 pub use billing::{BillingAccount, LedgerEntry, LedgerKind, UsageBreakdown};
 pub use error::MarketError;
+pub use fault::{
+    BootDelayRule, CapacityRule, InfantMortalityRule, MarketFaultPlan, MarketFaultStats,
+    ThrottleRule,
+};
 pub use gen::{MarketModel, TraceGenerator};
 pub use instance::{catalog, InstanceType, MarketKey, Zone};
 pub use io::{trace_from_csv, trace_to_csv, TraceCsvError};
-pub use provider::{AllocationId, CloudProvider, ProviderEvent, SpotAllocation};
+pub use provider::{AllocationId, CloudProvider, ProviderEvent, SpotAllocation, SpotGrant};
 pub use trace::{PriceTrace, TraceSet};
 
 use proteus_simtime::SimDuration;

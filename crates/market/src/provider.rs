@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::billing::{BillingAccount, LedgerEntry, LedgerKind};
 use crate::error::MarketError;
+use crate::fault::{FaultState, MarketFaultPlan, MarketFaultStats};
 use crate::instance::MarketKey;
 use crate::spot::{SpotLease, SpotState};
 use crate::trace::TraceSet;
@@ -52,6 +53,38 @@ pub struct SpotAllocation {
     pub warned: bool,
     /// When the outstanding warning will evict the instances, if warned.
     pub evict_at: Option<SimTime>,
+    /// Whether the instances are still booting (granted, not yet
+    /// usable, nothing billed) — only under a boot-delay fault regime.
+    pub booting: bool,
+    /// When the instances become (or became) usable; equals
+    /// `granted_at` unless the launch was delayed.
+    pub usable_at: SimTime,
+}
+
+/// What a successful [`CloudProvider::request_spot`] granted.
+///
+/// Under fault regimes a grant can be **partial** (`granted <
+/// requested`, a capacity cap bound) or **delayed** (`usable_at` after
+/// the request time; billing starts at launch). With no fault plan
+/// installed every grant is full and immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotGrant {
+    /// The allocation created.
+    pub id: AllocationId,
+    /// Instances asked for.
+    pub requested: u32,
+    /// Instances actually granted.
+    pub granted: u32,
+    /// When the instances become usable (the request time unless a
+    /// boot-delay regime deferred the launch).
+    pub usable_at: SimTime,
+}
+
+impl SpotGrant {
+    /// Whether the market granted fewer instances than requested.
+    pub fn is_partial(&self) -> bool {
+        self.granted < self.requested
+    }
 }
 
 /// An on-demand allocation (never evicted by the provider).
@@ -88,6 +121,19 @@ pub enum ProviderEvent {
         /// Total dollars charged for the hour across all instances.
         amount: f64,
     },
+    /// A boot-delayed allocation's instances came up; billing starts
+    /// now (only emitted under a boot-delay fault regime).
+    Launched {
+        /// Affected allocation.
+        allocation: AllocationId,
+    },
+    /// The market price crossed above the bid while the instances were
+    /// still booting: the launch is aborted and nothing was billed
+    /// (only emitted under a boot-delay fault regime).
+    LaunchFailed {
+        /// Affected allocation.
+        allocation: AllocationId,
+    },
 }
 
 /// The simulated provider.
@@ -105,6 +151,9 @@ pub struct CloudProvider<'a> {
     on_demand: BTreeMap<AllocationId, OnDemandLease>,
     account: BillingAccount,
     warning_lead: SimDuration,
+    /// Installed fault regimes; `None` (the default) means a pristine
+    /// market: every request granted in full, immediately, forever.
+    faults: Option<FaultState>,
 }
 
 impl<'a> CloudProvider<'a> {
@@ -128,7 +177,25 @@ impl<'a> CloudProvider<'a> {
             on_demand: BTreeMap::new(),
             account: BillingAccount::new(),
             warning_lead,
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan (capacity caps, throttling, boot delay,
+    /// infant mortality). Replaces any existing plan and resets its
+    /// draw stream and counters.
+    pub fn set_fault_plan(&mut self, plan: MarketFaultPlan) {
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&MarketFaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// Fault-regime activity counters, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<&MarketFaultStats> {
+        self.faults.as_ref().map(|f| &f.stats)
     }
 
     /// Current simulated time.
@@ -176,6 +243,8 @@ impl<'a> CloudProvider<'a> {
                     SpotState::WarningIssued { evict_at } => Some(evict_at),
                     _ => None,
                 },
+                booting: l.is_booting(),
+                usable_at: l.usable_at,
             })
             .collect()
     }
@@ -202,14 +271,26 @@ impl<'a> CloudProvider<'a> {
     ///
     /// Grants immediately if the bid is at or above the current market
     /// price; the first billing hour is charged at the market price.
+    /// Under an installed [`MarketFaultPlan`] the request may instead
+    /// be throttled ([`MarketError::RequestLimitExceeded`]), refused
+    /// ([`MarketError::InsufficientCapacity`]), granted partially, or
+    /// granted with a delayed launch (billing then starts at
+    /// [`SpotGrant::usable_at`], and the grant may be fated to die
+    /// young) — see [`SpotGrant`].
     pub fn request_spot(
         &mut self,
         market: MarketKey,
         count: u32,
         bid: f64,
-    ) -> Result<AllocationId, MarketError> {
+    ) -> Result<SpotGrant, MarketError> {
         if count == 0 {
             return Err(MarketError::EmptyRequest);
+        }
+        // The API gate sits in front of the market itself.
+        if let Some(fs) = self.faults.as_mut() {
+            if let Some(retry_after) = fs.draw_throttle(self.now) {
+                return Err(MarketError::RequestLimitExceeded { retry_after });
+            }
         }
         let price = self.spot_price(market)?;
         if bid < price {
@@ -219,18 +300,69 @@ impl<'a> CloudProvider<'a> {
                 market_price: price,
             });
         }
+        let mut granted = count;
+        let cap = self
+            .faults
+            .as_ref()
+            .and_then(|fs| fs.plan.capacity_limit(market, self.now));
+        if let Some(cap) = cap {
+            let live: u32 = self
+                .spot
+                .values()
+                .filter(|l| l.is_live() && l.market == market)
+                .map(|l| l.count)
+                .sum();
+            let available = cap.saturating_sub(live);
+            if available == 0 {
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.stats.capacity_refusals += 1;
+                }
+                return Err(MarketError::InsufficientCapacity {
+                    market,
+                    requested: count,
+                    available: 0,
+                });
+            }
+            if available < count {
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.stats.partial_grants += 1;
+                }
+                granted = available;
+            }
+        }
+        let (usable_at, dies_at) = match self.faults.as_mut() {
+            None => (self.now, None),
+            Some(fs) => {
+                let usable_at = self.now + fs.draw_boot_delay();
+                (usable_at, fs.draw_infant_death(usable_at))
+            }
+        };
         let id = self.fresh_id();
-        let charge = price * f64::from(count);
-        self.account.record(LedgerEntry {
-            time: self.now,
-            allocation: id,
-            kind: LedgerKind::SpotHour,
-            amount: charge,
-            instances: count,
-        });
-        self.spot
-            .insert(id, SpotLease::new(id, market, count, bid, self.now, charge));
-        Ok(id)
+        let mut lease = if usable_at > self.now {
+            // Nothing billed until the instances come up; the Launch
+            // happening charges the first hour at the price then.
+            SpotLease::new(id, market, granted, bid, self.now, 0.0).booting_until(usable_at)
+        } else {
+            let charge = price * f64::from(granted);
+            self.account.record(LedgerEntry {
+                time: self.now,
+                allocation: id,
+                kind: LedgerKind::SpotHour,
+                amount: charge,
+                instances: granted,
+            });
+            SpotLease::new(id, market, granted, bid, self.now, charge)
+        };
+        if let Some(dies_at) = dies_at {
+            lease = lease.doomed_at(dies_at);
+        }
+        self.spot.insert(id, lease);
+        Ok(SpotGrant {
+            id,
+            requested: count,
+            granted,
+            usable_at,
+        })
     }
 
     /// Provisions `count` on-demand instances in `market` (charged the
@@ -273,6 +405,11 @@ impl<'a> CloudProvider<'a> {
         if let Some(lease) = self.spot.remove(&id) {
             if !lease.is_live() {
                 return Err(MarketError::UnknownAllocation(id));
+            }
+            if lease.is_booting() {
+                // Nothing was billed and no compute happened; cancelling
+                // a boot is free.
+                return Ok(());
             }
             // Removal from the registry is the terminal state; usage up
             // to now was paid for.
@@ -344,6 +481,26 @@ impl<'a> CloudProvider<'a> {
                 // A warned lease no longer bills new hours or crosses.
                 continue;
             }
+            if lease.is_booting() {
+                // Launch is considered before a same-instant crossing
+                // (`consider` keeps the first happening at equal times):
+                // the instances come up, then the crossing warns them.
+                consider(lease.usable_at, Happening::Launch(lease.id));
+                // A crossing during boot aborts the launch (unbilled).
+                if let Some(trace) = self.traces.get(&lease.market) {
+                    let horizon = target.min(lease.usable_at);
+                    if let Some(ct) = trace.first_crossing_above(lease.bid, self.now, horizon) {
+                        consider(ct, Happening::Crossing(lease.id));
+                    }
+                }
+                continue;
+            }
+            // Scheduled warning-less death (infant mortality), considered
+            // before a same-instant hour boundary so a dying lease never
+            // opens a fresh billing hour first.
+            if let Some(dies_at) = lease.dies_at {
+                consider(dies_at, Happening::InfantDeath(lease.id));
+            }
             // Next hour boundary.
             consider(lease.hour_end(), Happening::SpotHour(lease.id));
             // Next bid crossing. Search from `now` up to the earlier of
@@ -363,6 +520,11 @@ impl<'a> CloudProvider<'a> {
         best
     }
 
+    // Invariant: every `Happening` carries the id of a lease that was
+    // live when `next_happening` built it, and nothing removes leases
+    // between building and applying — the lookups cannot fail. Traces
+    // are never unregistered, so any market that granted still prices.
+    #[allow(clippy::expect_used)]
     fn apply_happening(
         &mut self,
         t: SimTime,
@@ -425,7 +587,47 @@ impl<'a> CloudProvider<'a> {
                     },
                 ));
             }
+            Happening::Launch(id) => {
+                let market;
+                let count;
+                {
+                    let lease = self.spot.get_mut(&id).expect("lease exists");
+                    lease.state = SpotState::Running;
+                    // Billing hours re-anchor at the actual launch.
+                    lease.hour_start = t;
+                    market = lease.market;
+                    count = lease.count;
+                }
+                let price = self
+                    .spot_price_at(market, t)
+                    .expect("trace existed at grant time");
+                let charge = price * f64::from(count);
+                self.account.record(LedgerEntry {
+                    time: t,
+                    allocation: id,
+                    kind: LedgerKind::SpotHour,
+                    amount: charge,
+                    instances: count,
+                });
+                if let Some(lease) = self.spot.get_mut(&id) {
+                    lease.current_hour_charge = charge;
+                }
+                // Like the immediate-grant charge, the first hour is not
+                // reported as HourCharged; Launched marks it.
+                events.push((t, ProviderEvent::Launched { allocation: id }));
+            }
             Happening::Crossing(id) => {
+                if self.spot.get(&id).expect("lease exists").is_booting() {
+                    // The market moved above the bid before the instances
+                    // came up: the launch silently fails. Nothing was
+                    // billed, nothing computed.
+                    self.spot.remove(&id);
+                    if let Some(fs) = self.faults.as_mut() {
+                        fs.stats.launch_failures += 1;
+                    }
+                    events.push((t, ProviderEvent::LaunchFailed { allocation: id }));
+                    return;
+                }
                 let lease = self.spot.get_mut(&id).expect("lease exists");
                 let evict_at = t + self.warning_lead;
                 lease.state = SpotState::WarningIssued { evict_at };
@@ -436,6 +638,24 @@ impl<'a> CloudProvider<'a> {
                         evict_at,
                     },
                 ));
+            }
+            Happening::InfantDeath(id) => {
+                let lease = self.spot.remove(&id).expect("lease exists");
+                // A warning-less death settles exactly like an eviction:
+                // the current hour is refunded and its usage was free.
+                self.account.record(LedgerEntry {
+                    time: t,
+                    allocation: id,
+                    kind: LedgerKind::EvictionRefund,
+                    amount: -lease.current_hour_charge,
+                    instances: lease.count,
+                });
+                let used = t.since(lease.hour_start).as_hours_f64();
+                self.account.add_free_usage(used * f64::from(lease.count));
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.stats.infant_deaths += 1;
+                }
+                events.push((t, ProviderEvent::Evicted { allocation: id }));
             }
             Happening::Evict(id) => {
                 let lease = self.spot.remove(&id).expect("lease exists");
@@ -466,6 +686,10 @@ enum Happening {
     Crossing(AllocationId),
     /// A warned lease reached its termination instant.
     Evict(AllocationId),
+    /// A boot-delayed lease's instances came up (billing starts).
+    Launch(AllocationId),
+    /// A doomed lease reached its scheduled warning-less death.
+    InfantDeath(AllocationId),
 }
 
 #[cfg(test)]
@@ -487,7 +711,11 @@ mod tests {
     #[test]
     fn grant_charges_first_hour_at_market_price() {
         let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
-        let id = p.request_spot(key(), 4, 0.10).expect("granted");
+        let grant = p.request_spot(key(), 4, 0.10).expect("granted");
+        assert_eq!(grant.granted, 4);
+        assert!(!grant.is_partial());
+        assert_eq!(grant.usable_at, SimTime::EPOCH);
+        let id = grant.id;
         assert!((p.account().total_cost() - 0.20).abs() < 1e-12);
         assert_eq!(p.spot_allocation(id).unwrap().count, 4);
     }
@@ -519,7 +747,7 @@ mod tests {
             (SimTime::EPOCH, 0.05),
             (SimTime::from_millis(30 * 60 * 1000), 0.08),
         ]);
-        let id = p.request_spot(key(), 1, 0.10).expect("granted");
+        let id = p.request_spot(key(), 1, 0.10).expect("granted").id;
         let events = p.advance_to(SimTime::from_hours(2)).expect("advance");
         // Two hour boundaries at t=1h (price 0.08) and t=2h (price 0.08).
         let charges: Vec<f64> = events
@@ -544,7 +772,7 @@ mod tests {
         // Price jumps above the bid 30 minutes in.
         let cross = SimTime::EPOCH + SimDuration::from_mins(30);
         let mut p = provider_with(vec![(SimTime::EPOCH, 0.05), (cross, 0.50)]);
-        let id = p.request_spot(key(), 2, 0.10).expect("granted");
+        let id = p.request_spot(key(), 2, 0.10).expect("granted").id;
         let events = p.advance_to(SimTime::from_hours(1)).expect("advance");
 
         let warn = events
@@ -587,7 +815,7 @@ mod tests {
     #[test]
     fn voluntary_termination_keeps_charge_and_records_paid_usage() {
         let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
-        let id = p.request_spot(key(), 1, 0.10).expect("granted");
+        let id = p.request_spot(key(), 1, 0.10).expect("granted").id;
         p.advance_to(SimTime::EPOCH + SimDuration::from_mins(30))
             .expect("advance");
         p.terminate(id).expect("terminate");
@@ -637,6 +865,166 @@ mod tests {
         p.request_spot(key(), 4, 0.10).expect("spot");
         p.request_on_demand(key(), 3).expect("od");
         assert_eq!(p.live_instance_count(), 7);
+    }
+
+    #[test]
+    fn capacity_cap_grants_partially_then_refuses() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        p.set_fault_plan(MarketFaultPlan::new(7).with_drought(
+            SimTime::EPOCH,
+            SimTime::from_hours(10),
+            3,
+        ));
+        let grant = p.request_spot(key(), 5, 0.10).expect("partial grant");
+        assert!(grant.is_partial());
+        assert_eq!(grant.granted, 3);
+        assert_eq!(grant.requested, 5);
+        // Only the granted instances were billed.
+        assert!((p.account().total_cost() - 3.0 * 0.05).abs() < 1e-12);
+        // The market is now full.
+        let err = p.request_spot(key(), 1, 0.10).unwrap_err();
+        assert!(matches!(
+            err,
+            MarketError::InsufficientCapacity { available: 0, .. }
+        ));
+        assert!(err.is_transient());
+        let stats = p.fault_stats().expect("plan installed");
+        assert_eq!(stats.partial_grants, 1);
+        assert_eq!(stats.capacity_refusals, 1);
+        // Capacity frees up once the allocation terminates.
+        p.terminate(grant.id).expect("terminate");
+        assert!(p.request_spot(key(), 3, 0.10).is_ok());
+    }
+
+    #[test]
+    fn capacity_cap_outside_window_is_inert() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        p.set_fault_plan(MarketFaultPlan::new(7).with_drought(
+            SimTime::from_hours(5),
+            SimTime::from_hours(6),
+            0,
+        ));
+        let grant = p.request_spot(key(), 8, 0.10).expect("granted");
+        assert!(!grant.is_partial());
+    }
+
+    #[test]
+    fn throttle_refuses_with_retry_after() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        let retry = SimDuration::from_mins(1);
+        p.set_fault_plan(MarketFaultPlan::new(3).with_throttle(1.0, retry));
+        let err = p.request_spot(key(), 1, 0.10).unwrap_err();
+        assert_eq!(
+            err,
+            MarketError::RequestLimitExceeded { retry_after: retry }
+        );
+        assert!(err.is_transient());
+        assert_eq!(p.fault_stats().expect("plan").throttled, 1);
+        // Throttling happens before billing: nothing charged.
+        assert_eq!(p.account().total_cost(), 0.0);
+    }
+
+    #[test]
+    fn boot_delay_defers_billing_to_launch() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        let delay = SimDuration::from_mins(10);
+        p.set_fault_plan(MarketFaultPlan::new(11).with_boot_delay(delay, delay));
+        let grant = p.request_spot(key(), 2, 0.10).expect("granted");
+        assert_eq!(grant.usable_at, SimTime::EPOCH + delay);
+        // Nothing billed while booting.
+        assert_eq!(p.account().total_cost(), 0.0);
+        let view = p.spot_allocation(grant.id).expect("live");
+        assert!(view.booting);
+
+        let events = p.advance_to(SimTime::from_hours(2)).expect("advance");
+        assert!(matches!(
+            events[0],
+            (t, ProviderEvent::Launched { allocation }) if t == grant.usable_at && allocation == grant.id
+        ));
+        // Billing hours anchor at launch: the next boundary is 10 min
+        // past the first wall-clock hour.
+        let view = p.spot_allocation(grant.id).expect("live");
+        assert!(!view.booting);
+        assert_eq!(
+            view.hour_start,
+            grant.usable_at + SimDuration::from_hours(1)
+        );
+        // First hour charged at launch + one boundary recharge.
+        assert!((p.account().total_cost() - 2.0 * (0.05 + 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_during_boot_aborts_launch_unbilled() {
+        let cross = SimTime::EPOCH + SimDuration::from_mins(5);
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05), (cross, 0.50)]);
+        let delay = SimDuration::from_mins(10);
+        p.set_fault_plan(MarketFaultPlan::new(11).with_boot_delay(delay, delay));
+        let grant = p.request_spot(key(), 4, 0.10).expect("granted");
+        let events = p.advance_to(SimTime::from_hours(1)).expect("advance");
+        assert_eq!(
+            events,
+            vec![(
+                cross,
+                ProviderEvent::LaunchFailed {
+                    allocation: grant.id
+                }
+            )]
+        );
+        assert_eq!(p.account().total_cost(), 0.0);
+        assert_eq!(p.account().usage().free_hours, 0.0);
+        assert!(p.spot_allocation(grant.id).is_none());
+        assert_eq!(p.fault_stats().expect("plan").launch_failures, 1);
+    }
+
+    #[test]
+    fn infant_death_settles_like_a_warning_less_eviction() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        p.set_fault_plan(
+            MarketFaultPlan::new(13).with_infant_mortality(1.0, SimDuration::from_mins(30)),
+        );
+        let grant = p.request_spot(key(), 2, 0.10).expect("granted");
+        let dies_at = p
+            .spot
+            .get(&grant.id)
+            .and_then(|l| l.dies_at)
+            .expect("doomed");
+        assert!(dies_at > SimTime::EPOCH);
+        assert!(dies_at <= SimTime::EPOCH + SimDuration::from_mins(30));
+        let events = p.advance_to(SimTime::from_hours(1)).expect("advance");
+        assert_eq!(
+            events,
+            vec![(
+                dies_at,
+                ProviderEvent::Evicted {
+                    allocation: grant.id
+                }
+            )]
+        );
+        // Charge refunded; the usage up to the death was free.
+        assert!(p.account().total_cost().abs() < 1e-12);
+        let expect_free = dies_at.since(SimTime::EPOCH).as_hours_f64() * 2.0;
+        assert!((p.account().usage().free_hours - expect_free).abs() < 1e-9);
+        assert_eq!(p.fault_stats().expect("plan").infant_deaths, 1);
+    }
+
+    #[test]
+    fn fault_draws_replay_from_seed() {
+        let run = |seed: u64| {
+            let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+            p.set_fault_plan(
+                MarketFaultPlan::new(seed)
+                    .with_throttle(0.4, SimDuration::from_mins(1))
+                    .with_boot_delay(SimDuration::from_secs(30), SimDuration::from_mins(5))
+                    .with_infant_mortality(0.3, SimDuration::from_mins(45)),
+            );
+            let mut outcomes = Vec::new();
+            for _ in 0..20 {
+                outcomes.push(p.request_spot(key(), 1, 0.10));
+            }
+            (outcomes, p.fault_stats().cloned().expect("plan"))
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds should diverge");
     }
 
     #[test]

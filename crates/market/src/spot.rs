@@ -14,6 +14,10 @@ use crate::provider::AllocationId;
 /// Lifecycle state of a spot allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SpotState {
+    /// The request was granted but the instances have not booted yet
+    /// (the boot-delay fault regime); nothing is billed until launch,
+    /// and a price crossing during boot aborts the launch unbilled.
+    Booting,
     /// Instances are running and the bid still covers the market price.
     Running,
     /// The market crossed above the bid; instances terminate at the
@@ -39,6 +43,14 @@ pub struct SpotLease {
     pub bid: f64,
     /// When the allocation was granted (billing hours anchor here).
     pub granted_at: SimTime,
+    /// When the instances become (or became) usable. Equals
+    /// `granted_at` unless a boot-delay fault regime is active; for a
+    /// delayed launch, billing hours re-anchor here when the instances
+    /// come up.
+    pub usable_at: SimTime,
+    /// Scheduled warning-less death (the infant-mortality fault
+    /// regime), if this grant is doomed.
+    pub dies_at: Option<SimTime>,
     /// Start of the current billing hour.
     pub hour_start: SimTime,
     /// Dollars charged for the current billing hour (refunded if evicted).
@@ -64,10 +76,27 @@ impl SpotLease {
             count,
             bid,
             granted_at,
+            usable_at: granted_at,
+            dies_at: None,
             hour_start: granted_at,
             current_hour_charge: first_hour_charge,
             state: SpotState::Running,
         }
+    }
+
+    /// Marks the lease as boot-delayed: not usable (and not billed)
+    /// until `usable_at`.
+    pub fn booting_until(mut self, usable_at: SimTime) -> Self {
+        self.usable_at = usable_at;
+        self.state = SpotState::Booting;
+        self.current_hour_charge = 0.0;
+        self
+    }
+
+    /// Schedules a warning-less death at `dies_at`.
+    pub fn doomed_at(mut self, dies_at: SimTime) -> Self {
+        self.dies_at = Some(dies_at);
+        self
     }
 
     /// End of the current billing hour.
@@ -89,6 +118,11 @@ impl SpotLease {
     /// Whether an eviction warning is pending.
     pub fn is_warned(&self) -> bool {
         matches!(self.state, SpotState::WarningIssued { .. })
+    }
+
+    /// Whether the lease is granted but not yet usable.
+    pub fn is_booting(&self) -> bool {
+        matches!(self.state, SpotState::Booting)
     }
 }
 

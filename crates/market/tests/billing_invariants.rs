@@ -70,7 +70,7 @@ proptest! {
     ) {
         let mut p = provider(seed, true);
         let price = p.spot_price(market()).expect("covered");
-        let id = p.request_spot(market(), count, price + delta).expect("granted");
+        let id = p.request_spot(market(), count, price + delta).expect("granted").id;
         p.advance_to(SimTime::from_hours(hold_hours)).expect("forward");
         if p.spot_allocation(id).is_some() {
             p.terminate(id).expect("live allocation terminates");

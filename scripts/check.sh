@@ -18,4 +18,7 @@ cargo test -q
 echo "==> chaos suite (fixed seed)"
 PROTEUS_CHAOS_SEEDS=3 cargo test -q -p proteus-agileml --test chaos
 
+echo "==> market chaos suite (fixed seed)"
+PROTEUS_CHAOS_SEEDS=3 cargo test -q -p proteus --test market_chaos
+
 echo "==> all checks passed"
