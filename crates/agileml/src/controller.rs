@@ -123,7 +123,7 @@ struct Controller<A: MlApp> {
     initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
 
     events: Sender<JobEvent>,
-    /// Protocol tracing to stderr, enabled by `AGILE_DEBUG=1`.
+    /// Protocol tracing via [`JobEvent::Trace`], enabled by `AGILE_DEBUG=1`.
     debug: bool,
 }
 
@@ -136,6 +136,9 @@ impl<A: MlApp> Controller<A> {
         events: Sender<JobEvent>,
         initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
     ) -> Self {
+        // `AgileConfig::validate` rejects zero partitions before any
+        // controller is spawned.
+        #[allow(clippy::expect_used)]
         let layout = PartitionMap::new(cfg.partitions).expect("validated config");
         let _ = (ctx.id(), dataset_len); // Reserved for richer diagnostics.
         Controller {
@@ -169,7 +172,7 @@ impl<A: MlApp> Controller<A> {
 
     fn dbg(&self, make: impl FnOnce() -> String) {
         if self.debug {
-            eprintln!("[ctl] {}", make());
+            self.emit(JobEvent::Trace { msg: make() });
         }
     }
 
@@ -461,6 +464,9 @@ impl<A: MlApp> Controller<A> {
         {
             return;
         }
+        // The `is_some_and` guard above returns early unless a snapshot
+        // is present and complete.
+        #[allow(clippy::expect_used)]
         let snap = self.snapshot.take().expect("checked above");
         let mut params = BTreeMap::new();
         for (_, image) in snap.images {

@@ -51,6 +51,50 @@ pub enum JobEvent {
         /// What went wrong.
         fault: JobFault,
     },
+    /// A protocol trace line (`AGILE_DEBUG=1`). Routed through the event
+    /// channel instead of stderr so traces land on the observability
+    /// timeline with sim-time stamps rather than interleaving wall-clock
+    /// terminal output.
+    Trace {
+        /// The trace message.
+        msg: String,
+    },
+}
+
+impl JobEvent {
+    /// The observability mirror of this event: same facts, but with
+    /// node lists reduced to counts and enums rendered to strings so the
+    /// record is self-describing without this crate's types.
+    pub fn to_obs(&self) -> proteus_obs::AgileEvent {
+        use proteus_obs::AgileEvent as O;
+        match self {
+            JobEvent::Started { nodes } => O::Started {
+                nodes: *nodes as u64,
+            },
+            JobEvent::ClockAdvanced { min } => O::ClockAdvanced { min: *min },
+            JobEvent::StageChanged { from, to } => O::StageChanged {
+                from: format!("{from:?}"),
+                to: format!("{to:?}"),
+            },
+            JobEvent::NodesAdded { nodes } => O::NodesAdded {
+                count: nodes.len() as u64,
+            },
+            JobEvent::NodesEvicted { nodes } => O::NodesEvicted {
+                count: nodes.len() as u64,
+            },
+            JobEvent::NodesFailedRecovered {
+                nodes,
+                rolled_back_to,
+            } => O::NodesFailedRecovered {
+                count: nodes.len() as u64,
+                rolled_back_to: *rolled_back_to,
+            },
+            JobEvent::Faulted { fault } => O::Faulted {
+                fault: fault.to_string(),
+            },
+            JobEvent::Trace { msg } => O::Trace { msg: msg.clone() },
+        }
+    }
 }
 
 /// A point-in-time status snapshot of the controller.

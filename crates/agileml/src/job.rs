@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver};
 use proteus_mlapps::app::{MlApp, ParamReader};
+use proteus_obs::{Event, Recorder};
 use proteus_ps::{DenseVec, ParamKey};
 use proteus_simnet::{Cluster, ClusterHandle, FaultPlan, FaultStats, NodeClass, NodeId};
 
@@ -68,6 +69,7 @@ pub struct AgileMlJob<A: MlApp> {
     cfg: AgileConfig,
     events: Receiver<JobEvent>,
     event_log: Vec<JobEvent>,
+    obs: Option<Arc<Recorder>>,
 }
 
 impl<A: MlApp> AgileMlJob<A> {
@@ -177,6 +179,7 @@ impl<A: MlApp> AgileMlJob<A> {
             cfg,
             events: ev_rx,
             event_log: Vec::new(),
+            obs: None,
         };
 
         let mut nodes = job.spawn_machines(NodeClass::Reliable, reliable);
@@ -406,10 +409,32 @@ impl<A: MlApp> AgileMlJob<A> {
         self.cluster.fault_stats()
     }
 
+    /// Attaches an observability recorder: future (and already-logged)
+    /// job events are mirrored onto its timeline as `agile.*` records,
+    /// and the cluster's fault layer mirrors injected message faults
+    /// into its `simnet.msg.*` counters. Works before or after
+    /// `set_faults` — the cluster retrofits the live layer.
+    pub fn attach_recorder(&mut self, rec: Arc<Recorder>) {
+        self.cluster.set_recorder(Arc::clone(&rec));
+        for e in &self.event_log {
+            rec.record_now(Event::Agile(e.to_obs()));
+        }
+        self.obs = Some(rec);
+    }
+
+    /// Logs a drained event, mirroring it to the recorder (stamped with
+    /// the recorder's current sim clock) when one is attached.
+    fn log_event(&mut self, e: JobEvent) {
+        if let Some(rec) = self.obs.as_deref() {
+            rec.record_now(Event::Agile(e.to_obs()));
+        }
+        self.event_log.push(e);
+    }
+
     /// Every job event observed so far (drains the channel).
     pub fn events(&mut self) -> &[JobEvent] {
         while let Ok(e) = self.events.try_recv() {
-            self.event_log.push(e);
+            self.log_event(e);
         }
         &self.event_log
     }
@@ -475,7 +500,7 @@ impl<A: MlApp> AgileMlJob<A> {
                         JobEvent::Faulted { fault } if !hit => Some(fault.clone()),
                         _ => None,
                     };
-                    self.event_log.push(e);
+                    self.log_event(e);
                     if hit {
                         return Ok(());
                     }

@@ -25,6 +25,11 @@
 //! simulated machine, message passing only, faults injected by the
 //! harness. The entry point is [`job::AgileMlJob`].
 
+// Controller/node/topology logic must report faults through the event
+// channel, never panic; any retained expect documents a real invariant
+// at its use site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod config;
 pub mod controller;
 pub mod error;

@@ -33,6 +33,9 @@ pub fn run_node<A: MlApp>(
     dataset: Arc<Vec<A::Datum>>,
     cfg: AgileConfig,
 ) {
+    // `AgileConfig::validate` rejects zero partitions before any node is
+    // spawned.
+    #[allow(clippy::expect_used)]
     let layout = PartitionMap::new(cfg.partitions).expect("validated config");
     let me = ctx.id();
     let rng = seeded_stream(cfg.seed, 0x4000 + u64::from(me.0));

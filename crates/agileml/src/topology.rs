@@ -147,7 +147,12 @@ impl DataAssignment {
         for (b, h) in &self.history {
             match h.last() {
                 Some(owner) if worker_set.contains(owner) => {
-                    *load.get_mut(owner).expect("owner in set") += 1;
+                    // `owner` was just checked to be in `worker_set`,
+                    // and `load` was built from exactly that set.
+                    #[allow(clippy::expect_used)]
+                    {
+                        *load.get_mut(owner).expect("owner in set") += 1;
+                    }
                 }
                 _ => orphans.push(*b),
             }
@@ -179,6 +184,8 @@ impl DataAssignment {
                         Some(x) => x,
                         None => break,
                     };
+                    // `pool` holds blocks drawn from `self.history` keys.
+                    #[allow(clippy::expect_used)]
                     self.history.get_mut(&b).expect("block exists").push(*w);
                     moves.push((b, from, *w));
                 }
@@ -205,6 +212,8 @@ impl DataAssignment {
         let mut moves = Vec::new();
         let blocks = self.blocks_of(worker);
         for b in blocks {
+            // `blocks_of` yields keys of `self.history`.
+            #[allow(clippy::expect_used)]
             let h = self.history.get_mut(&b).expect("block exists");
             // Pop the evicted owner, then fall back through history.
             while h.last() == Some(&worker) {
@@ -215,12 +224,19 @@ impl DataAssignment {
                 Some(n) => n,
                 None => {
                     // No surviving previous owner: least-loaded survivor.
-                    *survivor_set
-                        .iter()
-                        .min_by_key(|w| self.count_owned(**w))
-                        .expect("non-empty survivors")
+                    // Callers never evict the last node; `survivors` is
+                    // non-empty by the membership invariant.
+                    #[allow(clippy::expect_used)]
+                    {
+                        *survivor_set
+                            .iter()
+                            .min_by_key(|w| self.count_owned(**w))
+                            .expect("non-empty survivors")
+                    }
                 }
             };
+            // Same key as above: `blocks_of` yields keys of `self.history`.
+            #[allow(clippy::expect_used)]
             let h = self.history.get_mut(&b).expect("block exists");
             if h.last() != Some(&new_owner) {
                 h.push(new_owner);

@@ -1,7 +1,10 @@
 //! Cost-study engine timing harness: serial vs parallel wall-clock for
 //! the paper-scale four-scheme comparison, verifying the parallel path
 //! is a pure speedup (identical results) and recording the numbers in
-//! `BENCH_costsim.json`.
+//! `BENCH_costsim.json` — plus an observability overhead comparison
+//! (recorder attached vs detached, best-of-2) written to
+//! `BENCH_obs.json`, guarding the "< 5% when on, free when off"
+//! contract.
 //!
 //! ```text
 //! cargo run --release -p proteus-bench --bin bench_costsim
@@ -34,7 +37,7 @@ fn main() {
     let schemes = 4usize;
     let runs = schemes * starts;
 
-    let env = StudyEnv::new(config);
+    let env = StudyEnv::new(config.clone());
     // Warm the shared on-demand baseline so neither timed path pays for
     // it (both would otherwise simulate it inside the first call).
     let _ = env.on_demand_baseline();
@@ -72,4 +75,61 @@ fn main() {
     );
     std::fs::write("BENCH_costsim.json", &json).expect("write BENCH_costsim.json");
     println!("\nwrote BENCH_costsim.json");
+
+    // ------------------------------------------------------------------
+    // Observability overhead: the four-scheme comparison with a per-job
+    // recorder live vs without one, on the paper's 20-hour jobs
+    // (Fig. 10) so per-run recorder setup amortizes over a realistic
+    // job length. Best-of-5 per side damps wall-clock noise; both sides
+    // use the parallel executor so the measurement matches how studies
+    // actually run. The one-shot JSONL export is timed separately — it
+    // is paid once per study, not per step, and only when an export was
+    // requested.
+    // ------------------------------------------------------------------
+    println!();
+    let obs_starts = starts.min(25);
+    let obs_runs = schemes * obs_starts;
+    let env20 = StudyEnv::new(StudyConfig {
+        job_hours: 20.0,
+        starts: obs_starts,
+        ..config
+    });
+    let _ = env20.on_demand_baseline();
+    let baseline = env20.run_comparison_with(&exec);
+    // Interleave the reps (off, on, off, on, …) so thermal and
+    // scheduler drift hits both sides equally; keep the best of each.
+    let mut off_secs = f64::INFINITY;
+    let mut on_secs = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        let _ = env20.run_comparison_with(&exec);
+        off_secs = off_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let _ = env20.run_comparison_recorders(&exec);
+        on_secs = on_secs.min(t.elapsed().as_secs_f64());
+    }
+    let (recorded, recorders) = env20.run_comparison_recorders(&exec);
+    let passive = recorded == baseline;
+    assert!(passive, "recording perturbed the study results");
+    let t2 = Instant::now();
+    let mut jsonl = String::new();
+    for rec in &recorders {
+        rec.append_jsonl(&mut jsonl);
+    }
+    let export_secs = t2.elapsed().as_secs_f64();
+    let events = jsonl.lines().count();
+    let overhead_pct = 100.0 * (on_secs - off_secs).max(0.0) / off_secs.max(1e-9);
+    println!("obs off  : {obs_runs} runs (20h jobs) in {off_secs:.2}s (best of 5)");
+    println!("obs on   : {obs_runs} runs (20h jobs) in {on_secs:.2}s (best of 5, {events} events)");
+    println!("overhead : {overhead_pct:.2}%  (+ one-shot JSONL export: {export_secs:.3}s)");
+
+    let json = format!(
+        "{{\n  \"runs\": {obs_runs},\n  \"job_hours\": 20.0,\n  \
+         \"obs_off_secs\": {off_secs:.3},\n  \
+         \"obs_on_secs\": {on_secs:.3},\n  \"overhead_pct\": {overhead_pct:.2},\n  \
+         \"export_secs\": {export_secs:.3},\n  \
+         \"events\": {events},\n  \"passive\": {passive}\n}}\n"
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
 }

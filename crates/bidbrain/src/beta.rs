@@ -39,6 +39,9 @@ impl BetaTable {
         if points.is_empty() {
             return None;
         }
+        // Deltas are caller-supplied configuration constants, validated
+        // finite before any table is built.
+        #[allow(clippy::expect_used)]
         points.sort_by(|a, b| a.delta.partial_cmp(&b.delta).expect("finite deltas"));
         Some(BetaTable { points })
     }
@@ -155,6 +158,9 @@ impl BetaEstimator {
             run_min = run_min.min(p.beta);
             p.beta = run_min;
         }
+        // `points` mirrors the non-empty delta grid iterated just above,
+        // so the table constructor cannot see an empty input.
+        #[allow(clippy::expect_used)]
         self.tables
             .insert(market, BetaTable::new(points).expect("non-empty deltas"));
     }

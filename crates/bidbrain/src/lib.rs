@@ -23,6 +23,10 @@
 //! always pick the currently cheapest market and bid the on-demand price
 //! (the EC2 Spot Fleet default policy).
 
+// Decision paths must return typed values, never panic; any retained
+// expect must document a real invariant at its use site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod acquire;
 pub mod beta;
 pub mod objective;

@@ -2,6 +2,7 @@
 //! (Eqs. 1–4 of the paper).
 
 use proteus_market::MarketKey;
+use proteus_obs::{BidEvent, Event, Recorder};
 use proteus_simtime::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -251,7 +252,22 @@ impl<'a> BidBrain<'a> {
         &self,
         footprint: &[AllocView],
         markets: &[(MarketKey, f64)],
-        _now: SimTime,
+        now: SimTime,
+    ) -> Vec<AllocationRequest> {
+        self.ranked_acquisitions_obs(footprint, markets, now, None)
+    }
+
+    /// [`ranked_acquisitions`](BidBrain::ranked_acquisitions) with an
+    /// optional recorder: each post-gate candidate is logged with the
+    /// Eq. 4 terms (expected cost, expected work) that produced its
+    /// score, stamped `now` — the "what did BidBrain decide and why"
+    /// trail. Recording never changes the ranking.
+    pub fn ranked_acquisitions_obs(
+        &self,
+        footprint: &[AllocView],
+        markets: &[(MarketKey, f64)],
+        now: SimTime,
+        obs: Option<&Recorder>,
     ) -> Vec<AllocationRequest> {
         let current_cores = Self::footprint_cores(footprint);
         if current_cores >= self.config.target_cores {
@@ -262,7 +278,7 @@ impl<'a> BidBrain<'a> {
             .objective
             .score(&self.evaluate(footprint, false));
 
-        let mut ranked: Vec<(f64, AllocationRequest)> = Vec::new();
+        let mut ranked: Vec<(f64, AllocationRequest, FootprintEval)> = Vec::new();
         // One reusable footprint+candidate buffer for the whole
         // (market × delta) sweep: only the last slot changes per
         // candidate, so the footprint prefix is copied once, not once
@@ -276,7 +292,7 @@ impl<'a> BidBrain<'a> {
             if count == 0 {
                 continue;
             }
-            let mut best: Option<(f64, AllocationRequest)> = None;
+            let mut best: Option<(f64, AllocationRequest, FootprintEval)> = None;
             for &delta in &self.config.bid_deltas {
                 let candidate = AllocView {
                     market,
@@ -288,8 +304,9 @@ impl<'a> BidBrain<'a> {
                 };
                 with.truncate(footprint.len());
                 with.push(candidate);
-                let score = self.config.objective.score(&self.evaluate(&with, true));
-                if best.as_ref().is_none_or(|(b, _)| score < *b) {
+                let eval = self.evaluate(&with, true);
+                let score = self.config.objective.score(&eval);
+                if best.as_ref().is_none_or(|(b, _, _)| score < *b) {
                     best = Some((
                         score,
                         AllocationRequest {
@@ -298,26 +315,52 @@ impl<'a> BidBrain<'a> {
                             bid: price + delta,
                             delta,
                         },
+                        eval,
                     ));
                 }
             }
             // The improvement gate is monotone in the score, so
             // filtering per candidate is equivalent to gating only the
             // global best (as the single-result path did).
-            if let Some((score, req)) = best {
+            if let Some((score, req, eval)) = best {
                 if self
                     .config
                     .objective
                     .improves(score, current_score, self.config.min_improvement)
                 {
-                    ranked.push((score, req));
+                    ranked.push((score, req, eval));
                 }
             }
         }
         // Stable sort: equal scores keep market order, matching the
         // strict-< first-wins tie-break of the single-result sweep.
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
-        ranked.into_iter().map(|(_, req)| req).collect()
+        if let Some(rec) = obs {
+            rec.record(
+                now,
+                Event::Bid(BidEvent::Evaluated {
+                    markets: markets.len() as u64,
+                    candidates: ranked.len() as u64,
+                    current_score,
+                }),
+            );
+            for (rank, (score, req, eval)) in ranked.iter().enumerate() {
+                rec.record(
+                    now,
+                    Event::Bid(BidEvent::CandidateRanked {
+                        rank: rank as u64,
+                        market: req.market.interned_name(),
+                        count: u64::from(req.count),
+                        bid: req.bid,
+                        delta: req.delta,
+                        score: *score,
+                        expected_cost: eval.expected_cost,
+                        expected_work: eval.expected_work,
+                    }),
+                );
+            }
+        }
+        ranked.into_iter().map(|(_, req, _)| req).collect()
     }
 
     /// Decides, just before an allocation's billing hour ends, whether to

@@ -33,6 +33,9 @@ impl StandardStrategy {
         if self.target_cores == 0 {
             return None;
         }
+        // Prices come from traces, which reject non-finite points at
+        // construction; vcpus is a non-zero hardware constant.
+        #[allow(clippy::expect_used)]
         let (market, price) = markets
             .iter()
             .min_by(|(ma, pa), (mb, pb)| {

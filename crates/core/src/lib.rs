@@ -58,6 +58,7 @@ pub use proteus_bidbrain as bidbrain;
 pub use proteus_costsim as costsim;
 pub use proteus_market as market;
 pub use proteus_mlapps as mlapps;
+pub use proteus_obs as obs;
 pub use proteus_perfmodel as perfmodel;
 pub use proteus_ps as ps;
 pub use proteus_simnet as simnet;

@@ -17,11 +17,13 @@
 //!   just before their next billing hour.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use proteus_agileml::AgileMlJob;
 use proteus_bidbrain::{AllocView, BetaEstimator, BidBrain, MarketBackoff};
 use proteus_market::{AllocationId, CloudProvider, MarketError, ProviderEvent, TraceGenerator};
 use proteus_mlapps::app::MlApp;
+use proteus_obs::{Event, Recorder, SessionEvent};
 use proteus_simnet::{NodeClass, NodeId};
 use proteus_simtime::{SimDuration, SimTime};
 
@@ -31,6 +33,13 @@ use crate::report::ProteusReport;
 
 /// BidBrain's decision cadence (Sec. 5: "every two minutes").
 pub(crate) const STEP: SimDuration = SimDuration::from_secs(120);
+
+/// Metric name for the 0/1 degraded-mode gauge. Its time-weighted
+/// histogram's time at `1.0` equals the report's `degraded_time`.
+pub const OBS_DEGRADED_GAUGE: &str = "session.degraded";
+
+/// Span name recorded for each completed degraded episode.
+pub const OBS_DEGRADED_SPAN: &str = "session.degraded_episode";
 
 /// A live Proteus session over one training job.
 pub struct Proteus<A: MlApp> {
@@ -71,6 +80,9 @@ pub struct Proteus<A: MlApp> {
     throttles: u32,
     partial_grants: u32,
     fallback_on_demand: u32,
+    /// Observability recorder shared with the provider, the job's
+    /// cluster, and BidBrain; `None` keeps the loop allocation-free.
+    obs: Option<Arc<Recorder>>,
 }
 
 impl<A: MlApp> Proteus<A> {
@@ -81,6 +93,30 @@ impl<A: MlApp> Proteus<A> {
         app: A,
         dataset: Vec<A::Datum>,
         config: ProteusConfig,
+    ) -> Result<Self, ProteusError> {
+        // `PROTEUS_OBS_OUT` turns recording on; `finish` then exports
+        // the timeline as JSONL to that path.
+        let obs = proteus_obs::jsonl::export_path().map(|_| Arc::new(Recorder::new()));
+        Self::launch_inner(app, dataset, config, obs)
+    }
+
+    /// Like [`Proteus::launch`], but records the session onto `rec`
+    /// regardless of `PROTEUS_OBS_OUT` — the hook tests use to inspect
+    /// the timeline and metrics in-memory.
+    pub fn launch_observed(
+        app: A,
+        dataset: Vec<A::Datum>,
+        config: ProteusConfig,
+        rec: Arc<Recorder>,
+    ) -> Result<Self, ProteusError> {
+        Self::launch_inner(app, dataset, config, Some(rec))
+    }
+
+    fn launch_inner(
+        app: A,
+        dataset: Vec<A::Datum>,
+        config: ProteusConfig,
+        obs: Option<Arc<Recorder>>,
     ) -> Result<Self, ProteusError> {
         config.validate()?;
 
@@ -109,16 +145,32 @@ impl<A: MlApp> Proteus<A> {
             provider.set_fault_plan(plan);
         }
         let job_start = SimTime::EPOCH + config.beta_training;
+        if let Some(rec) = &obs {
+            rec.set_now(job_start);
+            provider.set_recorder(Arc::clone(rec));
+        }
         provider.advance_to(job_start)?;
         provider.request_on_demand(config.on_demand_market, config.reliable_machines)?;
 
-        let job = AgileMlJob::launch(
+        let mut job = AgileMlJob::launch(
             app,
             dataset,
             config.agile,
             config.reliable_machines as usize,
             0,
         )?;
+        if let Some(rec) = &obs {
+            job.attach_recorder(Arc::clone(rec));
+            rec.record(
+                job_start,
+                Event::Session(SessionEvent::Launched {
+                    reliable: u64::from(config.reliable_machines),
+                }),
+            );
+            // Open the degraded gauge at 0 so its time-weighted
+            // histogram covers the whole session.
+            rec.gauge_set(OBS_DEGRADED_GAUGE, job_start, 0.0);
+        }
 
         let backoff = MarketBackoff::new(config.backoff_base, config.backoff_cap);
         let mut session = Proteus {
@@ -143,6 +195,7 @@ impl<A: MlApp> Proteus<A> {
             throttles: 0,
             partial_grants: 0,
             fallback_on_demand: 0,
+            obs,
         };
         session.consider_acquisition()?;
         Ok(session)
@@ -151,6 +204,11 @@ impl<A: MlApp> Proteus<A> {
     /// The elastic training job (status queries, snapshots, events).
     pub fn job(&mut self) -> &mut AgileMlJob<A> {
         &mut self.job
+    }
+
+    /// The attached observability recorder, if the session records.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.obs.as_ref()
     }
 
     /// Current simulated market time.
@@ -174,10 +232,22 @@ impl<A: MlApp> Proteus<A> {
     pub fn run_market_hours(&mut self, hours: f64) -> Result<(), ProteusError> {
         let target = self.provider.now() + SimDuration::from_hours_f64(hours);
         while self.provider.now() < target {
+            if let Some(rec) = self.obs.as_deref() {
+                // Keep the recorder's sim clock current so mirrored job
+                // events are stamped with market time.
+                rec.set_now(self.provider.now());
+            }
             self.renewals()?;
             self.consider_acquisition()?;
             let next = (self.provider.now() + STEP).min(target);
             let events = self.provider.advance_to(next)?;
+            if let Some(rec) = self.obs.as_deref() {
+                // The provider stamped its own events at their exact
+                // occurrence instants during the advance; move the
+                // recorder clock to the end of the step before reacting
+                // so mirrored job events never back-date the timeline.
+                rec.set_now(self.provider.now());
+            }
             for (_, ev) in events {
                 self.handle_event(ev)?;
             }
@@ -307,7 +377,9 @@ impl<A: MlApp> Proteus<A> {
             .filter_map(|m| self.provider.spot_price(*m).ok().map(|p| (*m, p)))
             .collect();
         let footprint = self.footprint();
-        let ranked = self.brain.ranked_acquisitions(&footprint, &prices, now);
+        let ranked =
+            self.brain
+                .ranked_acquisitions_obs(&footprint, &prices, now, self.obs.as_deref());
         let mut granted = false;
         for req in ranked {
             let count = req.count.min(headroom);
@@ -376,6 +448,10 @@ impl<A: MlApp> Proteus<A> {
         }
         self.degraded_since = Some(now);
         self.next_probe = now + self.config.watchdog_window;
+        if let Some(rec) = self.obs.as_deref() {
+            rec.record(now, Event::Session(SessionEvent::Degraded));
+            rec.gauge_set(OBS_DEGRADED_GAUGE, now, 1.0);
+        }
         if self.config.fallback_on_demand > 0 && self.fallback_allocs.is_empty() {
             let count = self.config.fallback_on_demand;
             let id = self
@@ -387,6 +463,12 @@ impl<A: MlApp> Proteus<A> {
             self.alloc_nodes.insert(id, nodes);
             self.fallback_allocs.push((id, count));
             self.fallback_on_demand += count;
+            if let Some(rec) = self.obs.as_deref() {
+                rec.record(
+                    now,
+                    Event::Session(SessionEvent::FallbackLaunched { allocation: id.0 }),
+                );
+            }
         }
         Ok(())
     }
@@ -398,6 +480,16 @@ impl<A: MlApp> Proteus<A> {
             return Ok(());
         };
         self.degraded_time += now.since(since);
+        if let Some(rec) = self.obs.as_deref() {
+            rec.record(
+                now,
+                Event::Session(SessionEvent::Restored {
+                    degraded_ms: now.since(since).as_millis(),
+                }),
+            );
+            rec.gauge_set(OBS_DEGRADED_GAUGE, now, 0.0);
+            rec.span(OBS_DEGRADED_SPAN, since, now);
+        }
         for (id, _) in std::mem::take(&mut self.fallback_allocs) {
             if let Some(nodes) = self.alloc_nodes.remove(&id) {
                 self.job.evict_with_warning(&nodes)?;
@@ -480,9 +572,32 @@ impl<A: MlApp> Proteus<A> {
         }
         if let Some(since) = self.degraded_since.take() {
             self.degraded_time += self.provider.now().since(since);
+            if let Some(rec) = self.obs.as_deref() {
+                rec.span(OBS_DEGRADED_SPAN, since, self.provider.now());
+            }
         }
         let market_time = self.provider.now() - self.job_start;
         self.job.shutdown()?;
+        if let Some(rec) = self.obs.as_deref() {
+            let now = self.provider.now();
+            rec.set_now(now);
+            rec.record(
+                now,
+                Event::Session(SessionEvent::Finished {
+                    cost: self.provider.account().total_cost(),
+                    clocks: status.min_clock,
+                }),
+            );
+            // Fold the open degraded gauge interval into its histogram
+            // so `time_at(1.0)` matches the report's `degraded_time`.
+            rec.close_gauges(now);
+            if let Some(path) = proteus_obs::jsonl::export_path() {
+                if let Err(e) = std::fs::write(&path, rec.to_jsonl()) {
+                    // The report is still valid; only the export failed.
+                    eprintln!("warning: could not write {}: {e}", path);
+                }
+            }
+        }
         Ok(ProteusReport {
             cost: self.provider.account().total_cost(),
             market_time,

@@ -15,7 +15,10 @@
 //! `PROTEUS_CHAOS_SEEDS=<seed> cargo test -p proteus --test
 //! market_chaos <name>`. `PROTEUS_CHAOS_FULL=1` widens the sweep.
 
-use proteus::market::MarketFaultPlan;
+use std::sync::Arc;
+
+use proteus::market::{obs_keys, MarketFaultPlan};
+use proteus::obs::Recorder;
 use proteus::simtime::{SimDuration, SimTime};
 use proteus::{Proteus, ProteusConfig, ProteusError, ProteusReport};
 use proteus_mlapps::data::{netflix_like, MfDataConfig};
@@ -111,7 +114,9 @@ fn capacity_drought(seed: u64) -> Result<ProteusReport, ProteusError> {
     let start = SimTime::EPOCH + ProteusConfig::default().beta_training;
     let plan =
         MarketFaultPlan::new(seed).with_drought(start, start + SimDuration::from_hours(1), 0);
-    let mut session = Proteus::launch(app(), data(), chaos_config(plan))?;
+    let rec = Arc::new(Recorder::new());
+    let mut session =
+        Proteus::launch_observed(app(), data(), chaos_config(plan), Arc::clone(&rec))?;
     assert_eq!(
         session.transient_machines(),
         0,
@@ -133,6 +138,27 @@ fn capacity_drought(seed: u64) -> Result<ProteusReport, ProteusError> {
         report.allocations >= 1,
         "the sweep never recovered after the drought: {report:?}"
     );
+    // The injected refusals must surface through the metrics registry —
+    // not silently die inside the fault layer (the report is the
+    // session's view; the recorder is the provider's).
+    let metrics = rec.metrics();
+    assert!(
+        metrics.counter(obs_keys::CAPACITY_REFUSALS) >= u64::from(report.refusals),
+        "recorded {} capacity refusals, report saw {}",
+        metrics.counter(obs_keys::CAPACITY_REFUSALS),
+        report.refusals
+    );
+    // And the degraded episode must be on the timeline, with the
+    // gauge's time-at-1.0 matching the report's degraded_time.
+    let tl = rec.timeline();
+    assert!(tl.count("session.degraded") >= 1, "no degraded event");
+    assert!(tl.count("session.restored") >= 1, "no restore event");
+    assert_eq!(
+        metrics.gauge_hist("session.degraded").time_at(1.0),
+        report.degraded_time,
+        "degraded gauge disagrees with the report"
+    );
+    assert!(tl.is_monotone(), "timeline stamps must be monotone");
     Ok(report)
 }
 
@@ -142,7 +168,9 @@ fn capacity_drought(seed: u64) -> Result<ProteusReport, ProteusError> {
 /// every draw bounces — the watchdog falls back to on-demand capacity.
 fn throttle_burst(seed: u64) -> Result<ProteusReport, ProteusError> {
     let plan = MarketFaultPlan::new(seed).with_throttle(0.75, SimDuration::from_mins(5));
-    let mut session = Proteus::launch(app(), data(), chaos_config(plan))?;
+    let rec = Arc::new(Recorder::new());
+    let mut session =
+        Proteus::launch_observed(app(), data(), chaos_config(plan), Arc::clone(&rec))?;
     session.run_market_hours(2.0)?;
     session.wait_clock(TARGET)?;
     let report = session.finish()?;
@@ -150,6 +178,19 @@ fn throttle_burst(seed: u64) -> Result<ProteusReport, ProteusError> {
     assert!(
         report.allocations >= 1 || report.fallback_on_demand >= 1,
         "neither a grant nor the on-demand fallback landed: {report:?}"
+    );
+    // Injected throttles surface as recorder counters and timeline
+    // events, one per refused request.
+    let metrics = rec.metrics();
+    assert!(
+        metrics.counter(obs_keys::THROTTLED) >= u64::from(report.throttles),
+        "recorded {} throttles, report saw {}",
+        metrics.counter(obs_keys::THROTTLED),
+        report.throttles
+    );
+    assert!(
+        rec.timeline().count("market.throttled") as u64 >= u64::from(report.throttles),
+        "throttle events missing from the timeline"
     );
     Ok(report)
 }
@@ -178,7 +219,9 @@ fn slow_boot(seed: u64) -> Result<ProteusReport, ProteusError> {
 /// reliable tier between corpses.
 fn launch_then_die(seed: u64) -> Result<ProteusReport, ProteusError> {
     let plan = MarketFaultPlan::new(seed).with_infant_mortality(1.0, SimDuration::from_mins(20));
-    let mut session = Proteus::launch(app(), data(), chaos_config(plan))?;
+    let rec = Arc::new(Recorder::new());
+    let mut session =
+        Proteus::launch_observed(app(), data(), chaos_config(plan), Arc::clone(&rec))?;
     session.run_market_hours(2.0)?;
     session.wait_clock(TARGET)?;
     let report = session.finish()?;
@@ -186,6 +229,21 @@ fn launch_then_die(seed: u64) -> Result<ProteusReport, ProteusError> {
     assert!(
         report.evictions >= 1,
         "every grant was doomed, yet none died: {report:?}"
+    );
+    // Infant deaths must land in the metrics registry and on the
+    // timeline as provider evictions.
+    let metrics = rec.metrics();
+    assert!(
+        metrics.counter(obs_keys::INFANT_DEATHS) >= 1,
+        "no infant death recorded"
+    );
+    assert!(
+        metrics.counter(obs_keys::EVICTIONS) >= metrics.counter(obs_keys::INFANT_DEATHS),
+        "evictions counter must include infant deaths"
+    );
+    assert!(
+        rec.timeline().count("market.evicted") >= 1,
+        "no eviction event on the timeline"
     );
     Ok(report)
 }

@@ -106,3 +106,46 @@ fn session_rejects_invalid_config() {
     };
     assert!(Proteus::launch(app(), data(), bad).is_err());
 }
+
+/// An observed session puts every subsystem on one timeline: market
+/// grants and billing, BidBrain's Eq. 4 candidate rankings, AgileML's
+/// elasticity events, and the session state machine — with monotone
+/// sim-time stamps, exportable as JSONL.
+#[test]
+fn observed_session_records_every_subsystem() {
+    use proteus::obs::Recorder;
+    use std::sync::Arc;
+
+    let config = ProteusConfig {
+        max_machines: 8,
+        ..ProteusConfig::default()
+    };
+    let rec = Arc::new(Recorder::new());
+    let mut session =
+        Proteus::launch_observed(app(), data(), config, Arc::clone(&rec)).expect("launch");
+    session.run_market_hours(2.0).expect("market run");
+    session.wait_clock(10).expect("training progress");
+    // Drain pending job events onto the timeline before finishing.
+    let _ = session.job().events();
+    let report = session.finish().expect("finish");
+
+    let tl = rec.timeline();
+    assert!(tl.count("market.") > 0, "no market events");
+    assert!(tl.count("bid.") > 0, "no BidBrain events");
+    assert!(tl.count("agile.") > 0, "no AgileML events");
+    assert!(tl.count("session.launched") == 1, "no session launch");
+    assert!(tl.count("session.finished") == 1, "no session finish");
+    assert!(tl.is_monotone(), "timeline stamps must be monotone");
+
+    // The export serializes every timeline record as one JSONL line.
+    let jsonl = rec.to_jsonl();
+    assert_eq!(jsonl.lines().count(), tl.len());
+    assert!(jsonl.lines().all(|l| l.starts_with("{\"t_ms\":")));
+
+    // Spot grants recorded must cover the report's allocations.
+    let metrics = rec.metrics();
+    assert!(
+        metrics.counter(proteus::market::obs_keys::SPOT_GRANTS) >= u64::from(report.allocations),
+        "grant counter fell behind the report"
+    );
+}

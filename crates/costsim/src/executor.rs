@@ -87,6 +87,9 @@ impl StudyExecutor {
                 });
             }
         });
+        // The scoped threads above exit only after the shared counter
+        // passes `n`, so every slot has been filled exactly once.
+        #[allow(clippy::expect_used)]
         slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("every index was claimed"))

@@ -23,6 +23,10 @@
 //! on-demand baseline, final partial billing hours not charged to the
 //! job).
 
+// Study/simulation code returns typed outcomes, never panics; any
+// retained expect documents a real invariant at its use site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod executor;
 pub mod gce;
 pub mod queue;
@@ -34,7 +38,7 @@ pub use executor::StudyExecutor;
 pub use gce::{gce_fleet_beta, run_gce_job, GceOutcome, GceRunConfig};
 pub use queue::{run_job_queue, QueueOutcome};
 pub use scheme::{youngs_interval, JobSpec, Scheme, SchemeKind};
-pub use sim::{run_job, SimOutcome};
+pub use sim::{run_job, run_job_observed, run_job_with_faults, SimOutcome};
 pub use study::{run_study, run_study_with, StudyConfig, StudyEnv, StudyResult};
 
 /// The bid-delta sweep the paper's BidBrain evaluates: `[$0.0001, $0.4]`

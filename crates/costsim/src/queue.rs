@@ -112,6 +112,9 @@ impl JobSim<'_> {
             else {
                 break;
             };
+            // `next_end` is a future hour boundary or eviction instant;
+            // `advance_to` only errors on time moving backwards.
+            #[allow(clippy::expect_used)]
             let events = self
                 .provider_mut()
                 .advance_to(next_end)

@@ -11,11 +11,13 @@ use proteus_bidbrain::{
     AllocView, AppParams, BetaEstimator, BidBrain, BidBrainConfig, StandardStrategy,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use proteus_market::{
     catalog, CloudProvider, MarketError, MarketFaultPlan, MarketKey, ProviderEvent, TraceSet,
     UsageBreakdown,
 };
+use proteus_obs::{CostEvent, Event, MarketEvent, Recorder};
 use proteus_simtime::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -70,9 +72,30 @@ pub fn run_job_with_faults(
     horizon: SimDuration,
     faults: Option<&MarketFaultPlan>,
 ) -> SimOutcome {
+    run_job_observed(scheme, traces, beta, start, horizon, faults, None)
+}
+
+/// Runs one job with an optional observability recorder attached.
+///
+/// With a recorder, the run additionally emits `market.*` provider
+/// events, `bid.*` candidate rankings, change-only `market.price_move`
+/// records, and hourly `costsim.sample` records — without one the run
+/// is byte-for-byte the unobserved simulation (recording is passive).
+pub fn run_job_observed(
+    scheme: &Scheme,
+    traces: &TraceSet,
+    beta: &BetaEstimator,
+    start: SimTime,
+    horizon: SimDuration,
+    faults: Option<&MarketFaultPlan>,
+    obs: Option<Arc<Recorder>>,
+) -> SimOutcome {
     let mut sim = JobSim::new(scheme, traces, beta, start);
     if let Some(plan) = faults {
         sim.set_fault_plan(plan.clone());
+    }
+    if let Some(rec) = obs {
+        sim.set_recorder(rec);
     }
     sim.run(start + horizon)
 }
@@ -114,6 +137,19 @@ pub(crate) struct JobSim<'a> {
     fallback_alloc: Option<proteus_market::AllocationId>,
     fallback_count: u32,
     fallback_since: SimTime,
+    /// Cumulative degraded-mode fallback provisionings over the run.
+    fallback_launches: u32,
+    /// Observability recorder; `None` keeps every step allocation-free.
+    obs: Option<Arc<Recorder>>,
+    /// Last prices emitted, in `current_prices` order, for change-only
+    /// `PriceMove` events; a slice compare keeps the no-change step on a
+    /// branch-only fast path.
+    obs_last_prices: Vec<(MarketKey, f64)>,
+    /// Interned market names, parallel to `markets`, so emitting a
+    /// `PriceMove` is an `Arc` clone rather than a `Display` render.
+    obs_market_names: Vec<Arc<str>>,
+    /// Next instant a periodic `costsim.sample` record is due.
+    obs_next_sample: SimTime,
 }
 
 impl<'a> JobSim<'a> {
@@ -171,6 +207,86 @@ impl<'a> JobSim<'a> {
             fallback_alloc: None,
             fallback_count: 0,
             fallback_since: start,
+            fallback_launches: 0,
+            obs: None,
+            obs_last_prices: Vec::new(),
+            obs_market_names: Vec::new(),
+            obs_next_sample: start,
+        }
+    }
+
+    /// Attaches an observability recorder. The provider mirrors grants,
+    /// refusals, evictions, and billing onto it; BidBrain mirrors its
+    /// ranked Eq. 4 candidate evaluations; the sim itself adds
+    /// change-only price moves and a periodic cumulative cost/work
+    /// sample (the Fig. 9/10 axes). Recording is passive — it never
+    /// feeds back into decisions.
+    pub(crate) fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        rec.set_now(self.provider.now().max(self.start));
+        self.provider.set_recorder(Arc::clone(&rec));
+        // Intern the market names once: `PriceMove` is the hottest
+        // event, and rendering a `MarketKey` through `Display` per
+        // emission would dominate the recording overhead.
+        self.obs_market_names = self.markets.iter().map(MarketKey::interned_name).collect();
+        self.obs = Some(rec);
+    }
+
+    /// Emits the periodic sample plus change-only price moves, both at
+    /// the sample cadence. This runs every decision step, so the
+    /// between-samples fast path is a single time compare; spot prices
+    /// tick every few minutes, and scanning them per step would emit
+    /// nearly one event per market tick — the hourly change-only scan
+    /// keeps the timeline plottable (the Fig. 9/10 axes are hourly
+    /// anyway) at a fraction of the recording cost. Market-plane truth
+    /// (grants, evictions, charges) is still mirrored exactly,
+    /// per-event, by the provider.
+    fn obs_step(&mut self, now: SimTime, prices: &[(MarketKey, f64)]) {
+        let Some(rec) = self.obs.as_deref() else {
+            return;
+        };
+        if now >= self.obs_next_sample {
+            for (i, (m, p)) in prices.iter().enumerate() {
+                if self.obs_last_prices.get(i) != Some(&(*m, *p)) {
+                    let name = self
+                        .markets
+                        .iter()
+                        .position(|k| k == m)
+                        .and_then(|j| self.obs_market_names.get(j));
+                    rec.record(
+                        now,
+                        Event::Market(MarketEvent::PriceMove {
+                            market: name.map_or_else(|| m.interned_name(), Arc::clone),
+                            price: *p,
+                        }),
+                    );
+                }
+            }
+            self.obs_last_prices.clear();
+            self.obs_last_prices.extend_from_slice(prices);
+            let spot: u64 = self
+                .provider
+                .spot_allocations()
+                .iter()
+                .filter(|a| !a.booting)
+                .map(|a| u64::from(a.count))
+                .sum();
+            let on_demand = match self.kind {
+                SchemeKind::AllOnDemand { machines } => u64::from(machines),
+                _ => u64::from(self.job.on_demand_count),
+            };
+            rec.record(
+                now,
+                Event::Cost(CostEvent::Sample {
+                    cum_cost: self.account_cost(),
+                    cum_work: self.work_done,
+                    spot,
+                    on_demand,
+                    fallback: u64::from(self.fallback_count),
+                }),
+            );
+            while self.obs_next_sample <= now {
+                self.obs_next_sample += SimDuration::from_hours(1);
+            }
         }
     }
 
@@ -460,9 +576,12 @@ impl<'a> JobSim<'a> {
                 // through to the next-best market per Eq. 4; a throttle
                 // is provider-wide, so stop and retry next step.
                 let footprint = self.footprint();
-                let ranked =
-                    self.brain
-                        .ranked_acquisitions(&footprint, prices, self.provider.now());
+                let ranked = self.brain.ranked_acquisitions_obs(
+                    &footprint,
+                    prices,
+                    self.provider.now(),
+                    self.obs.as_deref(),
+                );
                 let mut capacity_refused = false;
                 for req in ranked {
                     match self.provider.request_spot(req.market, req.count, req.bid) {
@@ -510,6 +629,7 @@ impl<'a> JobSim<'a> {
                     .ok();
                 if self.fallback_alloc.is_some() {
                     self.fallback_count = count;
+                    self.fallback_launches += 1;
                 }
             }
         }
@@ -528,11 +648,15 @@ impl<'a> JobSim<'a> {
             // One trace lookup per market per step, shared by both
             // decision passes.
             let prices = self.current_prices();
+            self.obs_step(now, &prices);
             self.renewals(&prices);
             self.acquisitions(&prices);
 
             let rate = self.work_rate();
             let next = (now + STEP).min(deadline);
+            // `next > now` by construction; `advance_to` only errors on
+            // time moving backwards.
+            #[allow(clippy::expect_used)]
             let events = self.provider.advance_to(next).expect("time moves forward");
             // Work between events: approximate with the rate sampled at
             // step start; evictions mid-step slightly overcount work by
@@ -551,6 +675,9 @@ impl<'a> JobSim<'a> {
 
     /// Provisions the reliable (on-demand) base at the start instant.
     pub(crate) fn provision_base(&mut self) {
+        // The provider starts at `SimTime::EPOCH <= self.start`;
+        // `advance_to` only errors on time moving backwards.
+        #[allow(clippy::expect_used)]
         self.provider
             .advance_to(self.start)
             .expect("time moves forward");
@@ -634,14 +761,27 @@ impl<'a> JobSim<'a> {
             self.fallback_count = 0;
         }
 
-        SimOutcome {
+        let outcome = SimOutcome {
             cost: (self.provider.account().total_cost() - refund).max(0.0),
             runtime: now - self.start,
             usage: *self.provider.account().usage(),
             evictions: self.evictions,
             completed,
             market_mix: std::mem::take(&mut self.market_mix),
+        };
+        if let Some(rec) = self.obs.as_deref() {
+            rec.set_now(now);
+            rec.record(
+                now,
+                Event::Cost(CostEvent::RunEnd {
+                    cost: outcome.cost,
+                    work: self.work_done,
+                    evictions: u64::from(self.evictions),
+                    fallback_count: u64::from(self.fallback_launches),
+                }),
+            );
         }
+        outcome
     }
 }
 

@@ -17,10 +17,12 @@ use proteus_simtime::{SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use proteus_obs::{CostEvent, Event, Recorder};
+
 use crate::executor::StudyExecutor;
 use crate::scheme::{JobSpec, Scheme, SchemeKind};
-use crate::sim::{run_job_with_faults, SimOutcome};
-use std::sync::OnceLock;
+use crate::sim::{run_job_observed, run_job_with_faults, SimOutcome};
+use std::sync::{Arc, OnceLock};
 
 /// Study parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -114,6 +116,8 @@ impl StudyEnv {
         let mut beta = BetaEstimator::new();
         let train_end = SimTime::from_hours(24 * config.train_days);
         for k in &keys {
+            // `generate_set` produced exactly one trace per key above.
+            #[allow(clippy::expect_used)]
             beta.train(
                 *k,
                 traces.get(k).expect("trace generated"),
@@ -190,6 +194,9 @@ impl StudyEnv {
         }
         let n = outcomes.len() as f64;
         let cost_sum: f64 = costs.iter().sum();
+        // Costs come from the billing account, which only ever adds
+        // finite trace prices.
+        #[allow(clippy::expect_used)]
         costs.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
         let pct = |q: f64| -> f64 {
             let idx = ((costs.len() as f64 - 1.0) * q).round() as usize;
@@ -277,6 +284,86 @@ impl StudyEnv {
             .map(|(s, kind)| self.aggregate(kind, &outcomes[s * n..(s + 1) * n]))
             .collect()
     }
+
+    /// Like [`Self::run_comparison_with`], but every `(scheme, start)`
+    /// job records onto its own observability [`Recorder`]; the
+    /// recorders come back **in task-index order**, un-rendered, so the
+    /// recording cost can be measured (and paid) separately from the
+    /// JSONL export cost.
+    pub fn run_comparison_recorders(
+        &self,
+        exec: &StudyExecutor,
+    ) -> (Vec<StudyResult>, Vec<Arc<Recorder>>) {
+        let kinds = [
+            SchemeKind::AllOnDemand { machines: 128 },
+            SchemeKind::paper_checkpoint(),
+            SchemeKind::paper_standard_agileml(),
+            SchemeKind::paper_proteus(),
+        ];
+        let _ = self.on_demand_baseline();
+        let job = self.job();
+        let horizon = self.horizon();
+        let schemes: Vec<Scheme> = kinds
+            .iter()
+            .map(|kind| Scheme {
+                kind: kind.clone(),
+                job,
+            })
+            .collect();
+        let n = self.starts.len();
+        let tasks = exec.run_indexed(kinds.len() * n, |t| {
+            let scheme = &schemes[t / n];
+            let start = self.starts[t % n];
+            let rec = Arc::new(Recorder::new());
+            rec.record(
+                start,
+                Event::Cost(CostEvent::RunStart {
+                    scheme: scheme.kind.label().to_string(),
+                    index: t as u64,
+                    start_ms: start.as_millis(),
+                }),
+            );
+            let out = run_job_observed(
+                scheme,
+                &self.traces,
+                &self.beta,
+                start,
+                horizon,
+                self.config.market_faults.as_ref(),
+                Some(Arc::clone(&rec)),
+            );
+            (out, rec)
+        });
+        let mut recorders = Vec::with_capacity(tasks.len());
+        let mut outcomes = Vec::with_capacity(tasks.len());
+        for (out, rec) in tasks {
+            recorders.push(rec);
+            outcomes.push(out);
+        }
+        let results = kinds
+            .iter()
+            .enumerate()
+            .map(|(s, kind)| self.aggregate(kind, &outcomes[s * n..(s + 1) * n]))
+            .collect();
+        (results, recorders)
+    }
+
+    /// [`Self::run_comparison_recorders`] plus the export: the per-job
+    /// JSONL timelines are concatenated **in task-index order**.
+    ///
+    /// Each job's segment is delimited by `costsim.run_start` /
+    /// `costsim.run_end` records and carries its own `seq` numbering.
+    /// Because each task's recorder is task-local and tasks are merged
+    /// in index order, the returned string is byte-identical for any
+    /// thread count — and across reruns of the same config.
+    pub fn run_comparison_recorded(&self, exec: &StudyExecutor) -> (Vec<StudyResult>, String) {
+        let (results, recorders) = self.run_comparison_recorders(exec);
+        let mut jsonl = String::new();
+        for rec in &recorders {
+            rec.append_jsonl(&mut jsonl);
+        }
+        (results, jsonl)
+    }
 }
 
 /// Runs the full four-scheme comparison (the paper's Figs. 8/9 setup)
@@ -291,7 +378,19 @@ pub fn run_study(config: StudyConfig) -> Vec<StudyResult> {
 /// aggregation always happens in (scheme, start) order.
 pub fn run_study_with(config: StudyConfig, exec: &StudyExecutor) -> Vec<StudyResult> {
     let env = StudyEnv::new(config);
-    env.run_comparison_with(exec)
+    match proteus_obs::jsonl::export_path() {
+        Some(path) => {
+            let (results, jsonl) = env.run_comparison_recorded(exec);
+            if let Err(e) = std::fs::write(&path, jsonl) {
+                // Surface the failure without failing the study: the
+                // numeric results are still valid, only the export is
+                // lost.
+                eprintln!("warning: could not write {}: {e}", path);
+            }
+            results
+        }
+        None => env.run_comparison_with(exec),
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,27 @@ impl MarketKey {
     pub fn instance_type(&self) -> &'static InstanceType {
         &catalog::all()[self.type_index]
     }
+
+    /// The `Display` rendering of this key, interned process-wide.
+    ///
+    /// Observability events carry market names on hot paths (price
+    /// moves, grants, bid candidates); rendering through `Display` once
+    /// per key and sharing the `Arc` keeps per-event cost to a refcount
+    /// bump instead of a format-and-allocate.
+    pub fn interned_name(&self) -> std::sync::Arc<str> {
+        use std::collections::BTreeMap;
+        use std::sync::{Arc, Mutex, OnceLock};
+        static NAMES: OnceLock<Mutex<BTreeMap<MarketKey, Arc<str>>>> = OnceLock::new();
+        let cache = NAMES.get_or_init(|| Mutex::new(BTreeMap::new()));
+        let mut names = cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        Arc::clone(
+            names
+                .entry(*self)
+                .or_insert_with(|| self.to_string().into_boxed_str().into()),
+        )
+    }
 }
 
 impl fmt::Display for MarketKey {

@@ -55,7 +55,9 @@ pub use fault::{
 pub use gen::{MarketModel, TraceGenerator};
 pub use instance::{catalog, InstanceType, MarketKey, Zone};
 pub use io::{trace_from_csv, trace_to_csv, TraceCsvError};
-pub use provider::{AllocationId, CloudProvider, ProviderEvent, SpotAllocation, SpotGrant};
+pub use provider::{
+    obs_keys, AllocationId, CloudProvider, ProviderEvent, SpotAllocation, SpotGrant,
+};
 pub use trace::{PriceTrace, TraceSet};
 
 use proteus_simtime::SimDuration;

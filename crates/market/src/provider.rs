@@ -13,7 +13,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
+use proteus_obs::{Event, MarketEvent, Recorder};
 use proteus_simtime::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +25,28 @@ use crate::fault::{FaultState, MarketFaultPlan, MarketFaultStats};
 use crate::instance::MarketKey;
 use crate::spot::{SpotLease, SpotState};
 use crate::trace::TraceSet;
+
+/// Metrics-registry counters mirroring [`MarketFaultStats`], so chaos
+/// suites can assert on recorded totals instead of re-deriving them
+/// (and totals survive a plan being replaced mid-run).
+pub mod obs_keys {
+    /// Mirrors [`super::MarketFaultStats::throttled`].
+    pub const THROTTLED: &str = "market.faults.throttled";
+    /// Mirrors [`super::MarketFaultStats::capacity_refusals`].
+    pub const CAPACITY_REFUSALS: &str = "market.faults.capacity_refusals";
+    /// Mirrors [`super::MarketFaultStats::partial_grants`].
+    pub const PARTIAL_GRANTS: &str = "market.faults.partial_grants";
+    /// Mirrors [`super::MarketFaultStats::launch_failures`].
+    pub const LAUNCH_FAILURES: &str = "market.faults.launch_failures";
+    /// Mirrors [`super::MarketFaultStats::infant_deaths`].
+    pub const INFANT_DEATHS: &str = "market.faults.infant_deaths";
+    /// Spot grants issued (full or partial).
+    pub const SPOT_GRANTS: &str = "market.spot_grants";
+    /// On-demand grants issued.
+    pub const ON_DEMAND_GRANTS: &str = "market.on_demand_grants";
+    /// Provider-initiated evictions (warned or infant death).
+    pub const EVICTIONS: &str = "market.evictions";
+}
 
 /// Identifies one allocation (spot or on-demand).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -154,6 +178,10 @@ pub struct CloudProvider<'a> {
     /// Installed fault regimes; `None` (the default) means a pristine
     /// market: every request granted in full, immediately, forever.
     faults: Option<FaultState>,
+    /// Observability sink; `None` (the default) records nothing and
+    /// costs one branch per decision point. Recording is passive — it
+    /// never changes a grant, a draw, or a bill.
+    obs: Option<Arc<Recorder>>,
 }
 
 impl<'a> CloudProvider<'a> {
@@ -178,6 +206,29 @@ impl<'a> CloudProvider<'a> {
             account: BillingAccount::new(),
             warning_lead,
             faults: None,
+            obs: None,
+        }
+    }
+
+    /// Attaches an observability recorder: market events (grants,
+    /// refusals, evictions, billing line items) are appended to its
+    /// timeline and fault-regime activity mirrors into its counters
+    /// (see [`obs_keys`]).
+    pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        self.obs = Some(rec);
+    }
+
+    /// Emits one market event stamped with the provider's clock.
+    fn obs_event(&self, t: SimTime, ev: MarketEvent) {
+        if let Some(rec) = self.obs.as_deref() {
+            rec.record(t, Event::Market(ev));
+        }
+    }
+
+    /// Bumps a recorder counter (no-op without a recorder).
+    fn obs_count(&self, name: &'static str) {
+        if let Some(rec) = self.obs.as_deref() {
+            rec.counter_add(name, 1);
         }
     }
 
@@ -287,13 +338,31 @@ impl<'a> CloudProvider<'a> {
             return Err(MarketError::EmptyRequest);
         }
         // The API gate sits in front of the market itself.
-        if let Some(fs) = self.faults.as_mut() {
-            if let Some(retry_after) = fs.draw_throttle(self.now) {
-                return Err(MarketError::RequestLimitExceeded { retry_after });
-            }
+        let throttled = self
+            .faults
+            .as_mut()
+            .and_then(|fs| fs.draw_throttle(self.now));
+        if let Some(retry_after) = throttled {
+            self.obs_count(obs_keys::THROTTLED);
+            self.obs_event(
+                self.now,
+                MarketEvent::Throttled {
+                    market: market.interned_name(),
+                    retry_after_ms: retry_after.as_millis(),
+                },
+            );
+            return Err(MarketError::RequestLimitExceeded { retry_after });
         }
         let price = self.spot_price(market)?;
         if bid < price {
+            self.obs_event(
+                self.now,
+                MarketEvent::BidRejected {
+                    market: market.interned_name(),
+                    bid,
+                    price,
+                },
+            );
             return Err(MarketError::BidBelowMarket {
                 market,
                 bid,
@@ -317,6 +386,14 @@ impl<'a> CloudProvider<'a> {
                 if let Some(fs) = self.faults.as_mut() {
                     fs.stats.capacity_refusals += 1;
                 }
+                self.obs_count(obs_keys::CAPACITY_REFUSALS);
+                self.obs_event(
+                    self.now,
+                    MarketEvent::CapacityRefused {
+                        market: market.interned_name(),
+                        requested: u64::from(count),
+                    },
+                );
                 return Err(MarketError::InsufficientCapacity {
                     market,
                     requested: count,
@@ -327,6 +404,15 @@ impl<'a> CloudProvider<'a> {
                 if let Some(fs) = self.faults.as_mut() {
                     fs.stats.partial_grants += 1;
                 }
+                self.obs_count(obs_keys::PARTIAL_GRANTS);
+                self.obs_event(
+                    self.now,
+                    MarketEvent::PartialGrant {
+                        market: market.interned_name(),
+                        requested: u64::from(count),
+                        granted: u64::from(available),
+                    },
+                );
                 granted = available;
             }
         }
@@ -357,6 +443,16 @@ impl<'a> CloudProvider<'a> {
             lease = lease.doomed_at(dies_at);
         }
         self.spot.insert(id, lease);
+        self.obs_count(obs_keys::SPOT_GRANTS);
+        self.obs_event(
+            self.now,
+            MarketEvent::SpotGranted {
+                market: market.interned_name(),
+                allocation: id.0,
+                count: u64::from(granted),
+                bid,
+            },
+        );
         Ok(SpotGrant {
             id,
             requested: count,
@@ -394,6 +490,15 @@ impl<'a> CloudProvider<'a> {
                 hour_start: self.now,
             },
         );
+        self.obs_count(obs_keys::ON_DEMAND_GRANTS);
+        self.obs_event(
+            self.now,
+            MarketEvent::OnDemandGranted {
+                allocation: id.0,
+                count: u64::from(count),
+                price,
+            },
+        );
         Ok(id)
     }
 
@@ -409,18 +514,21 @@ impl<'a> CloudProvider<'a> {
             if lease.is_booting() {
                 // Nothing was billed and no compute happened; cancelling
                 // a boot is free.
+                self.obs_event(self.now, MarketEvent::Terminated { allocation: id.0 });
                 return Ok(());
             }
             // Removal from the registry is the terminal state; usage up
             // to now was paid for.
             let used = self.now.since(lease.hour_start).as_hours_f64();
             self.account.add_spot_usage(used * f64::from(lease.count));
+            self.obs_event(self.now, MarketEvent::Terminated { allocation: id.0 });
             return Ok(());
         }
         if let Some(lease) = self.on_demand.remove(&id) {
             let used = self.now.since(lease.hour_start).as_hours_f64();
             self.account
                 .add_on_demand_usage(used * f64::from(lease.count));
+            self.obs_event(self.now, MarketEvent::Terminated { allocation: id.0 });
             return Ok(());
         }
         Err(MarketError::UnknownAllocation(id))
@@ -557,6 +665,13 @@ impl<'a> CloudProvider<'a> {
                 if let Some(lease) = self.spot.get_mut(&id) {
                     lease.current_hour_charge = charge;
                 }
+                self.obs_event(
+                    t,
+                    MarketEvent::HourCharged {
+                        allocation: id.0,
+                        amount: charge,
+                    },
+                );
                 events.push((
                     t,
                     ProviderEvent::HourCharged {
@@ -579,6 +694,13 @@ impl<'a> CloudProvider<'a> {
                     amount: charge,
                     instances: count,
                 });
+                self.obs_event(
+                    t,
+                    MarketEvent::HourCharged {
+                        allocation: id.0,
+                        amount: charge,
+                    },
+                );
                 events.push((
                     t,
                     ProviderEvent::HourCharged {
@@ -614,6 +736,7 @@ impl<'a> CloudProvider<'a> {
                 }
                 // Like the immediate-grant charge, the first hour is not
                 // reported as HourCharged; Launched marks it.
+                self.obs_event(t, MarketEvent::Launched { allocation: id.0 });
                 events.push((t, ProviderEvent::Launched { allocation: id }));
             }
             Happening::Crossing(id) => {
@@ -625,12 +748,21 @@ impl<'a> CloudProvider<'a> {
                     if let Some(fs) = self.faults.as_mut() {
                         fs.stats.launch_failures += 1;
                     }
+                    self.obs_count(obs_keys::LAUNCH_FAILURES);
+                    self.obs_event(t, MarketEvent::LaunchFailed { allocation: id.0 });
                     events.push((t, ProviderEvent::LaunchFailed { allocation: id }));
                     return;
                 }
                 let lease = self.spot.get_mut(&id).expect("lease exists");
                 let evict_at = t + self.warning_lead;
                 lease.state = SpotState::WarningIssued { evict_at };
+                self.obs_event(
+                    t,
+                    MarketEvent::EvictionWarning {
+                        allocation: id.0,
+                        evict_at_ms: evict_at.as_millis(),
+                    },
+                );
                 events.push((
                     t,
                     ProviderEvent::EvictionWarning {
@@ -655,6 +787,9 @@ impl<'a> CloudProvider<'a> {
                 if let Some(fs) = self.faults.as_mut() {
                     fs.stats.infant_deaths += 1;
                 }
+                self.obs_count(obs_keys::INFANT_DEATHS);
+                self.obs_count(obs_keys::EVICTIONS);
+                self.obs_event(t, MarketEvent::Evicted { allocation: id.0 });
                 events.push((t, ProviderEvent::Evicted { allocation: id }));
             }
             Happening::Evict(id) => {
@@ -669,6 +804,8 @@ impl<'a> CloudProvider<'a> {
                 });
                 let used = t.since(lease.hour_start).as_hours_f64();
                 self.account.add_free_usage(used * f64::from(lease.count));
+                self.obs_count(obs_keys::EVICTIONS);
+                self.obs_event(t, MarketEvent::Evicted { allocation: id.0 });
                 events.push((t, ProviderEvent::Evicted { allocation: id }));
             }
         }

@@ -1,0 +1,194 @@
+//! The shared recorder: one cheap mutex around an append-only event log
+//! and the metrics registry, plus an embedded sim clock for components
+//! whose call paths do not carry a `SimTime` (the wall-clock training
+//! plane, for instance).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use proteus_simtime::{SimDuration, SimTime};
+
+use crate::event::Event;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::timeline::{TimedEvent, Timeline};
+
+#[derive(Default)]
+struct Inner {
+    events: Vec<TimedEvent>,
+    metrics: MetricsRegistry,
+}
+
+/// The recorder. Clone an `Arc<Recorder>` into every subsystem that
+/// should feed the same timeline; hold `Option<Arc<Recorder>>` and
+/// guard each emission so the disabled path stays allocation-free.
+///
+/// Recording is passive by contract: nothing read back from a recorder
+/// may influence a simulation decision or an RNG draw.
+#[derive(Default)]
+pub struct Recorder {
+    inner: Mutex<Inner>,
+    /// Sim "now" in millis, advanced by whoever owns the sim clock and
+    /// read by components that only see wall time.
+    clock: AtomicU64,
+}
+
+impl Recorder {
+    /// A fresh recorder at sim epoch. The event log is pre-reserved so
+    /// early emissions don't pay repeated growth-realloc copies.
+    pub fn new() -> Self {
+        let rec = Recorder::default();
+        rec.inner.lock().events.reserve(64);
+        rec
+    }
+
+    /// Advances the embedded sim clock (monotone by convention; the
+    /// recorder does not enforce it, timestamps come from the caller).
+    pub fn set_now(&self, t: SimTime) {
+        self.clock.store(t.as_millis(), Ordering::Release);
+    }
+
+    /// The embedded sim clock's current value.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_millis(self.clock.load(Ordering::Acquire))
+    }
+
+    /// Appends `event` stamped `t`.
+    pub fn record(&self, t: SimTime, event: Event) {
+        let mut inner = self.inner.lock();
+        let seq = inner.events.len() as u64;
+        inner.events.push(TimedEvent { t, seq, event });
+    }
+
+    /// Appends `event` stamped with the embedded sim clock.
+    pub fn record_now(&self, event: Event) {
+        self.record(self.now(), event);
+    }
+
+    /// Increments a counter.
+    pub fn counter_add(&self, name: &'static str, by: u64) {
+        self.inner.lock().metrics.counter_add(name, by);
+    }
+
+    /// Reads a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .metrics
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets a sim-time-weighted gauge at `t`; elapsed time since the
+    /// previous set is credited to the previous value.
+    pub fn gauge_set(&self, name: &'static str, t: SimTime, value: f64) {
+        self.inner.lock().metrics.gauge_set(name, t, value);
+    }
+
+    /// Adds a direct observation to a sim-time-weighted histogram.
+    pub fn hist_add(&self, name: &'static str, value: f64, duration: SimDuration) {
+        self.inner.lock().metrics.hist_add(name, value, duration);
+    }
+
+    /// Records a completed span.
+    pub fn span(&self, name: &'static str, start: SimTime, end: SimTime) {
+        self.inner.lock().metrics.span(name, start, end);
+    }
+
+    /// Folds open gauge intervals up to `t` — call when a run ends so
+    /// time-at-value reads cover the full horizon.
+    pub fn close_gauges(&self, t: SimTime) {
+        self.inner.lock().metrics.close_gauges(t);
+    }
+
+    /// An owned snapshot of the event log.
+    pub fn timeline(&self) -> Timeline {
+        Timeline {
+            events: self.inner.lock().events.clone(),
+        }
+    }
+
+    /// An owned snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.lock().metrics.snapshot()
+    }
+
+    /// Serializes the current timeline to JSONL. Renders under the lock
+    /// rather than snapshotting first — cloning every event (and its
+    /// strings) just to serialize them would dominate export cost.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::with_capacity(inner.events.len() * 96);
+        crate::jsonl::write_events(&inner.events, &mut out);
+        out
+    }
+
+    /// Appends the current timeline's JSONL to `out` — the allocation-
+    /// shy form of [`Self::to_jsonl`] for merging many recorders into
+    /// one export.
+    pub fn append_jsonl(&self, out: &mut String) {
+        let inner = self.inner.lock();
+        out.reserve(inner.events.len() * 96);
+        crate::jsonl::write_events(&inner.events, out);
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Recorder")
+            .field("events", &inner.events.len())
+            .field("now_ms", &self.clock.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SessionEvent;
+
+    #[test]
+    fn records_in_append_order_with_sequence_numbers() {
+        let rec = Recorder::new();
+        rec.record(
+            SimTime::from_millis(10),
+            Event::Session(SessionEvent::Degraded),
+        );
+        rec.set_now(SimTime::from_millis(25));
+        rec.record_now(Event::Session(SessionEvent::Restored { degraded_ms: 15 }));
+        let tl = rec.timeline();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.events[0].seq, 0);
+        assert_eq!(tl.events[1].seq, 1);
+        assert_eq!(tl.events[1].t, SimTime::from_millis(25));
+        assert!(tl.is_monotone());
+    }
+
+    #[test]
+    fn clock_round_trips() {
+        let rec = Recorder::new();
+        assert_eq!(rec.now(), SimTime::EPOCH);
+        rec.set_now(SimTime::from_hours(3));
+        assert_eq!(rec.now(), SimTime::from_hours(3));
+    }
+
+    #[test]
+    fn metrics_are_shared_and_snapshotted() {
+        let rec = Recorder::new();
+        rec.counter_add("x", 2);
+        rec.counter_add("x", 1);
+        rec.gauge_set("g", SimTime::EPOCH, 1.0);
+        rec.close_gauges(SimTime::from_millis(500));
+        rec.span("s", SimTime::EPOCH, SimTime::from_millis(100));
+        assert_eq!(rec.counter("x"), 3);
+        let snap = rec.metrics();
+        assert_eq!(snap.counter("x"), 3);
+        assert_eq!(
+            snap.gauge_hist("g").time_at(1.0),
+            SimDuration::from_millis(500)
+        );
+        assert_eq!(snap.span("s").count, 1);
+    }
+}

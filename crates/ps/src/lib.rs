@@ -26,6 +26,10 @@
 //! one layer up in `proteus-agileml`; everything here is deliberately
 //! mechanism-only so it can be property-tested in isolation.
 
+// Storage primitives return typed errors, never panic; any retained
+// expect must document a real invariant at its use site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
 pub mod clock;
 pub mod partition;

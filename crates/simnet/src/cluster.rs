@@ -8,6 +8,8 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::RwLock;
 
+use proteus_obs::Recorder;
+
 use crate::fault::{FaultLayer, FaultPlan, FaultStats};
 use crate::message::{Control, Envelope, Incoming, SendError};
 use crate::node::{NodeClass, NodeCtx, NodeId};
@@ -37,6 +39,9 @@ pub struct ClusterInner<M> {
     traffic: RwLock<HashMap<(NodeId, NodeId), u64>>,
     /// Installed message-fault layer, if any.
     faults: RwLock<Option<Arc<FaultLayer<M>>>>,
+    /// Observability mirror handed to each fault layer so injected-fault
+    /// counters survive the layer being replaced or cleared.
+    recorder: RwLock<Option<Arc<Recorder>>>,
 }
 
 impl<M: Send + Clone + 'static> ClusterInner<M> {
@@ -77,7 +82,17 @@ impl<M: Send + Clone + 'static> ClusterInner<M> {
 
     /// Installs (or replaces) the message-fault layer.
     pub(crate) fn set_faults(&self, plan: FaultPlan<M>) {
-        *self.faults.write() = Some(Arc::new(FaultLayer::new(plan)));
+        let obs = self.recorder.read().clone();
+        *self.faults.write() = Some(Arc::new(FaultLayer::new(plan, obs)));
+    }
+
+    /// Attaches an observability recorder; the current fault layer (if
+    /// any) and every future one mirror their counters into it.
+    pub(crate) fn set_recorder(&self, rec: Arc<Recorder>) {
+        if let Some(layer) = self.faults.read().as_deref() {
+            layer.set_recorder(Arc::clone(&rec));
+        }
+        *self.recorder.write() = Some(rec);
     }
 
     /// Removes the message-fault layer, first flushing held messages.
@@ -173,6 +188,12 @@ impl<M: Send + Clone + 'static> ClusterHandle<M> {
     pub fn fault_stats(&self) -> FaultStats {
         self.inner.fault_stats()
     }
+
+    /// Attaches an observability recorder; injected message faults bump
+    /// its `simnet.msg.*` counters from now on, across plan changes.
+    pub fn set_recorder(&self, rec: Arc<Recorder>) {
+        self.inner.set_recorder(rec);
+    }
 }
 
 /// An in-process cluster of nodes, each running on its own thread.
@@ -220,6 +241,7 @@ impl<M: Send + Clone + 'static> Cluster<M> {
                 dropped: AtomicU64::new(0),
                 traffic: RwLock::new(HashMap::new()),
                 faults: RwLock::new(None),
+                recorder: RwLock::new(None),
             }),
             handles: Vec::new(),
             next_id: 0,
@@ -252,6 +274,14 @@ impl<M: Send + Clone + 'static> Cluster<M> {
         self.inner.fault_stats()
     }
 
+    /// Attaches an observability recorder; injected message faults bump
+    /// its `simnet.msg.*` counters from now on, even when
+    /// [`Cluster::set_faults`] later replaces the layer (whose own
+    /// [`FaultStats`] reset with it).
+    pub fn set_recorder(&self, rec: Arc<Recorder>) {
+        self.inner.set_recorder(rec);
+    }
+
     /// A cloneable handle for harness-side interaction.
     pub fn handle(&self) -> ClusterHandle<M> {
         ClusterHandle {
@@ -282,6 +312,9 @@ impl<M: Send + Clone + 'static> Cluster<M> {
             inner: Arc::clone(&self.inner),
             rx,
         };
+        // Thread spawning only fails on OS resource exhaustion, at which
+        // point the whole simulated cluster is unrecoverable anyway.
+        #[allow(clippy::expect_used)]
         let handle = std::thread::Builder::new()
             .name(format!("simnet-{}", id.0))
             .spawn(move || behavior(ctx))

@@ -35,9 +35,20 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use proteus_obs::Recorder;
 
 use crate::node::NodeId;
+
+/// Metrics-registry counter mirroring [`FaultStats::dropped`]. Unlike
+/// the per-layer atomics, recorder counters survive
+/// [`Cluster::set_faults`](crate::Cluster::set_faults) replacing the
+/// layer mid-run, so chaos totals are never silently lost.
+pub const OBS_MSG_DROPPED: &str = "simnet.msg.dropped";
+/// Metrics-registry counter mirroring [`FaultStats::duplicated`].
+pub const OBS_MSG_DUPLICATED: &str = "simnet.msg.duplicated";
+/// Metrics-registry counter mirroring [`FaultStats::delayed`].
+pub const OBS_MSG_DELAYED: &str = "simnet.msg.delayed";
 
 /// Predicate selecting which payloads a rule applies to.
 pub type MsgFilter<M> = Arc<dyn Fn(&M) -> bool + Send + Sync>;
@@ -200,16 +211,34 @@ pub(crate) struct FaultLayer<M> {
     dropped: AtomicU64,
     duplicated: AtomicU64,
     delayed: AtomicU64,
+    /// Mirror sink: every injected fault also bumps a persistent
+    /// recorder counter (`simnet.msg.*`) so totals survive layer
+    /// replacement. Purely additive — never read back by the layer.
+    obs: RwLock<Option<Arc<Recorder>>>,
 }
 
 impl<M: Clone> FaultLayer<M> {
-    pub(crate) fn new(plan: FaultPlan<M>) -> Self {
+    pub(crate) fn new(plan: FaultPlan<M>, obs: Option<Arc<Recorder>>) -> Self {
         FaultLayer {
             plan,
             pairs: Mutex::new(HashMap::new()),
             dropped: AtomicU64::new(0),
             duplicated: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
+            obs: RwLock::new(obs),
+        }
+    }
+
+    /// Attaches (or replaces) the mirror recorder after construction —
+    /// drivers often install fault plans before observability.
+    pub(crate) fn set_recorder(&self, rec: Arc<Recorder>) {
+        *self.obs.write() = Some(rec);
+    }
+
+    /// Bumps the persistent mirror counter for one injected fault.
+    fn mirror(&self, name: &'static str) {
+        if let Some(rec) = self.obs.read().as_deref() {
+            rec.counter_add(name, 1);
         }
     }
 
@@ -262,16 +291,19 @@ impl<M: Clone> FaultLayer<M> {
             }
             Verdict::Drop => {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.mirror(OBS_MSG_DROPPED);
                 out.extend(pair.held.take());
             }
             Verdict::Duplicate => {
                 self.duplicated.fetch_add(1, Ordering::Relaxed);
+                self.mirror(OBS_MSG_DUPLICATED);
                 out.push(msg.clone());
                 out.push(msg);
                 out.extend(pair.held.take());
             }
             Verdict::Delay => {
                 self.delayed.fetch_add(1, Ordering::Relaxed);
+                self.mirror(OBS_MSG_DELAYED);
                 // Release anything already held first so at most one
                 // message per pair is ever in flight "late".
                 out.extend(pair.held.take());
@@ -319,8 +351,8 @@ mod tests {
 
     #[test]
     fn same_seed_same_verdicts() {
-        let a = FaultLayer::new(plan_all(42, 0.3, 0.3, 0.3));
-        let b = FaultLayer::new(plan_all(42, 0.3, 0.3, 0.3));
+        let a = FaultLayer::new(plan_all(42, 0.3, 0.3, 0.3), None);
+        let b = FaultLayer::new(plan_all(42, 0.3, 0.3, 0.3), None);
         for i in 0..200u32 {
             assert_eq!(
                 a.apply(NodeId(1), NodeId(2), i),
@@ -331,8 +363,8 @@ mod tests {
 
     #[test]
     fn different_seeds_diverge() {
-        let a = FaultLayer::new(plan_all(1, 0.5, 0.0, 0.0));
-        let b = FaultLayer::new(plan_all(2, 0.5, 0.0, 0.0));
+        let a = FaultLayer::new(plan_all(1, 0.5, 0.0, 0.0), None);
+        let b = FaultLayer::new(plan_all(2, 0.5, 0.0, 0.0), None);
         let va: Vec<_> = (0..100u32)
             .map(|i| a.apply(NodeId(1), NodeId(2), i))
             .collect();
@@ -346,8 +378,8 @@ mod tests {
     fn pairs_are_independent_streams() {
         // Interleaving traffic on another pair must not perturb the
         // verdicts on this one.
-        let a = FaultLayer::new(plan_all(7, 0.4, 0.2, 0.2));
-        let b = FaultLayer::new(plan_all(7, 0.4, 0.2, 0.2));
+        let a = FaultLayer::new(plan_all(7, 0.4, 0.2, 0.2), None);
+        let b = FaultLayer::new(plan_all(7, 0.4, 0.2, 0.2), None);
         let mut va = Vec::new();
         let mut vb = Vec::new();
         for i in 0..100u32 {
@@ -360,14 +392,14 @@ mod tests {
 
     #[test]
     fn drop_absorbs_the_message() {
-        let layer = FaultLayer::new(plan_all(0, 1.0, 0.0, 0.0));
+        let layer = FaultLayer::new(plan_all(0, 1.0, 0.0, 0.0), None);
         assert!(layer.apply(NodeId(1), NodeId(2), 9).is_empty());
         assert_eq!(layer.stats().dropped, 1);
     }
 
     #[test]
     fn duplicate_delivers_twice() {
-        let layer = FaultLayer::new(plan_all(0, 0.0, 1.0, 0.0));
+        let layer = FaultLayer::new(plan_all(0, 0.0, 1.0, 0.0), None);
         assert_eq!(layer.apply(NodeId(1), NodeId(2), 9), vec![9, 9]);
         assert_eq!(layer.stats().duplicated, 1);
     }
@@ -383,7 +415,7 @@ mod tests {
             delay: 1.0,
             filter: None,
         });
-        let layer = FaultLayer::new(plan);
+        let layer = FaultLayer::new(plan, None);
         assert!(layer.apply(NodeId(1), NodeId(2), 1).is_empty());
         // Second message is also "delayed": releases the first, holds self.
         assert_eq!(layer.apply(NodeId(1), NodeId(2), 2), vec![1]);
@@ -402,7 +434,7 @@ mod tests {
             delay: 0.0,
             filter: Some(Arc::new(|m: &u32| m.is_multiple_of(2))),
         });
-        let layer = FaultLayer::new(plan);
+        let layer = FaultLayer::new(plan, None);
         assert!(layer.apply(NodeId(1), NodeId(2), 4).is_empty()); // dropped
         assert_eq!(layer.apply(NodeId(1), NodeId(2), 5), vec![5]); // untouched
     }
@@ -410,7 +442,7 @@ mod tests {
     #[test]
     fn wildcard_and_specific_pair_matching() {
         let plan = FaultPlan::new(0).drop_between(NodeId(1), NodeId(2), 1.0);
-        let layer = FaultLayer::new(plan);
+        let layer = FaultLayer::new(plan, None);
         assert!(layer.apply(NodeId(1), NodeId(2), 1).is_empty());
         assert_eq!(layer.apply(NodeId(2), NodeId(1), 1), vec![1]);
         assert_eq!(layer.apply(NodeId(1), NodeId(3), 1), vec![1]);

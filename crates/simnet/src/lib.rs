@@ -21,12 +21,19 @@
 //! different senders* is nondeterministic exactly as on a real network;
 //! protocol tests must assert convergence properties, not exact schedules.
 
+// Fault- and teardown-reachable paths must return typed errors; any
+// retained expect must document a real invariant at its use site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cluster;
 pub mod fault;
 pub mod message;
 pub mod node;
 
 pub use cluster::{Cluster, ClusterHandle, NetStats};
-pub use fault::{FaultPlan, FaultRule, FaultStats, MsgFilter};
+pub use fault::{
+    FaultPlan, FaultRule, FaultStats, MsgFilter, OBS_MSG_DELAYED, OBS_MSG_DROPPED,
+    OBS_MSG_DUPLICATED,
+};
 pub use message::{Control, Envelope, Incoming, RecvError, SendError};
 pub use node::{NodeClass, NodeCtx, NodeId};

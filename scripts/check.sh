@@ -21,4 +21,41 @@ PROTEUS_CHAOS_SEEDS=3 cargo test -q -p proteus-agileml --test chaos
 echo "==> market chaos suite (fixed seed)"
 PROTEUS_CHAOS_SEEDS=3 cargo test -q -p proteus --test market_chaos
 
+# Library crates report through the obs recorder, not stdout. The only
+# allowed direct prints are doc-comment examples and the two
+# export-write-failure warnings (a failed PROTEUS_OBS_OUT write has no
+# recorder to report into). Bench/figure binaries print by design.
+echo "==> no bare println!/eprintln! in library crates"
+if grep -rn "println!\|eprintln!" crates/*/src --include="*.rs" \
+    | grep -v "^crates/bench/" \
+    | grep -v "///" | grep -v "//!" \
+    | grep -v "warning: could not write"; then
+  echo "error: bare println!/eprintln! in a library crate (use the obs recorder)" >&2
+  exit 1
+fi
+
+# The JSONL export must be byte-identical across runs and thread counts.
+echo "==> obs determinism"
+cargo test -q -p proteus-costsim --test obs_determinism
+
+# Recording overhead guard: bench_costsim writes BENCH_obs.json with the
+# recorder-on vs recorder-off comparison (< 5% required). Wall-clock
+# noise on a loaded CI box can push a passing build over the line, so
+# one retry is allowed; two consecutive failures mean a real regression.
+echo "==> obs overhead smoke (< 5%)"
+obs_ok=0
+for attempt in 1 2; do
+  PROTEUS_BENCH_STARTS=25 cargo run -q --release -p proteus-bench --bin bench_costsim >/dev/null
+  pct=$(sed -n 's/.*"overhead_pct": \([0-9.]*\).*/\1/p' BENCH_obs.json)
+  echo "    attempt ${attempt}: overhead ${pct}%"
+  if awk -v p="$pct" 'BEGIN { exit !(p <= 5.0) }'; then
+    obs_ok=1
+    break
+  fi
+done
+if [ "$obs_ok" -ne 1 ]; then
+  echo "error: obs recording overhead exceeded 5% twice (see BENCH_obs.json)" >&2
+  exit 1
+fi
+
 echo "==> all checks passed"
