@@ -8,15 +8,18 @@
 use std::sync::Arc;
 
 use crossbeam::channel::Sender;
-use proteus_ps::{DenseVec, ParamKey, PartitionId};
+use proteus_ps::{DenseVec, KeySet, PartitionId};
 use proteus_simnet::{NodeClass, NodeId};
 
 use crate::events::JobStatus;
 use crate::job::ModelSnapshot;
 use crate::topology::{BlockId, Topology};
 
-/// `(key, value)` pairs on the wire.
-pub type Values = Vec<(ParamKey, DenseVec)>;
+/// `(key, value)` pairs on the wire — an [`Arc`]-backed shared buffer,
+/// so every message clone (simnet hops, fault-injected duplicates,
+/// delayed redelivery) bumps a reference count instead of deep-copying
+/// the payload.
+pub type Values = proteus_ps::Values<DenseVec>;
 
 /// Everything that flows between AgileML nodes.
 #[derive(Debug, Clone)]
@@ -71,12 +74,14 @@ pub enum AgileMsg {
     // ------------------------------------------------------------------
     // Data plane (worker ↔ serving PS)
     // ------------------------------------------------------------------
-    /// Read a set of keys.
+    /// Read a set of keys (compressed into strided runs; the per-owner
+    /// key union under the modulo layout is near-arithmetic, so this is
+    /// an O(runs) payload for an O(keys) request).
     ReadReq {
         /// Correlates the response with the request.
         token: u64,
         /// Keys to fetch.
-        keys: Vec<ParamKey>,
+        keys: KeySet,
     },
     /// Values for a `ReadReq` (missing keys omitted).
     ReadResp {

@@ -17,7 +17,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use proteus_ps::{DenseVec, ParamKey, PartitionId, PartitionMap, ShardStore};
+use proteus_ps::{DenseVec, KeySet, ParamKey, PartitionId, PartitionMap, ShardStore};
 
 use crate::msg::Values;
 
@@ -155,23 +155,28 @@ impl ServerState {
     }
 
     /// Answers a read: values for the requested keys this node holds in
-    /// its serving store (missing keys omitted).
-    pub fn handle_read(&self, keys: &[ParamKey]) -> Values {
+    /// its serving store (missing keys omitted). The cloned values share
+    /// their buffers with the store (zero-copy until someone writes).
+    pub fn handle_read(&self, keys: &KeySet) -> Values {
         keys.iter()
-            .filter_map(|k| self.serving.read(*k).map(|v| (*k, v.clone())))
+            .filter_map(|k| self.serving.read(k).map(|v| (k, v.clone())))
             .collect()
     }
 
-    /// Applies an update batch to a served partition. Returns `false`
-    /// (without applying) when the partition is not served here.
+    /// Applies an update batch to a served partition in one store pass.
+    /// Returns `false` (without applying) when the partition is not
+    /// served here.
     pub fn handle_updates(&mut self, partition: PartitionId, updates: &Values) -> bool {
         if !self.serve_set.contains(&partition) {
             return false;
         }
-        for (k, d) in updates {
-            debug_assert_eq!(self.layout.partition_of(*k), partition);
-            self.serving.apply_update(*k, d);
-        }
+        debug_assert!(
+            updates
+                .iter()
+                .all(|(k, _)| self.layout.partition_of(*k) == partition),
+            "batch crosses partition boundary"
+        );
+        self.serving.apply_batch(updates);
         true
     }
 
@@ -181,20 +186,21 @@ impl ServerState {
     /// partition with pending changes.
     pub fn take_push(&mut self, clock: u64) -> Vec<(PartitionId, Values)> {
         self.last_push_clock = clock;
-        let dirty = self.serving.take_dirty();
-        let mut grouped: BTreeMap<PartitionId, Values> = BTreeMap::new();
-        for (k, v) in dirty {
-            let p = self.layout.partition_of(k);
-            if self.serve_set.contains(&p) {
-                grouped.entry(p).or_default().push((k, v));
+        let mut out = Vec::new();
+        for p in self.serving.dirty_partitions() {
+            // Drain every dirty partition; deltas for partitions no
+            // longer served are discarded (their new owner streams them).
+            let dirty = self.serving.take_dirty_partition(p);
+            if self.serve_set.contains(&p) && !dirty.is_empty() {
+                out.push((p, dirty.into()));
             }
         }
-        grouped.into_iter().collect()
+        out
     }
 
     /// Exports a full serving-side image of `partition`.
     pub fn export_serving(&self, partition: PartitionId) -> Values {
-        self.serving.export_partition(partition)
+        self.serving.export_partition(partition).into()
     }
 
     /// Removes `partition` from the serving role (after migrating away).
@@ -279,7 +285,7 @@ impl ServerState {
 
     /// Exports a full backup-side image of `partition` (recovery source).
     pub fn export_backup(&self, partition: PartitionId) -> Values {
-        self.backup.export_partition(partition)
+        self.backup.export_partition(partition).into()
     }
 
     /// Test/diagnostic helper: a serving-side value.
@@ -316,7 +322,8 @@ mod tests {
         s.install_image(PartitionId(0), image(&[(0, 1.0), (4, 2.0)]));
         assert!(s.serves(PartitionId(0)));
         assert!(s.handle_updates(PartitionId(0), &image(&[(0, 0.5)])));
-        let vals = s.handle_read(&[ParamKey(0), ParamKey(4), ParamKey(1)]);
+        let keys = KeySet::from_sorted(&[ParamKey(0), ParamKey(1), ParamKey(4)]);
+        let vals = s.handle_read(&keys);
         assert_eq!(vals.len(), 2);
         assert_eq!(vals[0].1.as_slice(), &[1.5]);
         // Updates for unserved partitions are refused.

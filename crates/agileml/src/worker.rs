@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use proteus_mlapps::app::{MlApp, ParamReader};
-use proteus_ps::{DenseVec, ParamKey, PartitionId, PartitionMap, WorkerCache};
+use proteus_ps::{DenseVec, KeySet, ParamKey, PartitionId, PartitionMap, WorkerCache};
 use proteus_simnet::NodeId;
 use rand::rngs::StdRng;
 
@@ -291,7 +291,13 @@ impl<A: MlApp> WorkerState<A> {
         self.read_sources = by_owner.keys().copied().collect();
         by_owner
             .into_iter()
-            .map(|(owner, keys)| (owner, AgileMsg::ReadReq { token, keys }))
+            .map(|(owner, keys)| {
+                // Per-owner keys are sorted (global sort + stable owner
+                // grouping) and near-arithmetic under the modulo layout,
+                // so they compress into a handful of strided runs.
+                let keys = KeySet::from_sorted(&keys);
+                (owner, AgileMsg::ReadReq { token, keys })
+            })
             .collect()
     }
 
@@ -334,7 +340,7 @@ impl<A: MlApp> WorkerState<A> {
     /// count it as an empty response so the iteration proceeds on cached
     /// values.
     pub fn on_read_failed(&mut self, dst: NodeId, token: u64, topology: &Topology) -> Outbox {
-        self.on_read_resp(dst, token, Vec::new(), topology)
+        self.on_read_resp(dst, token, Values::new(), topology)
     }
 
     /// Processes all local data and emits update batches + `ClockDone`.
@@ -357,7 +363,9 @@ impl<A: MlApp> WorkerState<A> {
         }
         self.local = local;
 
-        // Flush coalesced batches to partition owners.
+        // Flush coalesced batches to partition owners. Each batch moves
+        // into a shared `Values` buffer once; every downstream clone of
+        // the message (simnet hop, fault duplicate) is an Arc bump.
         let mut out: Outbox = Vec::new();
         for (partition, updates) in self.cache.flush() {
             let owner = topology.owner_of(partition);
@@ -367,7 +375,7 @@ impl<A: MlApp> WorkerState<A> {
                     partition,
                     clock: self.clock,
                     epoch: self.epoch,
-                    updates,
+                    updates: updates.into(),
                 },
             ));
         }
@@ -477,7 +485,7 @@ mod tests {
         assert!(reads
             .iter()
             .any(|(_, m)| matches!(m, AgileMsg::ReadReq { keys, .. } if !keys.is_empty())));
-        let out = w.on_read_resp(dst, token, Vec::new(), &t);
+        let out = w.on_read_resp(dst, token, Values::new(), &t);
         // Updates to owner plus ClockDone to controller.
         assert!(out
             .iter()
@@ -502,7 +510,7 @@ mod tests {
         w.start();
         // Complete iteration 0.
         let (dst, token) = find_read_req(&w.poll(&t))?;
-        w.on_read_resp(dst, token, Vec::new(), &t);
+        w.on_read_resp(dst, token, Values::new(), &t);
         assert_eq!(w.clock(), 1);
         // Slack 0: cannot start clock 1 until global min reaches 1.
         assert!(w.poll(&t).is_empty());
@@ -518,9 +526,11 @@ mod tests {
         w.assign_blocks(&[BlockId(0)]);
         w.start();
         let (dst, token) = find_read_req(&w.poll(&t))?;
-        assert!(w.on_read_resp(dst, token + 99, Vec::new(), &t).is_empty());
+        assert!(w
+            .on_read_resp(dst, token + 99, Values::new(), &t)
+            .is_empty());
         assert_eq!(w.clock(), 0);
-        assert!(!w.on_read_resp(dst, token, Vec::new(), &t).is_empty());
+        assert!(!w.on_read_resp(dst, token, Values::new(), &t).is_empty());
         Ok(())
     }
 
@@ -542,12 +552,18 @@ mod tests {
         let reads = w.poll(&t);
         assert_eq!(reads.len(), 2, "one read per owner");
         let (_, token) = find_read_req(&reads)?;
-        assert!(w.on_read_resp(NodeId(1), token, Vec::new(), &t).is_empty());
+        assert!(w
+            .on_read_resp(NodeId(1), token, Values::new(), &t)
+            .is_empty());
         // Fault-injected duplicate of owner 1's response.
-        assert!(w.on_read_resp(NodeId(1), token, Vec::new(), &t).is_empty());
+        assert!(w
+            .on_read_resp(NodeId(1), token, Values::new(), &t)
+            .is_empty());
         assert_eq!(w.clock(), 0, "round must not complete on a duplicate");
         // Owner 2's (unique) response completes the round.
-        assert!(!w.on_read_resp(NodeId(2), token, Vec::new(), &t).is_empty());
+        assert!(!w
+            .on_read_resp(NodeId(2), token, Values::new(), &t)
+            .is_empty());
         assert_eq!(w.clock(), 1);
         Ok(())
     }
@@ -559,7 +575,7 @@ mod tests {
         w.assign_blocks(&[BlockId(0)]);
         w.start();
         let (dst, token) = find_read_req(&w.poll(&t))?;
-        w.on_read_resp(dst, token, Vec::new(), &t);
+        w.on_read_resp(dst, token, Values::new(), &t);
         assert_eq!(w.clock(), 1);
         w.restart_from(0, 1);
         assert_eq!(w.clock(), 0);

@@ -432,6 +432,56 @@ fn message_chaos(seed: u64) -> Result<f64, JobError> {
     Ok(obj)
 }
 
+/// Batched-data-plane storm: duplicate + delay pressure aimed at the
+/// zero-copy payload-bearing messages — `ReadReq` (compressed key
+/// sets), `ReadResp` (value buffers Arc-shared with the serving store),
+/// and delayed `UpdateBatch`es (whose `Values` buffer is shared with
+/// every other clone of the message) — while an eviction revokes a
+/// server mid-flight. A fault-injected duplicate here is a
+/// reference-count bump on a live shared buffer, so this schedule is
+/// the regression net for the zero-copy messaging layer: re-delivery,
+/// delay past a topology flip, and drop must never alias writes into a
+/// payload another message (or the store) still reads.
+fn batched_dataplane_storm(seed: u64) -> Result<f64, JobError> {
+    let data = mf_data();
+    let plan = FaultPlan::new(seed)
+        .with_rule(FaultRule {
+            from: None,
+            to: None,
+            drop: 0.0,
+            duplicate: 0.25,
+            delay: 0.20,
+            filter: Some(Arc::new(|m: &AgileMsg| {
+                matches!(m, AgileMsg::ReadReq { .. } | AgileMsg::ReadResp { .. })
+            })),
+        })
+        .with_rule(FaultRule {
+            from: None,
+            to: None,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.25,
+            filter: Some(Arc::new(|m: &AgileMsg| {
+                matches!(m, AgileMsg::UpdateBatch { .. })
+            })),
+        });
+    let mut job =
+        AgileMlJob::launch_with_faults(mf_app(), data.clone(), chaos_cfg(seed), 1, 3, plan)?;
+    let _flusher = Flusher::start(job.cluster_handle());
+    job.wait_clock_for(8, STEP)?;
+    job.evict_with_warning(&[NodeId(2)])?;
+    job.wait_clock_for(TARGET, STEP)?;
+    let stats = job.fault_stats();
+    assert!(
+        stats.duplicated + stats.delayed > 0,
+        "the plan injected no data-plane faults — scenario is vacuous (stats: {stats:?})"
+    );
+    job.clear_faults();
+    let obj = job.objective(&data)?;
+    job.shutdown()?;
+    Ok(obj)
+}
+
 // ---------------------------------------------------------------------
 // The sweep: scenarios × seeds, reproducible from the printed seed
 // ---------------------------------------------------------------------
@@ -471,6 +521,13 @@ fn message_plane_chaos_duplicates_and_delays() {
     // Soft: heavy reordering may legitimately end in a typed error, but
     // never a panic or a wedge past the driver timeout.
     sweep("message_chaos", false, message_chaos);
+}
+
+#[test]
+fn batched_data_plane_survives_duplicate_and_delay_storm() {
+    // Soft for the same reason as `message_chaos`; the no-panic contract
+    // is what the zero-copy payloads are on trial for here.
+    sweep("batched_dataplane_storm", false, batched_dataplane_storm);
 }
 
 // ---------------------------------------------------------------------

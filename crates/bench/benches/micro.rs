@@ -10,7 +10,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use proteus_bidbrain::{AllocView, AppParams, BetaEstimator, BidBrain, BidBrainConfig};
 use proteus_market::{catalog, CloudProvider, MarketKey, MarketModel, TraceGenerator, Zone};
 use proteus_perfmodel::{presets, time_per_iteration, ClusterSpec, Layout};
-use proteus_ps::{DenseVec, ParamKey, PartitionMap, ShardStore, WorkerCache};
+use proteus_ps::{DenseVec, ParamKey, PartitionMap, PsValue, ShardStore, WorkerCache};
 use proteus_simtime::{SimDuration, SimTime};
 
 fn market_key() -> MarketKey {
@@ -50,6 +50,52 @@ fn bench_ps_shard(c: &mut Criterion) {
             black_box(cache.flush())
         });
     });
+}
+
+fn bench_ps_rows(c: &mut Criterion) {
+    // Row-op kernels at the dimensions the paper's apps actually use:
+    // 8 (k-means coords), 128 (MF/MLR ranks), 1024 (LDA-scale rows).
+    for dim in [8usize, 128, 1024] {
+        let delta = DenseVec::from(vec![0.25; dim]);
+
+        c.bench_function(&format!("ps/row_merge_dim{dim}"), |b| {
+            let mut row = DenseVec::zeros(dim);
+            b.iter(|| {
+                row.merge(black_box(&delta));
+            });
+        });
+
+        c.bench_function(&format!("ps/row_axpy_dim{dim}"), |b| {
+            let mut row = DenseVec::zeros(dim);
+            b.iter(|| {
+                row.axpy(black_box(0.5), black_box(&delta));
+            });
+        });
+    }
+}
+
+fn bench_ps_batch(c: &mut Criterion) {
+    // Whole-batch application through the sharded store — the data-plane
+    // hot path a server runs per incoming UpdateBatch.
+    for keys in [1_000u64, 64_000] {
+        let layout = PartitionMap::new(32).expect("nonzero");
+        let mut store: ShardStore<DenseVec> = ShardStore::new(layout);
+        for k in 0..keys {
+            store.install(ParamKey(k), DenseVec::zeros(32));
+        }
+        let delta = DenseVec::from(vec![0.5; 32]);
+        // Arc-backed values: building the batch is refcount bumps.
+        let updates: Vec<(ParamKey, DenseVec)> =
+            (0..keys).map(|k| (ParamKey(k), delta.clone())).collect();
+        c.bench_function(&format!("ps/apply_batch_{}k_keys", keys / 1000), |b| {
+            b.iter(|| {
+                store.apply_batch(black_box(&updates));
+            });
+        });
+        // Drain the dirty aggregate so it cannot grow without bound
+        // across measurement batches.
+        let _ = store.take_dirty();
+    }
 }
 
 fn bench_market(c: &mut Criterion) {
@@ -149,6 +195,8 @@ fn bench_perfmodel(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_ps_shard,
+    bench_ps_rows,
+    bench_ps_batch,
     bench_market,
     bench_bidbrain,
     bench_perfmodel

@@ -1,0 +1,357 @@
+//! Parameter-server data-plane timing harness: one full worker cycle
+//! (read the working set, push updates) against a live server node on
+//! the repo's own simnet transport, measured two ways and recorded in
+//! `BENCH_ps.json`.
+//!
+//! The **per-key baseline** reproduces what the data plane cost before
+//! the hot-path rework, layer by layer: parameter state in two global
+//! hash maps (values + dirty aggregate — the seed `ShardStore`
+//! representation), one network message per key in each direction, and
+//! every payload deep-copied where the pre-`Arc` wire format copied it.
+//! The **batched path** is the shipped one: the slab-per-partition
+//! [`ShardStore`], one compressed [`KeySet`] read request, one
+//! [`Values`] response whose hops are refcount bumps, and one update
+//! batch applied via [`ShardStore::apply_batch`].
+//!
+//! Both paths must end bit-identical (same parameter state, same dirty
+//! aggregate) and report identical logical wire volume — re-checking
+//! the equivalence and accounting contracts on the benchmark's own
+//! traffic.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin bench_ps
+//! PROTEUS_BENCH_PS_KEYS=8000 cargo run --release -p proteus-bench --bin bench_ps
+//! ```
+
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use proteus_bench::header;
+use proteus_ps::{
+    DenseVec, KeySet, ParamKey, PartitionId, PartitionMap, PsValue, ShardStore, Values,
+};
+use proteus_simnet::{Cluster, Incoming, NodeClass, NodeCtx, NodeId};
+
+const PARTITIONS: u32 = 32;
+const DIM: usize = 32;
+const REPS: usize = 5;
+
+/// Data-plane traffic for the benchmark cluster: per-key framing on the
+/// baseline side, compressed/batched framing on the shipped side.
+#[derive(Clone)]
+enum Msg {
+    /// Baseline: read one key.
+    ReadKey(ParamKey),
+    /// Baseline: one key's value (deep-copied at the server, as the
+    /// pre-`Arc` wire format did).
+    ReadKeyResp(ParamKey, DenseVec),
+    /// Baseline: one key's update delta.
+    UpdateKey(ParamKey, DenseVec),
+    /// Batched: read a compressed key set.
+    ReadSet(KeySet),
+    /// Batched: the whole response, buffers shared across hops.
+    ReadSetResp(Values<DenseVec>),
+    /// Batched: the whole update batch, buffers shared across hops.
+    UpdateBatch(Values<DenseVec>),
+    /// Barrier: answered with `Done` once everything before it applied.
+    Drain,
+    Done,
+    /// End of benchmark: the server snapshots its stores and exits.
+    Finish,
+}
+
+type State = (Vec<(ParamKey, DenseVec)>, Vec<(ParamKey, DenseVec)>);
+
+#[derive(Default)]
+struct Report {
+    per_key_secs: f64,
+    batched_secs: f64,
+    per_key_wire: usize,
+    batched_wire: usize,
+    baseline_state: Option<State>,
+    slab_state: Option<State>,
+}
+
+/// The seed's `ShardStore` representation: one global hash map for live
+/// values, another for the dirty aggregate, two probes per update. Kept
+/// here as the honest pre-refactor baseline the batched path is gated
+/// against.
+struct BaselineStore {
+    values: HashMap<ParamKey, DenseVec>,
+    dirty: HashMap<ParamKey, DenseVec>,
+}
+
+impl BaselineStore {
+    fn new() -> Self {
+        BaselineStore {
+            values: HashMap::new(),
+            dirty: HashMap::new(),
+        }
+    }
+
+    fn install(&mut self, key: ParamKey, value: DenseVec) {
+        self.values.insert(key, value);
+        self.dirty.remove(&key);
+    }
+
+    fn read(&self, key: ParamKey) -> Option<&DenseVec> {
+        self.values.get(&key)
+    }
+
+    fn apply_update(&mut self, key: ParamKey, delta: &DenseVec) {
+        match self.values.get_mut(&key) {
+            Some(v) => v.merge(delta),
+            None => {
+                self.values.insert(key, delta.clone());
+            }
+        }
+        match self.dirty.get_mut(&key) {
+            Some(d) => d.merge(delta),
+            None => {
+                self.dirty.insert(key, delta.clone());
+            }
+        }
+    }
+
+    fn snapshot(&mut self) -> State {
+        let mut values: Vec<(ParamKey, DenseVec)> =
+            self.values.iter().map(|(k, v)| (*k, v.clone())).collect();
+        values.sort_by_key(|(k, _)| *k);
+        let mut dirty: Vec<(ParamKey, DenseVec)> = self.dirty.drain().collect();
+        dirty.sort_by_key(|(k, _)| *k);
+        (values, dirty)
+    }
+}
+
+/// Deep-copies a value the way an `Arc`-free wire format does at every
+/// copy point: fresh buffer, full memcpy.
+fn deep_copy(v: &DenseVec) -> DenseVec {
+    DenseVec::from(v.as_slice().to_vec())
+}
+
+fn snapshot_slab(store: &mut ShardStore<DenseVec>) -> State {
+    let mut values: Vec<(ParamKey, DenseVec)> = (0..PARTITIONS)
+        .flat_map(|p| store.export_partition(PartitionId(p)))
+        .collect();
+    values.sort_by_key(|(k, _)| *k);
+    (values, store.take_dirty())
+}
+
+/// Server node: answers per-key traffic from the hash-map baseline
+/// store and batched traffic from the slab store, then snapshots both
+/// for the equivalence check.
+fn run_server(ctx: &NodeCtx<Msg>, keys: u64, report: &Mutex<Report>) {
+    let layout = PartitionMap::new(PARTITIONS).expect("nonzero partitions");
+    let mut baseline = BaselineStore::new();
+    let mut slab: ShardStore<DenseVec> = ShardStore::new(layout);
+    for k in 0..keys {
+        baseline.install(ParamKey(k), DenseVec::zeros(DIM));
+        slab.install(ParamKey(k), DenseVec::zeros(DIM));
+    }
+    while let Ok(Incoming::App(env)) = ctx.recv() {
+        match env.msg {
+            Msg::ReadKey(k) => {
+                if let Some(v) = baseline.read(k) {
+                    let _ = ctx.send(env.from, Msg::ReadKeyResp(k, deep_copy(v)));
+                }
+            }
+            Msg::UpdateKey(k, d) => baseline.apply_update(k, &d),
+            Msg::ReadSet(set) => {
+                let resp: Values<DenseVec> = set
+                    .iter()
+                    .filter_map(|k| slab.read(k).map(|v| (k, v.clone())))
+                    .collect();
+                let _ = ctx.send(env.from, Msg::ReadSetResp(resp));
+            }
+            Msg::UpdateBatch(vals) => slab.apply_batch(vals.as_slice()),
+            Msg::Drain => {
+                let _ = ctx.send(env.from, Msg::Done);
+            }
+            Msg::Finish => {
+                let mut r = report.lock().expect("report lock");
+                r.baseline_state = Some(baseline.snapshot());
+                r.slab_state = Some(snapshot_slab(&mut slab));
+                break;
+            }
+            Msg::ReadKeyResp(..) | Msg::ReadSetResp(..) | Msg::Done => {}
+        }
+    }
+}
+
+/// Waits for `Done` after a `Drain` barrier, consuming responses.
+fn wait_done(ctx: &NodeCtx<Msg>, wire: &mut usize) {
+    while let Ok(Incoming::App(env)) = ctx.recv() {
+        match env.msg {
+            Msg::Done => return,
+            Msg::ReadKeyResp(k, v) => {
+                *wire += v.wire_bytes() + 8;
+                black_box((k, &v));
+            }
+            Msg::ReadSetResp(vals) => {
+                *wire += vals.wire_bytes();
+                black_box(&vals);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One worker cycle, per-key framing: a request and a response message
+/// per key, then an update message per key (payload deep-copied at
+/// send), then a drain barrier. Returns the cycle's logical wire bytes.
+fn per_key_cycle(
+    ctx: &NodeCtx<Msg>,
+    server: NodeId,
+    key_list: &[ParamKey],
+    delta: &DenseVec,
+) -> usize {
+    let mut wire = 0usize;
+    for &key in key_list {
+        let _ = ctx.send(server, Msg::ReadKey(key));
+        wire += 8;
+    }
+    let mut pending = key_list.len();
+    while pending > 0 {
+        if let Ok(Incoming::App(env)) = ctx.recv() {
+            if let Msg::ReadKeyResp(k, v) = env.msg {
+                wire += v.wire_bytes() + 8;
+                black_box((k, &v));
+                pending -= 1;
+            }
+        } else {
+            break;
+        }
+    }
+    for &key in key_list {
+        let msg = Msg::UpdateKey(key, deep_copy(delta));
+        wire += delta.wire_bytes() + 8;
+        let _ = ctx.send(server, msg);
+    }
+    let _ = ctx.send(server, Msg::Drain);
+    wait_done(ctx, &mut wire);
+    wire
+}
+
+/// The same cycle, batched framing: one compressed read request, one
+/// shared-buffer response, one shared-buffer update batch, one drain
+/// barrier. Returns the cycle's logical wire bytes.
+fn batched_cycle(
+    ctx: &NodeCtx<Msg>,
+    server: NodeId,
+    key_list: &[ParamKey],
+    delta: &DenseVec,
+) -> usize {
+    let mut wire = 0usize;
+    let set = KeySet::from_sorted(key_list);
+    wire += set.wire_bytes();
+    let _ = ctx.send(server, Msg::ReadSet(set));
+    while let Ok(Incoming::App(env)) = ctx.recv() {
+        if let Msg::ReadSetResp(vals) = env.msg {
+            wire += vals.wire_bytes();
+            black_box(&vals);
+            break;
+        }
+    }
+    let batch: Values<DenseVec> = key_list.iter().map(|&k| (k, delta.clone())).collect();
+    wire += batch.wire_bytes();
+    let _ = ctx.send(server, Msg::UpdateBatch(batch));
+    let _ = ctx.send(server, Msg::Drain);
+    wait_done(ctx, &mut wire);
+    wire
+}
+
+fn main() {
+    header("BENCH", "PS data plane: per-key baseline vs batched path");
+
+    let keys: u64 = std::env::var("PROTEUS_BENCH_PS_KEYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k > 0)
+        .unwrap_or(64_000);
+    let report: Arc<Mutex<Report>> = Arc::new(Mutex::new(Report::default()));
+
+    let mut cluster: Cluster<Msg> = Cluster::new();
+    let server_report = Arc::clone(&report);
+    let server = cluster.spawn(NodeClass::Reliable, move |ctx| {
+        run_server(&ctx, keys, &server_report);
+    });
+    let client_report = Arc::clone(&report);
+    cluster.spawn(NodeClass::Reliable, move |ctx| {
+        let key_list: Vec<ParamKey> = (0..keys).map(ParamKey).collect();
+        let delta = DenseVec::from(
+            (0..DIM)
+                .map(|i| 0.125 * (i as f32 + 1.0))
+                .collect::<Vec<_>>(),
+        );
+
+        // Warm both sides (stores, allocator, channels) untimed, and
+        // capture each path's logical wire volume for the accounting
+        // check: the compressed KeySet and the shared buffers must not
+        // change the reported bytes.
+        let per_key_wire = per_key_cycle(&ctx, server, &key_list, &delta);
+        let batched_wire = batched_cycle(&ctx, server, &key_list, &delta);
+
+        // Interleave the reps (per-key, batched, per-key, …) so
+        // scheduler drift hits both sides equally; keep the best.
+        let mut per_key_secs = f64::INFINITY;
+        let mut batched_secs = f64::INFINITY;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            black_box(per_key_cycle(&ctx, server, &key_list, &delta));
+            per_key_secs = per_key_secs.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            black_box(batched_cycle(&ctx, server, &key_list, &delta));
+            batched_secs = batched_secs.min(t.elapsed().as_secs_f64());
+        }
+        let _ = ctx.send(server, Msg::Finish);
+
+        let mut r = client_report.lock().expect("report lock");
+        r.per_key_secs = per_key_secs;
+        r.batched_secs = batched_secs;
+        r.per_key_wire = per_key_wire;
+        r.batched_wire = batched_wire;
+    });
+    cluster.join();
+
+    let mut r = report.lock().expect("report lock");
+    let wire_equal = r.per_key_wire == r.batched_wire;
+    assert!(
+        wire_equal,
+        "wire accounting diverged: per-key {} vs batched {}",
+        r.per_key_wire, r.batched_wire
+    );
+    // Both paths saw the same cycle count with the same delta, so the
+    // two stores must end bit-identical: same parameter state, same
+    // coalesced dirty aggregate.
+    let baseline_state = r.baseline_state.take().expect("server snapshot");
+    let slab_state = r.slab_state.take().expect("server snapshot");
+    let identical = baseline_state == slab_state;
+    assert!(identical, "batched path diverged from the per-key baseline");
+
+    let per_key_secs = r.per_key_secs;
+    let batched_secs = r.batched_secs;
+    let wire_bytes = r.batched_wire;
+    let speedup = per_key_secs / batched_secs.max(1e-9);
+    let keys_per_sec = keys as f64 / batched_secs.max(1e-9);
+    println!(
+        "per-key  : {keys}-key cycle in {:.2}ms (best of {REPS}, {wire_bytes} wire bytes)",
+        per_key_secs * 1e3
+    );
+    println!(
+        "batched  : {keys}-key cycle in {:.2}ms (best of {REPS}, {wire_bytes} wire bytes)",
+        batched_secs * 1e3
+    );
+    println!("speedup  : {speedup:.2}x  ({keys_per_sec:.0} keys/sec batched)");
+
+    let json = format!(
+        "{{\n  \"keys\": {keys},\n  \"dim\": {DIM},\n  \"partitions\": {PARTITIONS},\n  \
+         \"reps\": {REPS},\n  \"per_key_secs\": {per_key_secs:.6},\n  \
+         \"batched_secs\": {batched_secs:.6},\n  \"speedup\": {speedup:.3},\n  \
+         \"keys_per_sec\": {keys_per_sec:.0},\n  \"wire_bytes\": {wire_bytes},\n  \
+         \"wire_equal\": {wire_equal},\n  \"identical\": {identical}\n}}\n"
+    );
+    std::fs::write("BENCH_ps.json", &json).expect("write BENCH_ps.json");
+    println!("\nwrote BENCH_ps.json");
+}

@@ -14,7 +14,7 @@
 //! no combination of concurrent updates can drive a cluster's mass
 //! negative.
 
-use proteus_ps::{DenseVec, ParamKey};
+use proteus_ps::{kernels, DenseVec, ParamKey};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -88,11 +88,7 @@ impl KMeans {
                 // a unit-count centroid so it can attract points.
                 None => value.as_slice()[..self.config.dim].to_vec(),
             };
-            let d2: f64 = coords
-                .iter()
-                .zip(center.iter())
-                .map(|(a, b)| f64::from(a - b) * f64::from(a - b))
-                .sum();
+            let d2 = kernels::dist_sq(coords, &center);
             if d2 < best.1 {
                 best = (k, d2);
             }
@@ -154,11 +150,7 @@ impl MlApp for KMeans {
                 let value = params.get(ParamKey(u64::from(k)));
                 let center = KMeans::centroid(&value)
                     .unwrap_or_else(|| value.as_slice()[..self.config.dim].to_vec());
-                p.coords
-                    .iter()
-                    .zip(center.iter())
-                    .map(|(a, b)| f64::from(a - b) * f64::from(a - b))
-                    .sum::<f64>()
+                kernels::dist_sq(&p.coords, &center)
             })
             .sum();
         total / data.len() as f64

@@ -161,10 +161,17 @@ impl MlApp for Lda {
         let mut word_deltas: std::collections::HashMap<u32, Vec<f32>> =
             std::collections::HashMap::new();
 
+        // Scratch buffers reused across tokens; allocating them per token
+        // dominates the sweep cost for short vocab vectors.
+        let mut base = vec![0.0f64; k_topics];
+        let mut weights = vec![0.0f64; k_topics];
+
         for t in 0..doc.words.len() {
             let w = doc.words[t];
             let wk = params.get(self.word_key(w));
-            let base: Vec<f64> = wk.as_slice().iter().map(|&x| f64::from(x)).collect();
+            for (b, &x) in base.iter_mut().zip(wk.as_slice()) {
+                *b = f64::from(x);
+            }
             let wd = word_deltas.entry(w).or_insert_with(|| vec![0.0; k_topics]);
 
             // Remove the token's current assignment (if initialized).
@@ -179,14 +186,12 @@ impl MlApp for Lda {
 
             // Collapsed Gibbs conditional:
             //   p(z=k) ∝ (n_dk + α) (n_wk + β) / (n_k + Vβ)
-            let weights: Vec<f64> = (0..k_topics)
-                .map(|k| {
-                    let n_dk = f64::from(doc.doc_topics[k]) + alpha;
-                    let n_wk = (base[k] + f64::from(wd[k]) + beta).max(beta);
-                    let n_k = (totals_now[k] + v * beta).max(v * beta);
-                    n_dk * n_wk / n_k
-                })
-                .collect();
+            for (k, weight) in weights.iter_mut().enumerate() {
+                let n_dk = f64::from(doc.doc_topics[k]) + alpha;
+                let n_wk = (base[k] + f64::from(wd[k]) + beta).max(beta);
+                let n_k = (totals_now[k] + v * beta).max(v * beta);
+                *weight = n_dk * n_wk / n_k;
+            }
             let k = Self::sample_topic(&weights, rng);
 
             doc.assignments[t] = k as u32;

@@ -22,6 +22,10 @@
 //! plain [`ShardStore`](proteus_ps::ShardStore) — the convergence oracle
 //! the distributed runtime is validated against.
 
+// Application code returns typed errors or totals-ordered comparisons;
+// any retained expect must document a real invariant at its use site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod app;
 pub mod data;
 pub mod kmeans;

@@ -126,16 +126,10 @@ impl MlApp for MatrixFactorization {
         let lr = self.config.learning_rate;
         let reg = self.config.reg;
 
-        // dL_i = -lr (err · R_j + reg · L_i)
-        let mut dl = rj.clone();
-        dl.scale(err);
-        dl.axpy(reg, &li);
-        dl.scale(-lr);
+        // dL_i = -lr (err · R_j + reg · L_i), fused into one pass.
+        let dl = DenseVec::lincomb(-lr * err, &rj, -lr * reg, &li);
         // dR_j = -lr (err · L_i + reg · R_j)
-        let mut dr = li.clone();
-        dr.scale(err);
-        dr.axpy(reg, &rj);
-        dr.scale(-lr);
+        let dr = DenseVec::lincomb(-lr * err, &li, -lr * reg, &rj);
 
         vec![(self.row_key(datum.row), dl), (self.col_key(datum.col), dr)]
     }

@@ -7,7 +7,7 @@
 //! every gradient step updates the **full model** — all `K` vectors — as
 //! in the paper's MLR setup, which is what makes MLR network-heavy.
 
-use proteus_ps::{DenseVec, ParamKey};
+use proteus_ps::{kernels, DenseVec, ParamKey};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -66,9 +66,11 @@ impl Mlr {
 
     /// Class probabilities for one example under the given parameters.
     pub fn softmax(&self, features: &[f32], params: &dyn ParamReader) -> Vec<f64> {
-        let x = DenseVec::from(features.to_vec());
         let logits: Vec<f64> = (0..self.config.classes)
-            .map(|k| f64::from(params.get(ParamKey(u64::from(k))).dot(&x)))
+            .map(|k| {
+                let w = params.get(ParamKey(u64::from(k)));
+                f64::from(kernels::dot(w.as_slice(), features))
+            })
             .collect();
         let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
@@ -82,7 +84,7 @@ impl Mlr {
         probs
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("softmax is finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(k, _)| k as u32)
             .unwrap_or(0)
     }
@@ -125,12 +127,10 @@ impl MlApp for Mlr {
             .map(|k| {
                 let key = ParamKey(u64::from(k));
                 let indicator = if k == datum.label { 1.0 } else { 0.0 };
-                // Gradient of cross-entropy: (p_k − 1{k=y}) x + reg·w_k.
+                // Gradient of cross-entropy: (p_k − 1{k=y}) x + reg·w_k,
+                // scaled by −lr — fused into one pass over the operands.
                 let coeff = (probs[k as usize] as f32) - indicator;
-                let mut d = x.clone();
-                d.scale(coeff);
-                d.axpy(reg, &params.get(key));
-                d.scale(-lr);
+                let d = DenseVec::lincomb(-lr * coeff, &x, -lr * reg, &params.get(key));
                 (key, d)
             })
             .collect()

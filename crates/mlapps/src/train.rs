@@ -41,6 +41,8 @@ impl<A: MlApp> SequentialTrainer<A> {
     /// Creates a trainer, initializing every parameter with the app's
     /// initializer under a seed-derived RNG.
     pub fn new(app: A, data: Vec<A::Datum>, seed: u64) -> Self {
+        // One partition is always a valid layout (only zero is rejected).
+        #[allow(clippy::expect_used)]
         let layout = PartitionMap::new(1).expect("one partition is valid");
         let mut store = ShardStore::new(layout);
         let mut init_rng = seeded_stream(seed, 1);

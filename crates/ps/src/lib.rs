@@ -20,7 +20,11 @@
 //! * [`cache::WorkerCache`] — the worker-side cache with write-back
 //!   update buffering;
 //! * [`protocol`] — the request/response message vocabulary exchanged
-//!   between workers and servers (transport-agnostic).
+//!   between workers and servers (transport-agnostic);
+//! * [`Values`] / [`KeySet`] — the zero-copy shared payload buffer and
+//!   the compressed key-range set the batched data plane ships;
+//! * [`kernels`] — explicit-width chunked slice kernels (the
+//!   autovectorized hot loops behind [`DenseVec`] and the ML apps).
 //!
 //! The elastic tiering logic (ActivePS/BackupPS, stages, recovery) lives
 //! one layer up in `proteus-agileml`; everything here is deliberately
@@ -32,16 +36,21 @@
 
 pub mod cache;
 pub mod clock;
+pub mod kernels;
+pub mod keyset;
 pub mod partition;
 pub mod protocol;
 pub mod shard;
 pub mod sparse;
 pub mod value;
+pub mod values;
 
 pub use cache::WorkerCache;
 pub use clock::ClockTable;
+pub use keyset::KeySet;
 pub use partition::{ParamKey, PartitionId, PartitionMap};
 pub use protocol::{PsRequest, PsResponse, UpdateBatch};
 pub use shard::ShardStore;
 pub use sparse::SparseVec;
 pub use value::{DenseVec, PsValue};
+pub use values::Values;

@@ -1,6 +1,10 @@
 //! The parameter-value contract and the dense-vector implementation.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
+
+use crate::kernels;
 
 /// A value storable in the parameter server.
 ///
@@ -16,11 +20,21 @@ pub trait PsValue: Clone + Send + 'static {
     /// The additive identity with the same shape as `self`.
     fn zero_like(&self) -> Self;
 
-    /// Approximate wire size in bytes, used by network-volume accounting.
+    /// Logical wire size in bytes: what shipping this value over a real
+    /// network would cost, **independent of in-memory representation**.
+    /// Network-volume accounting sums these, so sharing a buffer between
+    /// messages (zero-copy) must not change the reported volume.
     fn wire_bytes(&self) -> usize;
 }
 
 /// A dense `f32` vector with component-wise-add aggregation.
+///
+/// The components live behind an [`Arc`], so cloning a `DenseVec` — the
+/// operation every simnet hop, fault-injected duplicate, and read
+/// response performs — is a reference-count bump, not a buffer copy.
+/// Mutation goes through [`Arc::make_mut`] (copy-on-write): a uniquely
+/// owned vector mutates in place; a shared one is copied exactly once
+/// and is unique from then on.
 ///
 /// # Examples
 ///
@@ -31,14 +45,21 @@ pub trait PsValue: Clone + Send + 'static {
 /// row.merge(&DenseVec::from(vec![1.0, 2.0, 3.0]));
 /// row.merge(&DenseVec::from(vec![0.5, 0.0, -1.0]));
 /// assert_eq!(row.as_slice(), &[1.5, 2.0, 2.0]);
+///
+/// // Clones share the buffer until one side writes.
+/// let snapshot = row.clone();
+/// assert!(row.shares_buffer(&snapshot));
+/// row.scale(2.0);
+/// assert!(!row.shares_buffer(&snapshot));
+/// assert_eq!(snapshot.as_slice(), &[1.5, 2.0, 2.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DenseVec(Vec<f32>);
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DenseVec(Arc<Vec<f32>>);
 
 impl DenseVec {
     /// A zero vector of the given dimension.
     pub fn zeros(dim: usize) -> Self {
-        DenseVec(vec![0.0; dim])
+        DenseVec(Arc::new(vec![0.0; dim]))
     }
 
     /// The vector's dimension.
@@ -51,14 +72,22 @@ impl DenseVec {
         &self.0
     }
 
-    /// Mutable view of the components.
+    /// Mutable view of the components (copy-on-write: unshares first).
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.0
+        Arc::make_mut(&mut self.0).as_mut_slice()
     }
 
-    /// Consumes the vector, returning its components.
+    /// Consumes the vector, returning its components (copying only if
+    /// the buffer is still shared with another clone).
     pub fn into_inner(self) -> Vec<f32> {
-        self.0
+        Arc::try_unwrap(self.0).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Whether `self` and `other` share one underlying buffer (i.e. one
+    /// is a zero-copy clone of the other). Diagnostic/test helper for
+    /// the zero-copy messaging invariants.
+    pub fn shares_buffer(&self, other: &DenseVec) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
     }
 
     /// Adds `scale * other` into `self`.
@@ -68,17 +97,23 @@ impl DenseVec {
     /// Panics if the dimensions differ — mixing shapes under one key is a
     /// programming error in the application.
     pub fn axpy(&mut self, scale: f32, other: &DenseVec) {
-        assert_eq!(self.0.len(), other.0.len(), "dimension mismatch in axpy");
-        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
-            *a += scale * b;
-        }
+        kernels::axpy(Arc::make_mut(&mut self.0).as_mut_slice(), scale, &other.0);
     }
 
     /// Scales every component in place.
     pub fn scale(&mut self, factor: f32) {
-        for a in &mut self.0 {
-            *a *= factor;
-        }
+        kernels::scale(Arc::make_mut(&mut self.0).as_mut_slice(), factor);
+    }
+
+    /// The fused linear combination `s * x + t * y` as a fresh vector —
+    /// one pass over the operands where `clone` + `scale` + `axpy`
+    /// would take three.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn lincomb(s: f32, x: &DenseVec, t: f32, y: &DenseVec) -> DenseVec {
+        DenseVec(Arc::new(kernels::lincomb(s, &x.0, t, &y.0)))
     }
 
     /// The dot product with another vector.
@@ -87,32 +122,30 @@ impl DenseVec {
     ///
     /// Panics if the dimensions differ.
     pub fn dot(&self, other: &DenseVec) -> f32 {
-        assert_eq!(self.0.len(), other.0.len(), "dimension mismatch in dot");
-        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
+        kernels::dot(&self.0, &other.0)
     }
 
     /// The squared L2 norm.
     pub fn norm_sq(&self) -> f32 {
-        self.0.iter().map(|a| a * a).sum()
+        kernels::norm_sq(&self.0)
     }
 }
 
 impl From<Vec<f32>> for DenseVec {
     fn from(v: Vec<f32>) -> Self {
-        DenseVec(v)
+        DenseVec(Arc::new(v))
+    }
+}
+
+impl PartialEq for DenseVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.shares_buffer(other) || self.0 == other.0
     }
 }
 
 impl PsValue for DenseVec {
     fn merge(&mut self, delta: &Self) {
-        assert_eq!(
-            self.0.len(),
-            delta.0.len(),
-            "dimension mismatch merging parameter values"
-        );
-        for (a, b) in self.0.iter_mut().zip(delta.0.iter()) {
-            *a += b;
-        }
+        kernels::add_assign(Arc::make_mut(&mut self.0).as_mut_slice(), &delta.0);
     }
 
     fn zero_like(&self) -> Self {
@@ -160,7 +193,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "dimension mismatch")]
+    fn lincomb_fuses_scale_and_axpy() {
+        let x = DenseVec::from(vec![1.0, 2.0, 3.0]);
+        let y = DenseVec::from(vec![10.0, 20.0, 30.0]);
+        let z = DenseVec::lincomb(2.0, &x, 0.5, &y);
+        assert_eq!(z.as_slice(), &[7.0, 14.0, 21.0]);
+    }
+
+    #[test]
+    fn clone_shares_until_write() {
+        let a = DenseVec::from(vec![1.0, 2.0]);
+        let mut b = a.clone();
+        assert!(a.shares_buffer(&b), "clone must be zero-copy");
+        b.merge(&DenseVec::from(vec![1.0, 1.0]));
+        assert!(!a.shares_buffer(&b), "write must unshare");
+        assert_eq!(a.as_slice(), &[1.0, 2.0], "original untouched");
+        assert_eq!(b.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn unique_merge_mutates_in_place() {
+        let mut a = DenseVec::from(vec![1.0; 16]);
+        let before = a.as_slice().as_ptr();
+        a.merge(&DenseVec::from(vec![2.0; 16]));
+        assert_eq!(
+            a.as_slice().as_ptr(),
+            before,
+            "uniquely owned buffer must not be reallocated by merge"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
     fn merge_rejects_shape_mismatch() {
         let mut a = DenseVec::zeros(2);
         a.merge(&DenseVec::zeros(3));

@@ -58,4 +58,26 @@ if [ "$obs_ok" -ne 1 ]; then
   exit 1
 fi
 
+# PS data-plane regression gate: bench_ps writes BENCH_ps.json with the
+# batched hot path timed against the per-key baseline (seed hash-map
+# store, per-key messages, deep-copied payloads). The batched path must
+# never be slower than the baseline; it also self-checks bit-identical
+# store state and identical logical wire volume. One retry absorbs
+# wall-clock noise on a loaded box.
+echo "==> PS data plane bench (batched >= per-key baseline)"
+ps_ok=0
+for attempt in 1 2; do
+  cargo run -q --release -p proteus-bench --bin bench_ps >/dev/null
+  spd=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' BENCH_ps.json)
+  echo "    attempt ${attempt}: batched speedup ${spd}x"
+  if awk -v s="$spd" 'BEGIN { exit !(s >= 1.0) }'; then
+    ps_ok=1
+    break
+  fi
+done
+if [ "$ps_ok" -ne 1 ]; then
+  echo "error: batched PS data plane slower than the per-key baseline twice (see BENCH_ps.json)" >&2
+  exit 1
+fi
+
 echo "==> all checks passed"
