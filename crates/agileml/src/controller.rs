@@ -406,6 +406,11 @@ impl<A: MlApp> Controller<A> {
                 self.handle_eviction(nodes, ctx);
                 true
             }
+            Command::PreDrain { nodes } => {
+                self.dbg(|| format!("PreDrain {nodes:?}"));
+                self.handle_predrain(nodes, ctx);
+                true
+            }
             Command::NodesFailed { nodes } => {
                 self.handle_failure(nodes, ctx);
                 true
@@ -1062,6 +1067,158 @@ impl<A: MlApp> Controller<A> {
             });
         }
         self.emit(JobEvent::NodesEvicted { nodes: victims });
+        self.maybe_broadcast_min(ctx);
+    }
+
+    /// Proactive demotion on a forecast alert: move the suspects'
+    /// ActivePS partitions to safer transient hosts (or drain to the
+    /// BackupPS copies when none exists) while the suspects *keep
+    /// working*. Membership, stage, and worker clocks are untouched, so
+    /// a false-positive forecast costs only the migration traffic; if
+    /// the eviction does land, the suspects own nothing and the warned
+    /// drain is trivial.
+    fn handle_predrain(&mut self, nodes: Vec<NodeId>, ctx: &NodeCtx<AgileMsg>) {
+        // Only live transient members can be demoted; reliable nodes are
+        // never evicted (paper Sec. 2) and unknown nodes are stale alerts.
+        let suspects: Vec<NodeId> = nodes
+            .into_iter()
+            .filter(|n| {
+                self.members.get(n) == Some(&NodeClass::Transient) && !self.known_dead.contains(n)
+            })
+            .collect();
+        if suspects.is_empty() || !self.stage.uses_backups() {
+            // Stage 1 keeps all parameter state on the reliable tier, so
+            // the suspects are already safe. Report the no-op so drivers
+            // waiting on the pre-drain don't hang.
+            self.emit(JobEvent::NodesPreDrained {
+                nodes: suspects,
+                partitions: 0,
+            });
+            return;
+        }
+
+        let suspect_actives: Vec<NodeId> = suspects
+            .iter()
+            .filter(|n| self.active_hosts.contains(n))
+            .copied()
+            .collect();
+        if suspect_actives.is_empty() {
+            // Workers only: nothing to move, the nodes are already safe.
+            self.emit(JobEvent::NodesPreDrained {
+                nodes: suspects,
+                partitions: 0,
+            });
+            return;
+        }
+
+        // Destination preference mirrors the eviction path: a fresh
+        // un-suspected transient node without an ActivePS, else the
+        // least-loaded surviving un-suspected ActivePS, else drain to
+        // the BackupPS copies.
+        let survivors_without: Vec<NodeId> = self
+            .transient()
+            .into_iter()
+            .filter(|n| {
+                !self.active_hosts.contains(n)
+                    && !self.known_dead.contains(n)
+                    && !suspects.contains(n)
+            })
+            .collect();
+        let mut fresh = survivors_without.into_iter();
+        let mut migrating_to: BTreeMap<NodeId, Vec<PartitionId>> = BTreeMap::new();
+        let mut moved = 0u64;
+        for suspect in &suspect_actives {
+            let parts = self.owned_by(*suspect);
+            if parts.is_empty() {
+                self.active_hosts.remove(suspect);
+                continue;
+            }
+            let new_owner = fresh.next().or_else(|| {
+                self.active_hosts
+                    .iter()
+                    .filter(|n| {
+                        !self.known_dead.contains(n)
+                            && !suspects.contains(n)
+                            && !suspect_actives.contains(n)
+                    })
+                    .min_by_key(|n| self.owned_by(**n).len())
+                    .copied()
+            });
+            let Some(new_owner) = new_owner else {
+                // Alert storm over the whole transient tier: drain to the
+                // backups and serve from the reliable copies, exactly the
+                // established eviction fallback.
+                let _ = ctx.send(*suspect, AgileMsg::DrainToBackup);
+                for p in parts {
+                    let i = p.0 as usize;
+                    if let Some(b) = self.backup_owner[i] {
+                        self.partition_owner[i] = b;
+                        self.backup_owner[i] = None;
+                        moved += 1;
+                    } else {
+                        self.emit(JobEvent::Faulted {
+                            fault: JobFault::PartitionStateLost { partition: p.0 },
+                        });
+                    }
+                }
+                self.active_hosts.remove(suspect);
+                continue;
+            };
+            self.active_hosts.insert(new_owner);
+            let _ = ctx.send(
+                *suspect,
+                AgileMsg::MigratePartitions {
+                    to: new_owner,
+                    partitions: parts.clone(),
+                    retain_as_backup: false,
+                },
+            );
+            // Track the in-flight images so a suspect dying mid-handover
+            // triggers the same rollback as any interrupted migration.
+            self.migrations
+                .entry(*suspect)
+                .or_default()
+                .push((new_owner, parts.clone()));
+            migrating_to
+                .entry(new_owner)
+                .or_default()
+                .extend(parts.iter().copied());
+            moved += parts.len() as u64;
+            for p in parts {
+                self.partition_owner[p.0 as usize] = new_owner;
+            }
+            self.active_hosts.remove(suspect);
+        }
+
+        // Re-route traffic to the new owners. The suspects stay in the
+        // worker set with their clocks — only serving roles changed.
+        self.topo_version += 1;
+        let topo = self.topology(self.stage);
+        let resume = self.last_min_broadcast;
+        for n in self.members.keys().copied().collect::<Vec<_>>() {
+            let assign = NodeAssignment {
+                serve_partitions: self.owned_by(n),
+                backup_partitions: self.backed_by(n),
+                is_active_ps: self.stage.uses_backups() && self.active_hosts.contains(&n),
+                data_blocks: self
+                    .assignment
+                    .as_ref()
+                    .map(|a| a.blocks_of(n))
+                    .unwrap_or_default(),
+                await_installs: migrating_to.get(&n).cloned().unwrap_or_default(),
+                topology: Arc::clone(&topo),
+                resume_clock: resume,
+                epoch: self.epoch,
+            };
+            let _ = ctx.send(n, AgileMsg::Configure(Box::new(assign)));
+        }
+        self.broadcast(ctx, &AgileMsg::Topology(Arc::clone(&topo)));
+        self.broadcast(ctx, &AgileMsg::Start);
+
+        self.emit(JobEvent::NodesPreDrained {
+            nodes: suspects,
+            partitions: moved,
+        });
         self.maybe_broadcast_min(ctx);
     }
 

@@ -37,6 +37,14 @@ pub enum JobEvent {
         /// The removed nodes.
         nodes: Vec<NodeId>,
     },
+    /// Nodes were proactively demoted on a forecast alert: their
+    /// ActivePS partitions migrated off, but the nodes keep working.
+    NodesPreDrained {
+        /// The demoted nodes (still members, no longer serving).
+        nodes: Vec<NodeId>,
+        /// ActivePS partitions moved off the demoted nodes.
+        partitions: u64,
+    },
     /// Nodes failed and rollback recovery ran.
     NodesFailedRecovered {
         /// The failed nodes.
@@ -81,6 +89,10 @@ impl JobEvent {
             },
             JobEvent::NodesEvicted { nodes } => O::NodesEvicted {
                 count: nodes.len() as u64,
+            },
+            JobEvent::NodesPreDrained { nodes, partitions } => O::NodesPreDrained {
+                count: nodes.len() as u64,
+                partitions: *partitions,
             },
             JobEvent::NodesFailedRecovered {
                 nodes,

@@ -258,6 +258,29 @@ impl<A: MlApp> AgileMlJob<A> {
         // late to drain) is modelled by [`AgileMlJob::fail_nodes`].
     }
 
+    /// Proactively demotes `nodes` on a preemption forecast: their
+    /// ActivePS partitions migrate to safer transient hosts (or drain to
+    /// the BackupPS copies) while the nodes keep working. Returns once
+    /// the controller acknowledges the demotion. A wrong forecast costs
+    /// only the migration — membership, clocks, and committed work are
+    /// untouched, so the job's trajectory is unchanged.
+    pub fn pre_drain(&mut self, nodes: &[NodeId]) -> Result<(), JobError> {
+        self.send_cmd(Command::PreDrain {
+            nodes: nodes.to_vec(),
+        })?;
+        let want: Vec<NodeId> = nodes.to_vec();
+        self.wait_for_event(
+            // The controller reports the subset it actually demoted
+            // (reliable / unknown nodes are filtered out).
+            move |e| {
+                matches!(e, JobEvent::NodesPreDrained { nodes, .. }
+                if nodes.iter().all(|n| want.contains(n)))
+            },
+            WAIT,
+            "pre-drain demotion",
+        )
+    }
+
     /// Delivers a provider-style eviction warning to `nodes` through the
     /// simnet control channel **without** telling the controller directly:
     /// each node relays the warning as an `EvictionNotice`, which is how a

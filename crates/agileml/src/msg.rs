@@ -231,6 +231,14 @@ pub enum Command {
         /// Doomed nodes.
         nodes: Vec<NodeId>,
     },
+    /// The preemption forecaster expects these nodes to be evicted soon
+    /// (no provider warning yet): demote their ActivePS partitions to
+    /// safer hosts but keep the nodes working. A wrong forecast costs
+    /// only the migration; the nodes stay members either way.
+    PreDrain {
+        /// Nodes forecast to disappear.
+        nodes: Vec<NodeId>,
+    },
     /// These nodes failed without (sufficient) warning and are already
     /// dead; run rollback recovery.
     NodesFailed {

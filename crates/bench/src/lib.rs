@@ -6,6 +6,10 @@
 //! stay comparable across binaries. `EXPERIMENTS.md` records paper-vs-
 //! measured values produced by these binaries.
 
+// Library helpers shared by the binaries return values, never panic;
+// any retained expect documents a real invariant at its use site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use proteus_costsim::StudyConfig;
 
 /// Standard study configuration shared by the cost figures (Figs. 1,

@@ -29,6 +29,7 @@
 
 pub mod acquire;
 pub mod beta;
+pub mod forecast;
 pub mod objective;
 pub mod params;
 pub mod policy;
@@ -36,6 +37,10 @@ pub mod standard;
 
 pub use acquire::MarketBackoff;
 pub use beta::{BetaEstimator, BetaPoint, BetaTable};
+pub use forecast::{
+    adaptive_interval, hazard_to_rate, EvictionAlert, ForecastConfig, ForecastScore,
+    ForecastScorer, PreemptionForecaster,
+};
 pub use objective::Objective;
 pub use params::AppParams;
 pub use policy::{AllocView, AllocationRequest, BidBrain, BidBrainConfig, FootprintEval};

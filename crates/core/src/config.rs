@@ -1,7 +1,7 @@
 //! Session configuration.
 
 use proteus_agileml::AgileConfig;
-use proteus_bidbrain::{AppParams, BidBrainConfig};
+use proteus_bidbrain::{AppParams, BidBrainConfig, ForecastConfig};
 use proteus_market::{catalog, MarketFaultPlan, MarketKey, MarketModel};
 use proteus_simtime::SimDuration;
 
@@ -48,6 +48,19 @@ pub struct ProteusConfig {
     pub backoff_base: SimDuration,
     /// Cap on the per-market backoff delay.
     pub backoff_cap: SimDuration,
+    /// Online preemption forecasting: watch held (market, bid) price
+    /// trajectories, pre-drain ActivePS state ahead of provider
+    /// warnings, and adapt the checkpoint cadence to the forecasted
+    /// hazard. `None` — the default — disables the defense entirely and
+    /// keeps every session trajectory bit-identical to earlier builds.
+    pub forecast: Option<ForecastConfig>,
+    /// Modelled wall time one model snapshot takes, the `C` in the
+    /// Young's-rule interval `τ* = √(2·C·MTTF)` used by adaptive
+    /// checkpointing (only consulted when `forecast` is on).
+    pub checkpoint_cost: SimDuration,
+    /// Provider warning lead between a bid crossing and the eviction
+    /// landing. EC2 gives two minutes, GCE thirty seconds.
+    pub warning_lead: SimDuration,
 }
 
 impl Default for ProteusConfig {
@@ -76,6 +89,9 @@ impl Default for ProteusConfig {
             fallback_on_demand: 1,
             backoff_base: SimDuration::from_mins(2),
             backoff_cap: SimDuration::from_mins(30),
+            forecast: None,
+            checkpoint_cost: SimDuration::from_mins(2),
+            warning_lead: proteus_market::EC2_EVICTION_WARNING,
         }
     }
 }
@@ -101,6 +117,15 @@ impl ProteusConfig {
         }
         if self.backoff_base > self.backoff_cap {
             return Err("backoff base must not exceed the backoff cap".into());
+        }
+        if let Some(fc) = &self.forecast {
+            fc.validate()?;
+            if self.checkpoint_cost.is_zero() {
+                return Err("checkpoint cost must be positive with forecasting on".into());
+            }
+        }
+        if self.warning_lead.is_zero() {
+            return Err("warning lead must be positive (EC2 120s, GCE 30s)".into());
         }
         Ok(())
     }
@@ -136,5 +161,27 @@ mod tests {
             ..ProteusConfig::default()
         };
         assert!(c.validate().is_err());
+        c = ProteusConfig {
+            forecast: Some(ForecastConfig {
+                rearm_threshold: 0.9,
+                ..ForecastConfig::default()
+            }),
+            ..ProteusConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c = ProteusConfig {
+            warning_lead: SimDuration::ZERO,
+            ..ProteusConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn forecast_enabled_default_is_valid() {
+        let c = ProteusConfig {
+            forecast: Some(ForecastConfig::default()),
+            ..ProteusConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 }

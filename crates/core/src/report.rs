@@ -32,6 +32,16 @@ pub struct ProteusReport {
     pub degraded_time: SimDuration,
     /// On-demand machines provisioned as degraded-mode fallback.
     pub fallback_on_demand: u32,
+    /// Preemption-forecast alerts emitted (0 with forecasting off).
+    pub forecast_alerts: u32,
+    /// Proactive pre-drains the alerts triggered.
+    pub pre_drains: u32,
+    /// Alerts a provider warning or eviction confirmed in time.
+    pub forecast_hits: u32,
+    /// Alerts that expired with no eviction (false-positive migrations).
+    pub false_alerts: u32,
+    /// Adaptive checkpoints taken at the hazard-chosen cadence.
+    pub checkpoints: u32,
 }
 
 impl ProteusReport {
@@ -71,6 +81,11 @@ mod tests {
             partial_grants: 0,
             degraded_time: SimDuration::ZERO,
             fallback_on_demand: 0,
+            forecast_alerts: 0,
+            pre_drains: 0,
+            forecast_hits: 0,
+            false_alerts: 0,
+            checkpoints: 0,
         };
         assert!((report.on_demand_equivalent(0.2) - 2.0).abs() < 1e-12);
         assert!((report.free_fraction() - 0.2).abs() < 1e-12);

@@ -20,10 +20,15 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use proteus_agileml::AgileMlJob;
-use proteus_bidbrain::{AllocView, BetaEstimator, BidBrain, MarketBackoff};
-use proteus_market::{AllocationId, CloudProvider, MarketError, ProviderEvent, TraceGenerator};
+use proteus_bidbrain::{
+    adaptive_interval, hazard_to_rate, AllocView, BetaEstimator, BidBrain, MarketBackoff,
+    PreemptionForecaster,
+};
+use proteus_market::{
+    AllocationId, CloudProvider, MarketError, MarketKey, ProviderEvent, TraceGenerator,
+};
 use proteus_mlapps::app::MlApp;
-use proteus_obs::{Event, Recorder, SessionEvent};
+use proteus_obs::{BidEvent, Event, Recorder, SessionEvent};
 use proteus_simnet::{NodeClass, NodeId};
 use proteus_simtime::{SimDuration, SimTime};
 
@@ -40,6 +45,14 @@ pub const OBS_DEGRADED_GAUGE: &str = "session.degraded";
 
 /// Span name recorded for each completed degraded episode.
 pub const OBS_DEGRADED_SPAN: &str = "session.degraded_episode";
+
+/// Floor on the adaptive checkpoint cadence (never snapshot more often
+/// than every other decision step, whatever the hazard says).
+const CHECKPOINT_MIN: SimDuration = SimDuration::from_mins(4);
+
+/// Ceiling on the adaptive checkpoint cadence — the relaxed interval a
+/// hazard-free market earns.
+const CHECKPOINT_MAX: SimDuration = SimDuration::from_hours(4);
 
 /// A live Proteus session over one training job.
 pub struct Proteus<A: MlApp> {
@@ -80,6 +93,22 @@ pub struct Proteus<A: MlApp> {
     throttles: u32,
     partial_grants: u32,
     fallback_on_demand: u32,
+    /// Online preemption forecaster (`config.forecast`); `None` leaves
+    /// the session bit-identical to a forecasting-free build.
+    forecaster: Option<PreemptionForecaster>,
+    /// Outstanding alerts: allocation → when the forecast expires and,
+    /// absent an eviction, becomes a false positive.
+    alerted: BTreeMap<AllocationId, SimTime>,
+    /// Holdings the forecaster tracks: allocation → (market, bid), so
+    /// released or reclaimed holdings free their trajectory state.
+    tracked_bids: BTreeMap<AllocationId, (MarketKey, f64)>,
+    /// When the last adaptive checkpoint was taken.
+    last_checkpoint: SimTime,
+    forecast_alerts: u32,
+    pre_drains: u32,
+    forecast_hits: u32,
+    false_alerts: u32,
+    checkpoints: u32,
     /// Observability recorder shared with the provider, the job's
     /// cluster, and BidBrain; `None` keeps the loop allocation-free.
     obs: Option<Arc<Recorder>>,
@@ -140,7 +169,7 @@ impl<A: MlApp> Proteus<A> {
         }
         let brain = BidBrain::new(config.params, beta, config.brain.clone());
 
-        let mut provider = CloudProvider::new(traces);
+        let mut provider = CloudProvider::with_warning_lead(traces, config.warning_lead);
         if let Some(plan) = config.market_faults.clone() {
             provider.set_fault_plan(plan);
         }
@@ -173,6 +202,7 @@ impl<A: MlApp> Proteus<A> {
         }
 
         let backoff = MarketBackoff::new(config.backoff_base, config.backoff_cap);
+        let forecaster = config.forecast.clone().map(PreemptionForecaster::new);
         let mut session = Proteus {
             config,
             provider,
@@ -195,6 +225,15 @@ impl<A: MlApp> Proteus<A> {
             throttles: 0,
             partial_grants: 0,
             fallback_on_demand: 0,
+            forecaster,
+            alerted: BTreeMap::new(),
+            tracked_bids: BTreeMap::new(),
+            last_checkpoint: job_start,
+            forecast_alerts: 0,
+            pre_drains: 0,
+            forecast_hits: 0,
+            false_alerts: 0,
+            checkpoints: 0,
             obs,
         };
         session.consider_acquisition()?;
@@ -238,6 +277,8 @@ impl<A: MlApp> Proteus<A> {
                 rec.set_now(self.provider.now());
             }
             self.renewals()?;
+            self.forecast_step()?;
+            self.maybe_checkpoint()?;
             self.consider_acquisition()?;
             let next = (self.provider.now() + STEP).min(target);
             let events = self.provider.advance_to(next)?;
@@ -266,12 +307,26 @@ impl<A: MlApp> Proteus<A> {
                 // Forward to the elasticity controller: drain within the
                 // warning window (the drain itself is wall-clock fast).
                 self.warned.insert(allocation);
+                if self.alerted.remove(&allocation).is_some() {
+                    // The forecaster called this eviction ahead of the
+                    // provider: the pre-drain already emptied the nodes.
+                    self.forecast_hits += 1;
+                }
                 if let Some(nodes) = self.alloc_nodes.get(&allocation).cloned() {
                     self.job.evict_with_warning(&nodes)?;
                 }
             }
             ProviderEvent::Evicted { allocation } => {
                 self.evictions += 1;
+                if self.alerted.remove(&allocation).is_some() {
+                    // Warning-less death the forecaster still predicted.
+                    self.forecast_hits += 1;
+                }
+                if let Some((market, bid)) = self.tracked_bids.remove(&allocation) {
+                    if let Some(fc) = self.forecaster.as_mut() {
+                        fc.clear(market, bid);
+                    }
+                }
                 let was_warned = self.warned.remove(&allocation);
                 if let Some(nodes) = self.alloc_nodes.remove(&allocation) {
                     if !was_warned && !nodes.is_empty() {
@@ -301,6 +356,138 @@ impl<A: MlApp> Proteus<A> {
                 self.pending_launches.remove(&allocation);
                 self.consider_acquisition()?;
             }
+        }
+        Ok(())
+    }
+
+    /// One forecasting sweep: feed live prices for every held spot
+    /// allocation, pre-drain on fresh alerts, age out expired ones as
+    /// false positives, and drop trajectory state for holdings that no
+    /// longer exist. A no-op (and allocation-free) with forecasting off.
+    fn forecast_step(&mut self) -> Result<(), ProteusError> {
+        if self.forecaster.is_none() {
+            return Ok(());
+        }
+        let now = self.provider.now();
+        let allocs = self.provider.spot_allocations();
+
+        // Holdings released or reclaimed since the last sweep stop
+        // being tracked; their outstanding alerts are moot (a voluntary
+        // release is neither a hit nor a false positive).
+        let live: BTreeSet<AllocationId> = allocs.iter().map(|a| a.id).collect();
+        let stale: Vec<AllocationId> = self
+            .tracked_bids
+            .keys()
+            .filter(|id| !live.contains(id))
+            .copied()
+            .collect();
+        for id in stale {
+            if let Some((market, bid)) = self.tracked_bids.remove(&id) {
+                if let Some(fc) = self.forecaster.as_mut() {
+                    fc.clear(market, bid);
+                }
+            }
+            self.alerted.remove(&id);
+        }
+
+        for a in &allocs {
+            if a.booting {
+                continue;
+            }
+            let Ok(price) = self.provider.spot_price(a.market) else {
+                continue;
+            };
+            self.tracked_bids.insert(a.id, (a.market, a.bid));
+            let Some(fc) = self.forecaster.as_mut() else {
+                break;
+            };
+            let Some(alert) = fc.observe(a.market, a.bid, now, price) else {
+                continue;
+            };
+            self.forecast_alerts += 1;
+            let expiry = now + fc.config().horizon + self.config.warning_lead + STEP;
+            if let Some(rec) = self.obs.as_deref() {
+                rec.record(
+                    now,
+                    Event::Bid(BidEvent::ForecastAlert {
+                        market: a.market.interned_name(),
+                        bid: a.bid,
+                        hazard: alert.confidence,
+                        horizon_ms: alert.horizon.as_millis(),
+                    }),
+                );
+            }
+            // One outstanding alert per allocation; a holding the
+            // provider already warned is mid-drain and needs no help.
+            if self.alerted.contains_key(&a.id) || self.warned.contains(&a.id) {
+                continue;
+            }
+            self.alerted.insert(a.id, expiry);
+            if let Some(nodes) = self.alloc_nodes.get(&a.id).cloned() {
+                if !nodes.is_empty() {
+                    self.job.pre_drain(&nodes)?;
+                    self.pre_drains += 1;
+                    if let Some(rec) = self.obs.as_deref() {
+                        rec.record(
+                            now,
+                            Event::Session(SessionEvent::PreDrained { allocation: a.id.0 }),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Alerts that outlived their horizon with no eviction were
+        // false positives: the pre-drain cost migration time, nothing
+        // else — correctness is untouched by construction.
+        let expired: Vec<AllocationId> = self
+            .alerted
+            .iter()
+            .filter(|(_, expiry)| now >= **expiry)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            self.alerted.remove(&id);
+            self.false_alerts += 1;
+            if let Some(rec) = self.obs.as_deref() {
+                rec.record(
+                    now,
+                    Event::Session(SessionEvent::ForecastFalseAlert { allocation: id.0 }),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Adaptive checkpointing: snapshot the model at the Young's-rule
+    /// interval derived from the forecasted hazard — tight cadence when
+    /// an eviction looms, relaxed when the market is calm. Inactive
+    /// (zero snapshots, zero events) with forecasting off.
+    fn maybe_checkpoint(&mut self) -> Result<(), ProteusError> {
+        let Some(fc) = self.forecaster.as_ref() else {
+            return Ok(());
+        };
+        let now = self.provider.now();
+        let rate = hazard_to_rate(fc.max_hazard(), fc.config().horizon);
+        let interval = adaptive_interval(
+            self.config.checkpoint_cost,
+            rate,
+            CHECKPOINT_MIN,
+            CHECKPOINT_MAX,
+        );
+        if now.since(self.last_checkpoint) < interval {
+            return Ok(());
+        }
+        self.last_checkpoint = now;
+        self.checkpoints += 1;
+        let _ = self.job.snapshot()?;
+        if let Some(rec) = self.obs.as_deref() {
+            rec.record(
+                now,
+                Event::Session(SessionEvent::CheckpointTaken {
+                    interval_ms: interval.as_millis(),
+                }),
+            );
         }
         Ok(())
     }
@@ -611,6 +798,11 @@ impl<A: MlApp> Proteus<A> {
             partial_grants: self.partial_grants,
             degraded_time: self.degraded_time,
             fallback_on_demand: self.fallback_on_demand,
+            forecast_alerts: self.forecast_alerts,
+            pre_drains: self.pre_drains,
+            forecast_hits: self.forecast_hits,
+            false_alerts: self.false_alerts,
+            checkpoints: self.checkpoints,
         })
     }
 }

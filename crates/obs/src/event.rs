@@ -136,6 +136,18 @@ pub enum BidEvent {
         /// Objective score of the current footprint.
         current_score: f64,
     },
+    /// The preemption forecaster predicted an imminent eviction for a
+    /// held (market, bid) pair, ahead of any provider warning.
+    ForecastAlert {
+        /// Market key, interned (see `MarketKey::interned_name`).
+        market: std::sync::Arc<str>,
+        /// The bid the holding is exposed at.
+        bid: f64,
+        /// Calibrated hazard estimate in `[0, 1]` at fire time.
+        hazard: f64,
+        /// Expected time until the eviction lands, in sim millis.
+        horizon_ms: u64,
+    },
     /// A ranked candidate that survived the improvement gate, with the
     /// Eq. 4 terms that produced its score.
     CandidateRanked {
@@ -188,6 +200,14 @@ pub enum AgileEvent {
         /// How many.
         count: u64,
     },
+    /// Nodes were proactively demoted on a forecast alert: their served
+    /// partitions migrated away while the nodes keep working.
+    NodesPreDrained {
+        /// How many nodes were demoted.
+        count: u64,
+        /// How many ActivePS partitions moved.
+        partitions: u64,
+    },
     /// Nodes failed and rollback recovery ran.
     NodesFailedRecovered {
         /// How many failed.
@@ -227,6 +247,23 @@ pub enum SessionEvent {
     FallbackLaunched {
         /// Allocation id of the fallback.
         allocation: u64,
+    },
+    /// A forecast alert triggered a proactive pre-drain of an
+    /// allocation's nodes.
+    PreDrained {
+        /// Allocation id.
+        allocation: u64,
+    },
+    /// A forecast alert expired with no eviction following — the
+    /// pre-drain (if any) was a false-positive migration.
+    ForecastFalseAlert {
+        /// Allocation id.
+        allocation: u64,
+    },
+    /// An adaptive checkpoint was taken at the hazard-chosen interval.
+    CheckpointTaken {
+        /// The interval that scheduled this checkpoint, in sim millis.
+        interval_ms: u64,
     },
     /// The session finished and produced its report.
     Finished {
@@ -298,6 +335,7 @@ impl Event {
             },
             Event::Bid(e) => match e {
                 BidEvent::Evaluated { .. } => "bid.evaluated",
+                BidEvent::ForecastAlert { .. } => "bid.forecast_alert",
                 BidEvent::CandidateRanked { .. } => "bid.candidate",
             },
             Event::Agile(e) => match e {
@@ -306,6 +344,7 @@ impl Event {
                 AgileEvent::StageChanged { .. } => "agile.stage_changed",
                 AgileEvent::NodesAdded { .. } => "agile.nodes_added",
                 AgileEvent::NodesEvicted { .. } => "agile.nodes_evicted",
+                AgileEvent::NodesPreDrained { .. } => "agile.pre_drained",
                 AgileEvent::NodesFailedRecovered { .. } => "agile.recovered",
                 AgileEvent::Faulted { .. } => "agile.faulted",
                 AgileEvent::Trace { .. } => "agile.trace",
@@ -315,6 +354,9 @@ impl Event {
                 SessionEvent::Degraded => "session.degraded",
                 SessionEvent::Restored { .. } => "session.restored",
                 SessionEvent::FallbackLaunched { .. } => "session.fallback_launched",
+                SessionEvent::PreDrained { .. } => "session.pre_drain",
+                SessionEvent::ForecastFalseAlert { .. } => "session.false_alert",
+                SessionEvent::CheckpointTaken { .. } => "session.checkpoint",
                 SessionEvent::Finished { .. } => "session.finished",
             },
             Event::Cost(e) => match e {
@@ -406,6 +448,17 @@ impl Event {
                     push_u64(out, "candidates", *candidates);
                     push_f64(out, "current_score", *current_score);
                 }
+                BidEvent::ForecastAlert {
+                    market,
+                    bid,
+                    hazard,
+                    horizon_ms,
+                } => {
+                    push_str(out, "market", market);
+                    push_f64(out, "bid", *bid);
+                    push_f64(out, "hazard", *hazard);
+                    push_u64(out, "horizon_ms", *horizon_ms);
+                }
                 BidEvent::CandidateRanked {
                     rank,
                     market,
@@ -436,6 +489,10 @@ impl Event {
                 AgileEvent::NodesAdded { count } | AgileEvent::NodesEvicted { count } => {
                     push_u64(out, "count", *count);
                 }
+                AgileEvent::NodesPreDrained { count, partitions } => {
+                    push_u64(out, "count", *count);
+                    push_u64(out, "partitions", *partitions);
+                }
                 AgileEvent::NodesFailedRecovered {
                     count,
                     rolled_back_to,
@@ -452,8 +509,13 @@ impl Event {
                 SessionEvent::Restored { degraded_ms } => {
                     push_u64(out, "degraded_ms", *degraded_ms);
                 }
-                SessionEvent::FallbackLaunched { allocation } => {
+                SessionEvent::FallbackLaunched { allocation }
+                | SessionEvent::PreDrained { allocation }
+                | SessionEvent::ForecastFalseAlert { allocation } => {
                     push_u64(out, "allocation", *allocation);
+                }
+                SessionEvent::CheckpointTaken { interval_ms } => {
+                    push_u64(out, "interval_ms", *interval_ms);
                 }
                 SessionEvent::Finished { cost, clocks } => {
                     push_f64(out, "cost", *cost);

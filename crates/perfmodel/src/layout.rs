@@ -132,6 +132,9 @@ impl Layout {
 ///
 /// Panics on an invalid layout or workload (programmer error in
 /// experiment definitions).
+// The panic contract above is the API: experiment definitions are
+// static literals and a bad one must fail loudly at construction.
+#[allow(clippy::expect_used)]
 pub fn time_per_iteration(spec: ClusterSpec, app: AppTraffic, layout: Layout) -> f64 {
     layout.validate().expect("valid layout");
     app.validate().expect("valid workload");

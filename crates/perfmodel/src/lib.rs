@@ -23,6 +23,10 @@
 //! * elasticity timelines show a one-iteration blip on eviction
 //!   (Fig. 16).
 
+// Model arithmetic returns values or typed errors, never panics; any
+// retained expect documents a real invariant at its use site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod autotune;
 pub mod layout;
 pub mod presets;

@@ -12,6 +12,11 @@
 //! * [`rng`] — seeded RNG construction helpers so that independent
 //!   subsystems can derive decorrelated-but-reproducible random streams.
 
+// Time primitives sit under every simulator loop; they return typed
+// values, never panic; any retained expect documents a real invariant
+// at its use site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod event;
 pub mod rng;
 pub mod time;

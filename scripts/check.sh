@@ -80,4 +80,24 @@ if [ "$ps_ok" -ne 1 ]; then
   exit 1
 fi
 
+# Eviction-defense gate: bench_forecast writes BENCH_forecast.json with
+# the forecaster's replay accuracy and the proactive (adaptive
+# checkpoint) vs reactive (fixed checkpoint) study. Both sides are
+# sim-time deterministic, so no retry is needed: the proactive scheme
+# must save work over the reactive baseline, and replay recall must stay
+# useful — a forecaster that misses evictions defends nothing.
+echo "==> eviction defense bench (proactive saves work, recall >= 0.7)"
+PROTEUS_BENCH_STARTS=50 cargo run -q --release -p proteus-bench --bin bench_forecast >/dev/null
+saved=$(sed -n 's/.*"work_saved_hours": \(-\{0,1\}[0-9.]*\).*/\1/p' BENCH_forecast.json)
+recall=$(sed -n 's/.*"recall": \([0-9.]*\).*/\1/p' BENCH_forecast.json)
+echo "    work saved ${saved} job-hours, replay recall ${recall}"
+if ! awk -v s="$saved" 'BEGIN { exit !(s > 0.0) }'; then
+  echo "error: proactive checkpointing saves less work than the reactive baseline (see BENCH_forecast.json)" >&2
+  exit 1
+fi
+if ! awk -v r="$recall" 'BEGIN { exit !(r >= 0.7) }'; then
+  echo "error: forecast replay recall below 0.7 (see BENCH_forecast.json)" >&2
+  exit 1
+fi
+
 echo "==> all checks passed"
