@@ -14,7 +14,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver};
 use proteus_mlapps::app::{MlApp, ParamReader};
 use proteus_obs::{Event, Recorder};
 use proteus_ps::{DenseVec, ParamKey};
-use proteus_simnet::{Cluster, ClusterHandle, FaultPlan, FaultStats, NodeClass, NodeId};
+use proteus_simnet::{Cluster, ClusterHandle, FaultPlan, FaultStats, NetStats, NodeClass, NodeId};
 
 use crate::config::AgileConfig;
 use crate::controller::run_controller;
@@ -482,6 +482,14 @@ impl<A: MlApp> AgileMlJob<A> {
     /// Messages delivered from `from` to `to`.
     pub fn traffic_between(&self, from: NodeId, to: NodeId) -> u64 {
         self.cluster.traffic_between(from, to)
+    }
+
+    /// Aggregate delivered/dropped counters for the whole cluster. Both
+    /// simnet cores account identically (see
+    /// `proteus_simnet::event_core`), so sessions can report these
+    /// regardless of which core ran the job.
+    pub fn net_stats(&self) -> NetStats {
+        self.cluster.stats()
     }
 
     /// Stops every node and tears the cluster down.

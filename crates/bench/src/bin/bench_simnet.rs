@@ -1,0 +1,219 @@
+//! Simnet scale benchmark: the discrete-event core at 1000 nodes vs the
+//! thread-per-node cluster at 100 nodes, both driving the same
+//! broadcast/convergence protocol. Writes the comparison to
+//! `BENCH_simnet.json`.
+//!
+//! ```text
+//! cargo run --release -p proteus-bench --bin bench_simnet
+//! ```
+//!
+//! The workload is R rounds of root-initiated broadcast: the root fans a
+//! token out to every member, each member acks, and the round converges
+//! when the root has collected all acks (then starts the next round).
+//! That is `2 * (nodes - 1)` messages per round — the all-to-one /
+//! one-to-all pattern of a parameter-server sync step.
+//!
+//! The point of the gate: the event core runs **10x the nodes** and
+//! ~10x the messages, yet must finish in well under the thread core's
+//! wall clock, because it costs its event count (a heap pop and a
+//! handler call per message) rather than OS threads, channel wakeups,
+//! and context switches. This is what makes 1000-node chaos sweeps
+//! affordable (see EXPERIMENTS.md).
+//!
+//! Knobs: `PROTEUS_BENCH_SIMNET_NODES` (event-core fleet, default 1000),
+//! `PROTEUS_BENCH_SIMNET_THREAD_NODES` (thread fleet, default 100),
+//! `PROTEUS_BENCH_SIMNET_ROUNDS` (default 25).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use proteus_bench::header;
+use proteus_simnet::{Cluster, FnNode, Incoming, NodeClass, NodeId, SimCluster};
+use proteus_simtime::SimDuration;
+
+const REPS: usize = 3;
+
+#[derive(Clone, Copy)]
+enum Msg {
+    Token(u32),
+    Ack,
+}
+
+fn env_knob(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(default)
+}
+
+/// One full event-core run: build the fleet, drive R broadcast rounds
+/// to convergence, and return the delivered-message count.
+fn event_core_run(nodes: u32, rounds: u32) -> u64 {
+    let mut sim: SimCluster<Msg> = SimCluster::new();
+    sim.set_link_latency(SimDuration::from_millis(1));
+
+    // Root: broadcast the round token, collect acks, start the next
+    // round when the fleet has converged.
+    let mut acks = 0u32;
+    let mut round = 0u32;
+    let root = sim.add_node(
+        NodeClass::Reliable,
+        FnNode::new(move |ctx, _from, msg: Msg| match msg {
+            Msg::Token(r) => {
+                for i in 1..nodes {
+                    let _ = ctx.send(NodeId(i), Msg::Token(r));
+                }
+            }
+            Msg::Ack => {
+                acks += 1;
+                if acks == nodes - 1 {
+                    acks = 0;
+                    round += 1;
+                    if round < rounds {
+                        for i in 1..nodes {
+                            let _ = ctx.send(NodeId(i), Msg::Token(round));
+                        }
+                    }
+                }
+            }
+        }),
+    );
+    for _ in 1..nodes {
+        sim.add_node(
+            NodeClass::Transient,
+            FnNode::new(move |ctx, _from, msg: Msg| {
+                if let Msg::Token(_) = msg {
+                    let _ = ctx.send(NodeId(0), Msg::Ack);
+                }
+            }),
+        );
+    }
+
+    sim.send_as_harness(root, Msg::Token(0)).expect("inject");
+    sim.run_until_idle();
+    sim.stats().messages
+}
+
+/// One full thread-core run of the same protocol: every node is an OS
+/// thread with a blocking mailbox. Returns the delivered-message count.
+fn thread_core_run(nodes: u32, rounds: u32) -> u64 {
+    let mut cluster: Cluster<Msg> = Cluster::new();
+    let root_id = NodeId(0);
+    let (done_tx, done_rx) = std::sync::mpsc::sync_channel::<()>(1);
+
+    let root = cluster.spawn(NodeClass::Reliable, move |ctx| {
+        let broadcast = |r: u32| {
+            for i in 1..nodes {
+                let _ = ctx.send(NodeId(i), Msg::Token(r));
+            }
+        };
+        let mut acks = 0u32;
+        let mut round = 0u32;
+        loop {
+            match ctx.recv() {
+                Ok(Incoming::App(env)) => match env.msg {
+                    Msg::Token(r) => broadcast(r),
+                    Msg::Ack => {
+                        acks += 1;
+                        if acks == nodes - 1 {
+                            acks = 0;
+                            round += 1;
+                            if round < rounds {
+                                broadcast(round);
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                },
+                Ok(Incoming::Control(_)) => {}
+                Err(_) => break,
+            }
+        }
+        let _ = done_tx.send(());
+    });
+    assert_eq!(root, root_id);
+    for _ in 1..nodes {
+        cluster.spawn(NodeClass::Transient, move |ctx| {
+            let mut seen = 0u32;
+            while seen < rounds {
+                match ctx.recv() {
+                    Ok(Incoming::App(env)) => {
+                        if let Msg::Token(_) = env.msg {
+                            let _ = ctx.send(root_id, Msg::Ack);
+                            seen += 1;
+                        }
+                    }
+                    Ok(Incoming::Control(_)) => {}
+                    Err(_) => break,
+                }
+            }
+        });
+    }
+
+    cluster
+        .handle()
+        .send_as_harness(root_id, Msg::Token(0))
+        .expect("inject");
+    done_rx
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("thread-core broadcast protocol converged");
+    let delivered = cluster.stats().messages;
+    cluster.join();
+    delivered
+}
+
+fn main() {
+    header(
+        "BENCH",
+        "simnet scale: discrete-event core (1000 nodes) vs thread-per-node (100 nodes)",
+    );
+
+    let event_nodes = env_knob("PROTEUS_BENCH_SIMNET_NODES", 1000);
+    let thread_nodes = env_knob("PROTEUS_BENCH_SIMNET_THREAD_NODES", 100);
+    let rounds = env_knob("PROTEUS_BENCH_SIMNET_ROUNDS", 25);
+
+    // Warm both sides (allocator, thread stacks) untimed, and capture
+    // each side's delivered-message count for the report.
+    let event_messages = event_core_run(event_nodes, rounds);
+    let thread_messages = thread_core_run(thread_nodes, rounds);
+
+    // Interleave the reps so scheduler drift hits both sides equally;
+    // keep the best.
+    let mut event_secs = f64::INFINITY;
+    let mut thread_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        black_box(event_core_run(event_nodes, rounds));
+        event_secs = event_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(thread_core_run(thread_nodes, rounds));
+        thread_secs = thread_secs.min(t.elapsed().as_secs_f64());
+    }
+
+    let speedup = thread_secs / event_secs.max(1e-9);
+    let events_per_sec = event_messages as f64 / event_secs.max(1e-9);
+    println!(
+        "event core : {event_nodes} nodes, {rounds} rounds, {event_messages} messages in {:.2}ms (best of {REPS})",
+        event_secs * 1e3
+    );
+    println!(
+        "thread core: {thread_nodes} nodes, {rounds} rounds, {thread_messages} messages in {:.2}ms (best of {REPS})",
+        thread_secs * 1e3
+    );
+    println!(
+        "speedup    : {speedup:.2}x at {:.0}x the fleet size  ({events_per_sec:.0} events/sec)",
+        event_nodes as f64 / thread_nodes as f64
+    );
+
+    let json = format!(
+        "{{\n  \"event_nodes\": {event_nodes},\n  \"thread_nodes\": {thread_nodes},\n  \
+         \"rounds\": {rounds},\n  \"reps\": {REPS},\n  \
+         \"event_messages\": {event_messages},\n  \"thread_messages\": {thread_messages},\n  \
+         \"event_secs\": {event_secs:.6},\n  \"thread_secs\": {thread_secs:.6},\n  \
+         \"speedup\": {speedup:.3},\n  \"events_per_sec\": {events_per_sec:.0}\n}}\n"
+    );
+    std::fs::write("BENCH_simnet.json", &json).expect("write BENCH_simnet.json");
+    println!("\nwrote BENCH_simnet.json");
+}

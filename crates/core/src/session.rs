@@ -255,6 +255,14 @@ impl<A: MlApp> Proteus<A> {
         self.provider.now()
     }
 
+    /// Aggregate simnet delivery counters for the job's cluster —
+    /// delivered and dropped message totals, accounted identically by
+    /// both simnet cores. Useful for post-run network-health asserts in
+    /// session tests without reaching into the job's cluster.
+    pub fn net_stats(&self) -> proteus_simnet::NetStats {
+        self.job.net_stats()
+    }
+
     /// Live transient machine count.
     pub fn transient_machines(&self) -> usize {
         self.alloc_nodes.values().map(Vec::len).sum()

@@ -49,6 +49,10 @@ fn full_session_trains_under_market_churn() {
     session.run_market_hours(6.0).expect("market run");
     session.wait_clock(20).expect("training progress");
 
+    // Training implies network traffic; the aggregate simnet counters
+    // are visible at the session surface.
+    assert!(session.net_stats().messages > 0, "no cluster traffic seen");
+
     let report = session.finish().expect("finish");
     assert!(report.clocks >= 20);
     assert!(report.cost > 0.0, "spot hours cost money");

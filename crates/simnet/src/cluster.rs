@@ -47,18 +47,37 @@ pub struct ClusterInner<M> {
 impl<M: Send + Clone + 'static> ClusterInner<M> {
     /// Routes an application message through the fault layer (if any),
     /// counting drops to dead targets.
+    ///
+    /// The sender's result reflects only its *own* message: success iff
+    /// the fault layer absorbed it (drop/delay — the network ate it) or
+    /// at least one copy reached the destination. The fate of a
+    /// previously-held message released by this traffic never leaks into
+    /// the current sender's result (its failures are still counted as
+    /// drops by [`ClusterInner::route`]).
     pub(crate) fn deliver(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), SendError> {
         let layer = self.faults.read().clone();
         match layer {
             None => self.route(from, to, msg),
             Some(layer) => {
-                // An absorbed message (fault-dropped or held back) looks
-                // like success to the sender: the network ate it.
-                let mut result = Ok(());
-                for m in layer.apply(from, to, msg) {
-                    result = self.route(from, to, m);
+                let applied = layer.apply(from, to, msg);
+                let mut delivered = false;
+                let mut first_err = None;
+                for m in applied.copies {
+                    match self.route(from, to, m) {
+                        Ok(()) => delivered = true,
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                        }
+                    }
                 }
-                result
+                if let Some(m) = applied.released {
+                    let _ = self.route(from, to, m);
+                }
+                if delivered || applied.absorbed {
+                    Ok(())
+                } else {
+                    Err(first_err.unwrap_or(SendError::Unreachable(to)))
+                }
             }
         }
     }
@@ -81,7 +100,14 @@ impl<M: Send + Clone + 'static> ClusterInner<M> {
     }
 
     /// Installs (or replaces) the message-fault layer.
+    ///
+    /// A replaced layer is flushed first, exactly like
+    /// [`ClusterInner::clear_faults`]: its held (delayed) messages are
+    /// routed to their destinations rather than silently destroyed, and
+    /// any that are undeliverable are counted in [`NetStats::dropped`]
+    /// by [`ClusterInner::route`].
     pub(crate) fn set_faults(&self, plan: FaultPlan<M>) {
+        self.flush_delayed();
         let obs = self.recorder.read().clone();
         *self.faults.write() = Some(Arc::new(FaultLayer::new(plan, obs)));
     }
@@ -163,9 +189,10 @@ impl<M: Send + Clone + 'static> ClusterHandle<M> {
 
     /// Sends an application message on behalf of the harness.
     ///
-    /// The message is attributed to the synthetic node id `u32::MAX`.
+    /// The message is attributed to the reserved synthetic id
+    /// [`NodeId::HARNESS`], which [`Cluster::spawn`] can never allocate.
     pub fn send_as_harness(&self, to: NodeId, msg: M) -> Result<(), SendError> {
-        self.inner.deliver(NodeId(u32::MAX), to, msg)
+        self.inner.deliver(NodeId::HARNESS, to, msg)
     }
 
     /// Whether `node` is alive (spawned and not killed).
@@ -295,6 +322,12 @@ impl<M: Send + Clone + 'static> Cluster<M> {
     where
         F: FnOnce(NodeCtx<M>) + Send + 'static,
     {
+        // `NodeId::HARNESS` (u32::MAX) is reserved for harness-attributed
+        // traffic; a spawned node must never collide with it.
+        assert!(
+            self.next_id < NodeId::HARNESS.0,
+            "simnet cluster exhausted the spawnable NodeId space"
+        );
         let id = NodeId(self.next_id);
         self.next_id += 1;
         let (tx, rx) = unbounded();
@@ -579,7 +612,7 @@ mod tests {
                 }
             }
         });
-        let harness = NodeId(u32::MAX);
+        let harness = NodeId::HARNESS;
         // Delay every harness→sink message: each send releases the
         // previous one, and the flush releases the last.
         cluster.set_faults(FaultPlan::new(5).delay_between(harness, sink, 1.0));
@@ -594,6 +627,125 @@ mod tests {
         let got = done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(got, vec![1, 2, 3, 99]);
         cluster.abort_all();
+    }
+
+    /// Regression (issue 8): the old `deliver` overwrote the send result
+    /// with the *last* routed payload's outcome, so a released stale held
+    /// message could leak its failure into an unrelated sender. A sender
+    /// whose own message was absorbed (here: delayed) must see `Ok` even
+    /// when the held message it releases is undeliverable.
+    #[test]
+    fn absorbed_send_succeeds_even_if_released_held_message_is_dead() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let victim = cluster.spawn(NodeClass::Transient, |ctx| while ctx.recv().is_ok() {});
+        let h = cluster.handle();
+        cluster.set_faults(FaultPlan::new(1).delay_between(NodeId::HARNESS, victim, 1.0));
+        // First send: held back (absorbed), sender sees Ok.
+        assert_eq!(h.send_as_harness(victim, 1), Ok(()));
+        cluster.kill(victim);
+        // Second send: also delayed (absorbed) — it releases the held
+        // first message, whose routing now fails. That failure is the
+        // held message's own (counted as a drop), not this sender's.
+        let before = cluster.stats().dropped;
+        assert_eq!(h.send_as_harness(victim, 2), Ok(()));
+        assert_eq!(cluster.stats().dropped, before + 1);
+        cluster.join();
+    }
+
+    /// Regression (issue 8): success must mean "at least one copy of *my*
+    /// message was delivered (or the network absorbed it)". A duplicated
+    /// message to a dead target delivers zero copies, so the sender must
+    /// see `Unreachable` — and both copies must be counted as drops.
+    #[test]
+    fn duplicated_send_to_dead_target_reports_unreachable() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let victim = cluster.spawn(NodeClass::Transient, |ctx| while ctx.recv().is_ok() {});
+        cluster.set_faults(FaultPlan::new(1).duplicate_between(NodeId::HARNESS, victim, 1.0));
+        cluster.kill(victim);
+        assert_eq!(
+            cluster.handle().send_as_harness(victim, 1),
+            Err(SendError::Unreachable(victim))
+        );
+        assert_eq!(cluster.fault_stats().duplicated, 1);
+        assert_eq!(cluster.stats().dropped, 2);
+        cluster.join();
+    }
+
+    /// Regression (issue 8): replacing an installed fault layer used to
+    /// destroy its held (delayed) messages without a trace. `set_faults`
+    /// must flush the old layer first, exactly like `clear_faults`.
+    #[test]
+    fn replacing_fault_layer_flushes_held_messages() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let (done_tx, done_rx) = unbounded();
+        let sink = cluster.spawn(NodeClass::Reliable, move |ctx| {
+            let mut got = Vec::new();
+            while let Ok(Incoming::App(env)) = ctx.recv() {
+                got.push(env.msg);
+                if env.msg == 99 {
+                    done_tx.send(got.clone()).unwrap();
+                    break;
+                }
+            }
+        });
+        cluster.set_faults(FaultPlan::new(3).delay_between(NodeId::HARNESS, sink, 1.0));
+        let h = cluster.handle();
+        h.send_as_harness(sink, 1).unwrap();
+        assert_eq!(cluster.fault_stats().delayed, 1);
+        // Replacing the plan must release the held message, not eat it.
+        cluster.set_faults(FaultPlan::new(4));
+        h.send_as_harness(sink, 99).unwrap();
+        let got = done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, vec![1, 99]);
+        cluster.abort_all();
+    }
+
+    /// Regression (issue 8): a held message flushed by a layer
+    /// replacement whose destination is already dead must be counted in
+    /// `NetStats::dropped`, not silently vanish.
+    #[test]
+    fn replacing_fault_layer_counts_undeliverable_held_as_dropped() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let victim = cluster.spawn(NodeClass::Transient, |ctx| while ctx.recv().is_ok() {});
+        cluster.set_faults(FaultPlan::new(5).delay_between(NodeId::HARNESS, victim, 1.0));
+        cluster.handle().send_as_harness(victim, 1).unwrap();
+        cluster.kill(victim);
+        let before = cluster.stats().dropped;
+        cluster.set_faults(FaultPlan::new(6));
+        assert_eq!(cluster.stats().dropped, before + 1);
+        cluster.join();
+    }
+
+    /// Pins the documented kill semantic: `recv` reports `Killed`
+    /// immediately once the node is dead, discarding messages queued
+    /// before the kill — a killed machine loses its mailbox.
+    #[test]
+    fn recv_after_kill_discards_pre_kill_queued_messages() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        let (obs_tx, obs_rx) = unbounded();
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let victim = cluster.spawn(NodeClass::Transient, move |ctx| {
+            // Hold off receiving until the harness has queued a message
+            // and killed us; the queued message must never surface.
+            gate_rx.recv().unwrap();
+            obs_tx.send(ctx.recv()).unwrap();
+        });
+        cluster.handle().send_as_harness(victim, 42).unwrap();
+        cluster.kill(victim);
+        gate_tx.send(()).unwrap();
+        let got = obs_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, Err(crate::RecvError::Killed));
+        cluster.join();
+    }
+
+    /// The synthetic harness id is reserved: no spawned node can ever be
+    /// confused with it.
+    #[test]
+    fn harness_id_is_never_spawned() {
+        let cluster: Cluster<u32> = Cluster::new();
+        assert!(!cluster.alive(NodeId::HARNESS));
+        assert_eq!(cluster.class_of(NodeId::HARNESS), None);
+        cluster.join();
     }
 
     #[test]

@@ -1,0 +1,776 @@
+//! The discrete-event simnet core: one timestamp-ordered queue, nodes as
+//! event-handler components.
+//!
+//! The thread-per-node [`Cluster`](crate::Cluster) is faithful but
+//! hopeless at fleet scale: a thousand simulated machines means a
+//! thousand OS threads fighting the scheduler. [`SimCluster`] is the
+//! DSLab-style alternative that unlocks 1000-node / 1000-job studies: a
+//! single driver owning one [`EventQueue`], with every node implemented
+//! as a [`SimNode`] component whose `on_message` / `on_control` /
+//! `on_timer` handlers run inline when their events pop. A send is not a
+//! channel push but a **scheduled delivery event** at `now + link
+//! latency`; time advances only by popping the queue, so a whole-fleet
+//! what-if simulation costs exactly its event count — no thread spawn,
+//! park, or context-switch overhead.
+//!
+//! # Determinism
+//!
+//! Everything runs on the caller's thread in timestamp order, with FIFO
+//! tie-breaking among equal timestamps (the [`EventQueue`] insertion-
+//! order invariant, property-tested in `proteus-simtime`). Two runs of
+//! the same scripted workload produce identical event sequences, stats,
+//! and traffic matrices — there is no interleaving to get lucky with.
+//!
+//! # Fault injection at enqueue time
+//!
+//! The same [`FaultPlan`](crate::FaultPlan) chaos layer the thread
+//! cluster uses is applied when a message is **enqueued**, not when it is
+//! dispatched: the n-th send on a (sender, receiver) pair consumes the
+//! n-th draw of that pair's seeded stream, exactly as on the thread
+//! cluster (where delivery runs on the sender's thread). A chaos run is
+//! therefore reproducible from the plan seed alone, and fault verdicts
+//! are identical across the two cores for the same per-pair send
+//! sequence.
+//!
+//! # Kill semantics
+//!
+//! [`SimCluster::kill`] pins the same semantic as the thread cluster's
+//! [`NodeCtx::recv`](crate::NodeCtx::recv): a killed node never handles
+//! another event. Deliveries already scheduled to it are discarded at
+//! dispatch and counted in [`NetStats::dropped`] — the event-queue
+//! analogue of a killed mailbox losing its queued messages.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use proteus_obs::Recorder;
+use proteus_simtime::{EventQueue, SimDuration, SimTime};
+
+use crate::cluster::NetStats;
+use crate::fault::{Applied, FaultLayer, FaultPlan, FaultStats};
+use crate::message::{Control, SendError};
+use crate::node::{NodeClass, NodeId};
+
+/// Identifies one timer a component set for itself; the component picks
+/// the value and gets it back in [`SimNode::on_timer`].
+pub type TimerId = u64;
+
+/// A node as an event-handler component.
+///
+/// Handlers run inline on the driver thread when their event pops; they
+/// interact with the cluster (sending, timers, introspection) only
+/// through the [`SimCtx`] they are handed. Handlers must not block — in
+/// a discrete-event world, "waiting" is setting a timer or waiting for
+/// the next message.
+pub trait SimNode<M> {
+    /// Called once, synchronously, when the node is added to the cluster.
+    fn on_start(&mut self, _ctx: &mut SimCtx<'_, M>) {}
+
+    /// An application message from `from` arrived.
+    fn on_message(&mut self, ctx: &mut SimCtx<'_, M>, from: NodeId, msg: M);
+
+    /// A harness control signal arrived ([`Control::Kill`] is never seen
+    /// here — the core retires the node instead, like the thread
+    /// cluster's context converting `Kill` into `RecvError::Killed`).
+    fn on_control(&mut self, _ctx: &mut SimCtx<'_, M>, _ctrl: Control) {}
+
+    /// A timer this component set via [`SimCtx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut SimCtx<'_, M>, _timer: TimerId) {}
+}
+
+/// Boxed handler closure taking the node's [`SimCtx`] plus an event
+/// payload `E` (sender + message, a control, or a timer id).
+type Handler<M, E> = Box<dyn FnMut(&mut SimCtx<'_, M>, E)>;
+
+/// Closure-based [`SimNode`] for tests, benches, and simple protocols.
+pub struct FnNode<M> {
+    on_message: Handler<M, (NodeId, M)>,
+    on_control: Option<Handler<M, Control>>,
+    on_timer: Option<Handler<M, TimerId>>,
+}
+
+impl<M> FnNode<M> {
+    /// A component handling application messages with `f` (and ignoring
+    /// controls and timers until handlers are attached).
+    pub fn new(mut f: impl FnMut(&mut SimCtx<'_, M>, NodeId, M) + 'static) -> Self {
+        FnNode {
+            on_message: Box::new(move |ctx, (from, msg)| f(ctx, from, msg)),
+            on_control: None,
+            on_timer: None,
+        }
+    }
+
+    /// Attaches a control handler; builder style.
+    pub fn with_control(mut self, f: impl FnMut(&mut SimCtx<'_, M>, Control) + 'static) -> Self {
+        self.on_control = Some(Box::new(f));
+        self
+    }
+
+    /// Attaches a timer handler; builder style.
+    pub fn with_timer(mut self, f: impl FnMut(&mut SimCtx<'_, M>, TimerId) + 'static) -> Self {
+        self.on_timer = Some(Box::new(f));
+        self
+    }
+}
+
+impl<M> SimNode<M> for FnNode<M> {
+    fn on_message(&mut self, ctx: &mut SimCtx<'_, M>, from: NodeId, msg: M) {
+        (self.on_message)(ctx, (from, msg));
+    }
+
+    fn on_control(&mut self, ctx: &mut SimCtx<'_, M>, ctrl: Control) {
+        if let Some(f) = self.on_control.as_mut() {
+            f(ctx, ctrl);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut SimCtx<'_, M>, timer: TimerId) {
+        if let Some(f) = self.on_timer.as_mut() {
+            f(ctx, timer);
+        }
+    }
+}
+
+/// One scheduled occurrence in the simulation.
+enum SimEvent<M> {
+    /// A message crossing the simulated link, due at its delivery instant.
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    /// A harness control signal due at `to`.
+    Control { to: NodeId, ctrl: Control },
+    /// A component timer firing.
+    Timer { node: NodeId, timer: TimerId },
+    /// A deferred harness send, pushed through the fault layer (and the
+    /// link) at its fire time.
+    Inject { to: NodeId, msg: M },
+}
+
+/// Per-node registry metadata (the component itself lives beside the
+/// state so handlers can borrow both disjointly).
+struct NodeMeta {
+    class: NodeClass,
+    dead: bool,
+}
+
+/// Everything a handler may touch mid-dispatch: clock, queue, registry
+/// metadata, fault layer, counters, recorder — the routing core shared
+/// by every [`SimCtx`].
+struct CoreState<M> {
+    now: SimTime,
+    queue: EventQueue<SimEvent<M>>,
+    meta: HashMap<NodeId, NodeMeta>,
+    next_id: u32,
+    /// Default one-way link latency applied to every delivery.
+    link_latency: SimDuration,
+    /// Per-(sender, receiver) latency overrides.
+    link_overrides: HashMap<(NodeId, NodeId), SimDuration>,
+    faults: Option<FaultLayer<M>>,
+    messages: u64,
+    dropped: u64,
+    /// Delivered-message counts per (sender, receiver) pair; a BTreeMap
+    /// so iteration order is deterministic for free.
+    traffic: BTreeMap<(NodeId, NodeId), u64>,
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl<M: Clone> CoreState<M> {
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.meta.get(&node).is_some_and(|m| !m.dead)
+    }
+
+    fn latency(&self, from: NodeId, to: NodeId) -> SimDuration {
+        self.link_overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.link_latency)
+    }
+
+    /// Pushes one message through the fault layer and schedules the
+    /// surviving copies as delivery events at `now + latency`.
+    ///
+    /// Mirrors [`ClusterInner::deliver`](crate::cluster::ClusterInner):
+    /// success iff the message was absorbed by the fault layer or the
+    /// destination was alive to schedule at least one copy toward.
+    /// Copies aimed at a dead destination are counted as drops
+    /// immediately; copies scheduled toward a then-alive destination
+    /// that dies before dispatch are counted as drops at dispatch.
+    fn enqueue(&mut self, from: NodeId, to: NodeId, msg: M) -> Result<(), SendError> {
+        let applied = match &self.faults {
+            None => Applied::passthrough(msg),
+            Some(layer) => layer.apply(from, to, msg),
+        };
+        let alive = self.is_alive(to);
+        let at = self.now + self.latency(from, to);
+        let copies = applied.copies.len() as u64;
+        if alive {
+            for m in applied.copies {
+                self.queue
+                    .schedule(at, SimEvent::Deliver { from, to, msg: m });
+            }
+        } else {
+            self.dropped += copies;
+        }
+        if let Some(m) = applied.released {
+            if alive {
+                self.queue
+                    .schedule(at, SimEvent::Deliver { from, to, msg: m });
+            } else {
+                self.dropped += 1;
+            }
+        }
+        if alive || applied.absorbed {
+            Ok(())
+        } else {
+            Err(SendError::Unreachable(to))
+        }
+    }
+}
+
+/// The per-dispatch handle a [`SimNode`] interacts with the cluster
+/// through — the event-core analogue of [`NodeCtx`](crate::NodeCtx).
+pub struct SimCtx<'a, M> {
+    id: NodeId,
+    state: &'a mut CoreState<M>,
+}
+
+impl<M: Clone> SimCtx<'_, M> {
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's reliability class.
+    pub fn class(&self) -> NodeClass {
+        self.state
+            .meta
+            .get(&self.id)
+            .map(|m| m.class)
+            .unwrap_or(NodeClass::Transient)
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.state.now
+    }
+
+    /// Sends an application message to `to`: a delivery event scheduled
+    /// at `now + link latency`, after the fault layer has had its say.
+    ///
+    /// Fails with [`SendError::SelfDead`] if this node has been killed
+    /// mid-dispatch and [`SendError::Unreachable`] if the target is
+    /// already gone (it may still die before the delivery fires, in
+    /// which case the copy is dropped silently — exactly a packet in
+    /// flight to a revoked machine).
+    pub fn send(&mut self, to: NodeId, msg: M) -> Result<(), SendError> {
+        if !self.state.is_alive(self.id) {
+            return Err(SendError::SelfDead);
+        }
+        self.state.enqueue(self.id, to, msg)
+    }
+
+    /// Like [`SimCtx::send`] with an extra sender-side delay before the
+    /// message enters the link (faults still apply now, at enqueue).
+    pub fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: M) -> Result<(), SendError> {
+        if !self.state.is_alive(self.id) {
+            return Err(SendError::SelfDead);
+        }
+        let saved = self.state.now;
+        self.state.now = saved + delay;
+        let result = self.state.enqueue(self.id, to, msg);
+        self.state.now = saved;
+        result
+    }
+
+    /// Schedules [`SimNode::on_timer`] for this node at `now + delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, timer: TimerId) {
+        let at = self.state.now + delay;
+        self.state.queue.schedule(
+            at,
+            SimEvent::Timer {
+                node: self.id,
+                timer,
+            },
+        );
+    }
+
+    /// Whether a peer node is currently alive.
+    pub fn peer_alive(&self, node: NodeId) -> bool {
+        self.state.is_alive(node)
+    }
+
+    /// Retires this node cooperatively: no further events are dispatched
+    /// to it and subsequent sends toward it count as drops.
+    pub fn stop(&mut self) {
+        if let Some(m) = self.state.meta.get_mut(&self.id) {
+            m.dead = true;
+        }
+    }
+}
+
+/// A discrete-event cluster: the [`SimNode`] components, the shared
+/// routing state, and the single timestamp-ordered event queue that
+/// drives them.
+///
+/// # Examples
+///
+/// ```
+/// use proteus_simnet::{FnNode, NodeClass, SimCluster};
+/// use proteus_simtime::SimDuration;
+///
+/// let mut sim: SimCluster<u64> = SimCluster::new();
+/// sim.set_link_latency(SimDuration::from_millis(5));
+/// let echo = sim.add_node(
+///     NodeClass::Reliable,
+///     FnNode::new(|ctx, from, msg| {
+///         let _ = ctx.send(from, msg * 2);
+///     }),
+/// );
+/// let probe = sim.add_node(
+///     NodeClass::Transient,
+///     FnNode::new(|_ctx, _from, msg| assert_eq!(msg, 42)),
+/// );
+/// sim.send_from(probe, echo, 21).unwrap();
+/// let end = sim.run_until_idle();
+/// assert_eq!(end, proteus_simtime::SimTime::from_millis(10));
+/// assert_eq!(sim.stats().messages, 2);
+/// ```
+pub struct SimCluster<M> {
+    state: CoreState<M>,
+    components: HashMap<NodeId, Box<dyn SimNode<M>>>,
+}
+
+impl<M: Clone> Default for SimCluster<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Clone> SimCluster<M> {
+    /// Creates an empty cluster at the simulation epoch with zero link
+    /// latency.
+    pub fn new() -> Self {
+        SimCluster {
+            state: CoreState {
+                now: SimTime::EPOCH,
+                queue: EventQueue::new(),
+                meta: HashMap::new(),
+                next_id: 0,
+                link_latency: SimDuration::ZERO,
+                link_overrides: HashMap::new(),
+                faults: None,
+                messages: 0,
+                dropped: 0,
+                traffic: BTreeMap::new(),
+                recorder: None,
+            },
+            components: HashMap::new(),
+        }
+    }
+
+    /// Sets the default one-way link latency applied to every delivery.
+    pub fn set_link_latency(&mut self, latency: SimDuration) {
+        self.state.link_latency = latency;
+    }
+
+    /// Overrides the link latency for messages from `from` to `to`.
+    pub fn set_link_latency_between(&mut self, from: NodeId, to: NodeId, latency: SimDuration) {
+        self.state.link_overrides.insert((from, to), latency);
+    }
+
+    /// Adds a node of the given reliability class, returning its id. The
+    /// component's [`SimNode::on_start`] runs synchronously before this
+    /// returns (at the current sim instant).
+    pub fn add_node(&mut self, class: NodeClass, node: impl SimNode<M> + 'static) -> NodeId {
+        // `NodeId::HARNESS` (u32::MAX) is reserved for harness-attributed
+        // traffic; an added node must never collide with it.
+        assert!(
+            self.state.next_id < NodeId::HARNESS.0,
+            "simnet event core exhausted the spawnable NodeId space"
+        );
+        let id = NodeId(self.state.next_id);
+        self.state.next_id += 1;
+        self.state.meta.insert(id, NodeMeta { class, dead: false });
+        let mut node: Box<dyn SimNode<M>> = Box::new(node);
+        let mut ctx = SimCtx {
+            id,
+            state: &mut self.state,
+        };
+        node.on_start(&mut ctx);
+        self.components.insert(id, node);
+        id
+    }
+
+    /// The current simulated instant (the timestamp of the last
+    /// dispatched event, or where [`SimCluster::run_until`] left it).
+    pub fn now(&self) -> SimTime {
+        self.state.now
+    }
+
+    /// Sends an application message on behalf of the harness, attributed
+    /// to the reserved [`NodeId::HARNESS`].
+    pub fn send_as_harness(&mut self, to: NodeId, msg: M) -> Result<(), SendError> {
+        self.state.enqueue(NodeId::HARNESS, to, msg)
+    }
+
+    /// Sends an application message attributed to `from` (which must be
+    /// alive) — lets a harness script traffic between specific nodes.
+    pub fn send_from(&mut self, from: NodeId, to: NodeId, msg: M) -> Result<(), SendError> {
+        if !self.state.is_alive(from) {
+            return Err(SendError::SelfDead);
+        }
+        self.state.enqueue(from, to, msg)
+    }
+
+    /// Schedules a harness send to be pushed through the fault layer at
+    /// the absolute instant `at` (clamped to no earlier than now).
+    pub fn schedule_harness_send(&mut self, at: SimTime, to: NodeId, msg: M) {
+        self.state
+            .queue
+            .schedule(at.max(self.state.now), SimEvent::Inject { to, msg });
+    }
+
+    /// Delivers a control signal to `to` at the current instant.
+    pub fn send_control(&mut self, to: NodeId, ctrl: Control) -> Result<(), SendError> {
+        if !self.state.is_alive(to) {
+            return Err(SendError::Unreachable(to));
+        }
+        self.state
+            .queue
+            .schedule(self.state.now, SimEvent::Control { to, ctrl });
+        Ok(())
+    }
+
+    /// Schedules a control signal for the absolute instant `at` (clamped
+    /// to no earlier than now) — the chaos-scripting primitive:
+    /// `schedule_control(t, n, Control::Kill)` is a scripted crash,
+    /// `Control::EvictionWarning` a scripted two-minute notice.
+    pub fn schedule_control(&mut self, at: SimTime, to: NodeId, ctrl: Control) {
+        self.state
+            .queue
+            .schedule(at.max(self.state.now), SimEvent::Control { to, ctrl });
+    }
+
+    /// Delivers an eviction warning to `node` at the current instant.
+    pub fn revoke(&mut self, node: NodeId, deadline_ms: u64) -> Result<(), SendError> {
+        self.send_control(node, Control::EvictionWarning { deadline_ms })
+    }
+
+    /// Politely asks `node` to shut down (end-of-job).
+    pub fn shutdown(&mut self, node: NodeId) -> Result<(), SendError> {
+        self.send_control(node, Control::Shutdown)
+    }
+
+    /// Abruptly kills `node`, effective immediately: it handles no
+    /// further events, deliveries already in flight toward it are
+    /// discarded at dispatch (counted in [`NetStats::dropped`]), and its
+    /// own sends fail — the same semantic the thread cluster pins.
+    ///
+    /// Idempotent; killing an unknown node is a no-op.
+    pub fn kill(&mut self, node: NodeId) {
+        if let Some(m) = self.state.meta.get_mut(&node) {
+            m.dead = true;
+        }
+    }
+
+    /// Installs (or replaces) a message-[`FaultPlan`], applied at
+    /// enqueue time to every subsequent send. A replaced layer is
+    /// flushed first so its held (delayed) messages are scheduled for
+    /// delivery rather than silently destroyed.
+    pub fn set_faults(&mut self, plan: FaultPlan<M>) {
+        self.flush_delayed();
+        let obs = self.state.recorder.clone();
+        self.state.faults = Some(FaultLayer::new(plan, obs));
+    }
+
+    /// Removes the fault layer, flushing any held-back messages first.
+    pub fn clear_faults(&mut self) {
+        self.flush_delayed();
+        self.state.faults = None;
+    }
+
+    /// Schedules every delayed (held-back) message for delivery at
+    /// `now + latency`; returns how many were released.
+    pub fn flush_delayed(&mut self) -> usize {
+        let Some(layer) = self.state.faults.as_ref() else {
+            return 0;
+        };
+        let held = layer.drain_held();
+        let n = held.len();
+        for (from, to, msg) in held {
+            let at = self.state.now + self.state.latency(from, to);
+            if self.state.is_alive(to) {
+                self.state
+                    .queue
+                    .schedule(at, SimEvent::Deliver { from, to, msg });
+            } else {
+                self.state.dropped += 1;
+            }
+        }
+        n
+    }
+
+    /// Counters of message faults injected so far (zeros if no plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.state
+            .faults
+            .as_ref()
+            .map(|l| l.stats())
+            .unwrap_or_default()
+    }
+
+    /// Attaches an observability recorder: its sim clock is driven to
+    /// each event's timestamp before dispatch (so component-recorded
+    /// events are sim-time stamped), and the fault layer mirrors
+    /// injected faults into its `simnet.msg.*` counters.
+    pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        rec.set_now(self.state.now);
+        if let Some(layer) = self.state.faults.as_ref() {
+            layer.set_recorder(Arc::clone(&rec));
+        }
+        self.state.recorder = Some(rec);
+    }
+
+    /// Whether `node` is alive (added and not killed or stopped).
+    pub fn alive(&self, node: NodeId) -> bool {
+        self.state.is_alive(node)
+    }
+
+    /// The reliability class `node` was added with, if it exists.
+    pub fn class_of(&self, node: NodeId) -> Option<NodeClass> {
+        self.state.meta.get(&node).map(|m| m.class)
+    }
+
+    /// Ids of all currently-alive nodes, sorted.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self
+            .state
+            .meta
+            .iter()
+            .filter(|(_, m)| !m.dead)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Aggregate traffic counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            messages: self.state.messages,
+            dropped: self.state.dropped,
+        }
+    }
+
+    /// Delivered-message counts per (sender, receiver) pair, sorted.
+    pub fn traffic_matrix(&self) -> Vec<((NodeId, NodeId), u64)> {
+        self.state.traffic.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Messages delivered from `from` to `to`.
+    pub fn traffic_between(&self, from: NodeId, to: NodeId) -> u64 {
+        self.state.traffic.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Number of events still pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.state.queue.len()
+    }
+
+    /// Dispatches the earliest pending event; returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.state.queue.pop() {
+            Some((at, ev)) => {
+                self.dispatch(at, ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until no events remain, returning the final sim instant.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        while self.step() {}
+        self.state.now
+    }
+
+    /// Dispatches every event due at or before `t`, then advances the
+    /// clock to exactly `t` (if it is not already past it).
+    pub fn run_until(&mut self, t: SimTime) -> SimTime {
+        while let Some((at, ev)) = self.state.queue.pop_due(t) {
+            self.dispatch(at, ev);
+        }
+        self.state.now = self.state.now.max(t);
+        if let Some(rec) = self.state.recorder.as_deref() {
+            rec.set_now(self.state.now);
+        }
+        self.state.now
+    }
+
+    fn dispatch(&mut self, at: SimTime, ev: SimEvent<M>) {
+        self.state.now = at;
+        if let Some(rec) = self.state.recorder.as_deref() {
+            rec.set_now(at);
+        }
+        match ev {
+            SimEvent::Deliver { from, to, msg } => {
+                if !self.state.is_alive(to) {
+                    // The destination died after this delivery was
+                    // scheduled: the pinned kill semantic — in-flight
+                    // messages to a killed node are lost, and counted.
+                    self.state.dropped += 1;
+                    return;
+                }
+                self.state.messages += 1;
+                *self.state.traffic.entry((from, to)).or_insert(0) += 1;
+                self.with_component(to, |node, ctx| node.on_message(ctx, from, msg));
+            }
+            SimEvent::Control { to, ctrl } => {
+                if !self.state.is_alive(to) {
+                    return;
+                }
+                if ctrl == Control::Kill {
+                    self.kill(to);
+                    return;
+                }
+                self.with_component(to, |node, ctx| node.on_control(ctx, ctrl));
+            }
+            SimEvent::Timer { node, timer } => {
+                if !self.state.is_alive(node) {
+                    return;
+                }
+                self.with_component(node, |n, ctx| n.on_timer(ctx, timer));
+            }
+            SimEvent::Inject { to, msg } => {
+                let _ = self.state.enqueue(NodeId::HARNESS, to, msg);
+            }
+        }
+    }
+
+    /// Runs `f` with `id`'s component temporarily removed from the map so
+    /// the handler can mutably borrow both itself and the core state.
+    fn with_component(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut dyn SimNode<M>, &mut SimCtx<'_, M>),
+    ) {
+        if let Some(mut node) = self.components.remove(&id) {
+            let mut ctx = SimCtx {
+                id,
+                state: &mut self.state,
+            };
+            f(node.as_mut(), &mut ctx);
+            self.components.insert(id, node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_round_trip_advances_sim_time() {
+        let mut sim: SimCluster<u32> = SimCluster::new();
+        sim.set_link_latency(SimDuration::from_millis(3));
+        let echo = sim.add_node(
+            NodeClass::Reliable,
+            FnNode::new(|ctx, from, msg| {
+                let _ = ctx.send(from, msg + 1);
+            }),
+        );
+        let sink = sim.add_node(NodeClass::Transient, FnNode::new(|_, _, _| {}));
+        sim.send_from(sink, echo, 1).unwrap();
+        assert_eq!(sim.run_until_idle(), SimTime::from_millis(6));
+        assert_eq!(sim.stats().messages, 2);
+        assert_eq!(sim.traffic_between(echo, sink), 1);
+    }
+
+    #[test]
+    fn same_timestamp_events_dispatch_fifo() {
+        let mut sim: SimCluster<u32> = SimCluster::new();
+        let log: std::rc::Rc<std::cell::RefCell<Vec<u32>>> = Default::default();
+        let sink_log = std::rc::Rc::clone(&log);
+        let sink = sim.add_node(
+            NodeClass::Reliable,
+            FnNode::new(move |_, _, msg| sink_log.borrow_mut().push(msg)),
+        );
+        for i in 0..50 {
+            sim.send_as_harness(sink, i).unwrap();
+        }
+        sim.run_until_idle();
+        assert_eq!(*log.borrow(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn killed_node_drops_in_flight_deliveries() {
+        let mut sim: SimCluster<u32> = SimCluster::new();
+        sim.set_link_latency(SimDuration::from_millis(10));
+        let victim = sim.add_node(
+            NodeClass::Transient,
+            FnNode::new(|_, _, _| panic!("must never handle a message")),
+        );
+        sim.send_as_harness(victim, 7).unwrap(); // in flight for 10ms
+        sim.kill(victim);
+        sim.run_until_idle();
+        assert_eq!(sim.stats().messages, 0);
+        assert_eq!(sim.stats().dropped, 1);
+        // Sends to the dead node now fail at enqueue.
+        assert_eq!(
+            sim.send_as_harness(victim, 8),
+            Err(SendError::Unreachable(victim))
+        );
+        assert_eq!(sim.stats().dropped, 2);
+    }
+
+    #[test]
+    fn timers_fire_at_their_instant() {
+        let mut sim: SimCluster<u32> = SimCluster::new();
+        let fired: std::rc::Rc<std::cell::RefCell<Vec<(u64, u64)>>> = Default::default();
+        let f = std::rc::Rc::clone(&fired);
+        struct Ticker {
+            fired: std::rc::Rc<std::cell::RefCell<Vec<(u64, u64)>>>,
+        }
+        impl SimNode<u32> for Ticker {
+            fn on_start(&mut self, ctx: &mut SimCtx<'_, u32>) {
+                ctx.set_timer(SimDuration::from_millis(5), 1);
+                ctx.set_timer(SimDuration::from_millis(2), 2);
+            }
+            fn on_message(&mut self, _: &mut SimCtx<'_, u32>, _: NodeId, _: u32) {}
+            fn on_timer(&mut self, ctx: &mut SimCtx<'_, u32>, timer: TimerId) {
+                self.fired.borrow_mut().push((ctx.now().as_millis(), timer));
+            }
+        }
+        sim.add_node(NodeClass::Reliable, Ticker { fired: f });
+        sim.run_until_idle();
+        assert_eq!(*fired.borrow(), vec![(2, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn harness_id_is_reserved() {
+        let mut sim: SimCluster<u32> = SimCluster::new();
+        let sink = sim.add_node(NodeClass::Reliable, FnNode::new(|_, _, _| {}));
+        assert_ne!(sink, NodeId::HARNESS);
+        assert!(!sim.alive(NodeId::HARNESS));
+        sim.send_as_harness(sink, 1).unwrap();
+        sim.run_until_idle();
+        assert_eq!(sim.traffic_between(NodeId::HARNESS, sink), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_the_requested_instant() {
+        let mut sim: SimCluster<u32> = SimCluster::new();
+        sim.set_link_latency(SimDuration::from_millis(10));
+        let sink = sim.add_node(NodeClass::Reliable, FnNode::new(|_, _, _| {}));
+        sim.send_as_harness(sink, 1).unwrap();
+        assert_eq!(
+            sim.run_until(SimTime::from_millis(4)),
+            SimTime::from_millis(4)
+        );
+        assert_eq!(sim.stats().messages, 0);
+        assert_eq!(
+            sim.run_until(SimTime::from_millis(20)),
+            SimTime::from_millis(20)
+        );
+        assert_eq!(sim.stats().messages, 1);
+    }
+}

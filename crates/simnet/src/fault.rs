@@ -196,6 +196,38 @@ enum Verdict {
     Delay,
 }
 
+/// Outcome of pushing one message through the fault layer.
+///
+/// Distinguishes the *current* message's copies from a previously-held
+/// message released by this traffic: the sender's result must reflect
+/// only its own message (success iff it was absorbed by the network or
+/// at least one copy was delivered), never the fate of a stale held
+/// message that happened to ride along.
+#[derive(Debug, PartialEq)]
+pub(crate) struct Applied<M> {
+    /// Copies of the current message to deliver now (empty when the
+    /// message was dropped or held back).
+    pub(crate) copies: Vec<M>,
+    /// The current message was absorbed (fault-dropped or held back):
+    /// the network ate it, so the sender must see success.
+    pub(crate) absorbed: bool,
+    /// A previously-held message on the same pair released by this
+    /// traffic, delivered after the current copies — the one-message
+    /// reorder a delay fault produces.
+    pub(crate) released: Option<M>,
+}
+
+impl<M> Applied<M> {
+    /// An untouched message: one copy, nothing absorbed or released.
+    pub(crate) fn passthrough(msg: M) -> Self {
+        Applied {
+            copies: vec![msg],
+            absorbed: false,
+            released: None,
+        }
+    }
+}
+
 /// Per-(sender, receiver) stream state.
 struct PairState<M> {
     rng: SplitMix64,
@@ -250,18 +282,20 @@ impl<M: Clone> FaultLayer<M> {
         }
     }
 
-    /// Applies the plan to one message, returning the payloads to deliver
-    /// *now*, in order. Empty means the message was absorbed (dropped or
-    /// held back) — the sender must still see success.
-    pub(crate) fn apply(&self, from: NodeId, to: NodeId, msg: M) -> Vec<M> {
+    /// Applies the plan to one message, returning what to deliver *now*:
+    /// the current message's copies (empty when it was absorbed) plus any
+    /// previously-held message this traffic releases.
+    pub(crate) fn apply(&self, from: NodeId, to: NodeId, msg: M) -> Applied<M> {
         let rule = match self.plan.rules.iter().find(|r| r.matches(from, to, &msg)) {
             Some(r) => r,
             // Untouched traffic still flushes anything held on its pair so
             // a delayed message is reordered by exactly one message.
             None => {
-                let mut out = vec![msg];
-                out.extend(self.take_held(from, to));
-                return out;
+                return Applied {
+                    copies: vec![msg],
+                    absorbed: false,
+                    released: self.take_held(from, to),
+                };
             }
         };
         let (drop_p, dup_p, delay_p) = (rule.drop, rule.duplicate, rule.delay);
@@ -283,34 +317,44 @@ impl<M: Clone> FaultLayer<M> {
         } else {
             Verdict::Deliver
         };
-        let mut out = Vec::new();
         match verdict {
-            Verdict::Deliver => {
-                out.push(msg);
-                out.extend(pair.held.take());
-            }
+            Verdict::Deliver => Applied {
+                copies: vec![msg],
+                absorbed: false,
+                released: pair.held.take(),
+            },
             Verdict::Drop => {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 self.mirror(OBS_MSG_DROPPED);
-                out.extend(pair.held.take());
+                Applied {
+                    copies: Vec::new(),
+                    absorbed: true,
+                    released: pair.held.take(),
+                }
             }
             Verdict::Duplicate => {
                 self.duplicated.fetch_add(1, Ordering::Relaxed);
                 self.mirror(OBS_MSG_DUPLICATED);
-                out.push(msg.clone());
-                out.push(msg);
-                out.extend(pair.held.take());
+                Applied {
+                    copies: vec![msg.clone(), msg],
+                    absorbed: false,
+                    released: pair.held.take(),
+                }
             }
             Verdict::Delay => {
                 self.delayed.fetch_add(1, Ordering::Relaxed);
                 self.mirror(OBS_MSG_DELAYED);
                 // Release anything already held first so at most one
                 // message per pair is ever in flight "late".
-                out.extend(pair.held.take());
+                let released = pair.held.take();
                 pair.held = Some(msg);
+                Applied {
+                    copies: Vec::new(),
+                    absorbed: true,
+                    released,
+                }
             }
         }
-        out
     }
 
     fn take_held(&self, from: NodeId, to: NodeId) -> Option<M> {
@@ -338,6 +382,16 @@ impl<M: Clone> FaultLayer<M> {
 mod tests {
     use super::*;
 
+    impl<M: Clone> Applied<M> {
+        /// Delivery order the cluster would route: current copies, then
+        /// any released held message.
+        fn in_order(&self) -> Vec<M> {
+            let mut out = self.copies.clone();
+            out.extend(self.released.clone());
+            out
+        }
+    }
+
     fn plan_all(seed: u64, drop: f64, dup: f64, delay: f64) -> FaultPlan<u32> {
         FaultPlan::new(seed).with_rule(FaultRule {
             from: None,
@@ -355,8 +409,8 @@ mod tests {
         let b = FaultLayer::new(plan_all(42, 0.3, 0.3, 0.3), None);
         for i in 0..200u32 {
             assert_eq!(
-                a.apply(NodeId(1), NodeId(2), i),
-                b.apply(NodeId(1), NodeId(2), i)
+                a.apply(NodeId(1), NodeId(2), i).in_order(),
+                b.apply(NodeId(1), NodeId(2), i).in_order()
             );
         }
     }
@@ -366,10 +420,10 @@ mod tests {
         let a = FaultLayer::new(plan_all(1, 0.5, 0.0, 0.0), None);
         let b = FaultLayer::new(plan_all(2, 0.5, 0.0, 0.0), None);
         let va: Vec<_> = (0..100u32)
-            .map(|i| a.apply(NodeId(1), NodeId(2), i))
+            .map(|i| a.apply(NodeId(1), NodeId(2), i).in_order())
             .collect();
         let vb: Vec<_> = (0..100u32)
-            .map(|i| b.apply(NodeId(1), NodeId(2), i))
+            .map(|i| b.apply(NodeId(1), NodeId(2), i).in_order())
             .collect();
         assert_ne!(va, vb);
     }
@@ -383,9 +437,9 @@ mod tests {
         let mut va = Vec::new();
         let mut vb = Vec::new();
         for i in 0..100u32 {
-            va.push(a.apply(NodeId(1), NodeId(2), i));
+            va.push(a.apply(NodeId(1), NodeId(2), i).in_order());
             a.apply(NodeId(3), NodeId(4), i); // extra traffic
-            vb.push(b.apply(NodeId(1), NodeId(2), i));
+            vb.push(b.apply(NodeId(1), NodeId(2), i).in_order());
         }
         assert_eq!(va, vb);
     }
@@ -393,14 +447,18 @@ mod tests {
     #[test]
     fn drop_absorbs_the_message() {
         let layer = FaultLayer::new(plan_all(0, 1.0, 0.0, 0.0), None);
-        assert!(layer.apply(NodeId(1), NodeId(2), 9).is_empty());
+        let applied = layer.apply(NodeId(1), NodeId(2), 9);
+        assert!(applied.copies.is_empty());
+        assert!(applied.absorbed);
         assert_eq!(layer.stats().dropped, 1);
     }
 
     #[test]
     fn duplicate_delivers_twice() {
         let layer = FaultLayer::new(plan_all(0, 0.0, 1.0, 0.0), None);
-        assert_eq!(layer.apply(NodeId(1), NodeId(2), 9), vec![9, 9]);
+        let applied = layer.apply(NodeId(1), NodeId(2), 9);
+        assert_eq!(applied.copies, vec![9, 9]);
+        assert!(!applied.absorbed);
         assert_eq!(layer.stats().duplicated, 1);
     }
 
@@ -416,9 +474,12 @@ mod tests {
             filter: None,
         });
         let layer = FaultLayer::new(plan, None);
-        assert!(layer.apply(NodeId(1), NodeId(2), 1).is_empty());
+        let first = layer.apply(NodeId(1), NodeId(2), 1);
+        assert!(first.copies.is_empty() && first.absorbed);
         // Second message is also "delayed": releases the first, holds self.
-        assert_eq!(layer.apply(NodeId(1), NodeId(2), 2), vec![1]);
+        let second = layer.apply(NodeId(1), NodeId(2), 2);
+        assert!(second.copies.is_empty() && second.absorbed);
+        assert_eq!(second.released, Some(1));
         assert_eq!(layer.drain_held(), vec![(NodeId(1), NodeId(2), 2)]);
         assert_eq!(layer.drain_held(), vec![]);
         assert_eq!(layer.stats().delayed, 2);
@@ -435,16 +496,16 @@ mod tests {
             filter: Some(Arc::new(|m: &u32| m.is_multiple_of(2))),
         });
         let layer = FaultLayer::new(plan, None);
-        assert!(layer.apply(NodeId(1), NodeId(2), 4).is_empty()); // dropped
-        assert_eq!(layer.apply(NodeId(1), NodeId(2), 5), vec![5]); // untouched
+        assert!(layer.apply(NodeId(1), NodeId(2), 4).absorbed); // dropped
+        assert_eq!(layer.apply(NodeId(1), NodeId(2), 5).in_order(), vec![5]); // untouched
     }
 
     #[test]
     fn wildcard_and_specific_pair_matching() {
         let plan = FaultPlan::new(0).drop_between(NodeId(1), NodeId(2), 1.0);
         let layer = FaultLayer::new(plan, None);
-        assert!(layer.apply(NodeId(1), NodeId(2), 1).is_empty());
-        assert_eq!(layer.apply(NodeId(2), NodeId(1), 1), vec![1]);
-        assert_eq!(layer.apply(NodeId(1), NodeId(3), 1), vec![1]);
+        assert!(layer.apply(NodeId(1), NodeId(2), 1).absorbed);
+        assert_eq!(layer.apply(NodeId(2), NodeId(1), 1).in_order(), vec![1]);
+        assert_eq!(layer.apply(NodeId(1), NodeId(3), 1).in_order(), vec![1]);
     }
 }

@@ -17,20 +17,37 @@
 //! * per-node traffic counters support asserting network behavior in
 //!   tests (e.g. that backup streams flow reliable-ward only).
 //!
-//! Determinism note: threads interleave freely, so *message order between
-//! different senders* is nondeterministic exactly as on a real network;
-//! protocol tests must assert convergence properties, not exact schedules.
+//! Two execution cores share the same routing, chaos, and accounting
+//! semantics:
+//!
+//! * the **thread-per-node** [`Cluster`] — every node is an OS thread
+//!   with a blocking mailbox; faithful to real concurrency, fine for
+//!   ~10–100 nodes, and the substrate the AgileML suites run on today;
+//! * the **discrete-event** [`SimCluster`] — one timestamp-ordered
+//!   [`proteus_simtime::EventQueue`] drives [`SimNode`] components via
+//!   `on_message` / `on_control` / `on_timer` handlers, with link
+//!   latency as scheduled delivery events. This is the fleet-scale core:
+//!   1000-node chaos sweeps cost their event count, not a thousand OS
+//!   threads.
+//!
+//! Determinism note: under the thread core, threads interleave freely, so
+//! *message order between different senders* is nondeterministic exactly
+//! as on a real network; protocol tests must assert convergence
+//! properties, not exact schedules. The event core is fully
+//! deterministic: same script, same event sequence, byte-identical obs.
 
 // Fault- and teardown-reachable paths must return typed errors; any
 // retained expect must document a real invariant at its use site.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cluster;
+pub mod event_core;
 pub mod fault;
 pub mod message;
 pub mod node;
 
 pub use cluster::{Cluster, ClusterHandle, NetStats};
+pub use event_core::{FnNode, SimCluster, SimCtx, SimNode, TimerId};
 pub use fault::{
     FaultPlan, FaultRule, FaultStats, MsgFilter, OBS_MSG_DELAYED, OBS_MSG_DROPPED,
     OBS_MSG_DUPLICATED,

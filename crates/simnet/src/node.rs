@@ -12,6 +12,16 @@ use crate::message::{Control, Incoming, RecvError, SendError};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
+impl NodeId {
+    /// The reserved synthetic id harness-originated traffic is attributed
+    /// to (see [`ClusterHandle::send_as_harness`]
+    /// [`crate::ClusterHandle::send_as_harness`]). Never allocated by
+    /// [`Cluster::spawn`](crate::Cluster::spawn) or
+    /// [`SimCluster::add_node`](crate::SimCluster::add_node), so a harness
+    /// message can never be mistaken for (or collide with) a real node's.
+    pub const HARNESS: NodeId = NodeId(u32::MAX);
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "node-{}", self.0)
@@ -74,8 +84,12 @@ impl<M: Send + Clone + 'static> NodeCtx<M> {
 
     /// Blocks until the next message or control signal arrives.
     ///
-    /// Returns [`RecvError::Killed`] once the node has been killed and its
-    /// queue drained of the kill notice.
+    /// Returns [`RecvError::Killed`] **immediately** once the node has
+    /// been killed: messages still queued in the mailbox from before the
+    /// kill are discarded unread, exactly as a revoked machine loses its
+    /// in-flight TCP data. (The discrete-event core pins the same
+    /// semantic: deliveries scheduled to a node that dies before
+    /// dispatch are dropped, never handled.)
     pub fn recv(&self) -> Result<Incoming<M>, RecvError> {
         if self.inner.is_dead(self.id) {
             return Err(RecvError::Killed);

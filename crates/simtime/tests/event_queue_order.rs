@@ -1,0 +1,64 @@
+//! Property test for the [`EventQueue`] ordering invariant the simnet
+//! discrete-event core relies on: pops are globally timestamp-ordered,
+//! and among events scheduled for the same instant, FIFO-stable in
+//! insertion order — under arbitrary interleavings of `schedule` and
+//! `pop_due`.
+
+use proptest::prelude::*;
+use proteus_simtime::{EventQueue, SimTime};
+
+/// Checks one popped `(time, seq)` pair against the model: it must be
+/// the pending event with the minimal (timestamp, insertion-seq) key.
+fn check_pop(pending: &mut Vec<(SimTime, u64)>, got: (SimTime, u64)) {
+    let min = pending.iter().copied().min_by_key(|&(at, s)| (at, s));
+    prop_assert_eq!(Some(got), min, "pop violated (time, seq) order");
+    pending.retain(|&e| e != got);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Drive the queue with a random op sequence (schedule at a random
+    /// instant, or advance a monotone clock and drain everything due)
+    /// against a naive model of the pending set.
+    #[test]
+    fn pops_are_time_ordered_and_fifo_stable_under_interleaving(
+        ops in proptest::collection::vec((0u8..4u8, 0u64..40u64), 1..150),
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Model of pending events: (scheduled instant, insertion seq).
+        let mut pending: Vec<(SimTime, u64)> = Vec::new();
+        let mut seq = 0u64;
+        let mut clock = 0u64;
+
+        for (kind, t) in ops {
+            if kind == 0 {
+                // Advance the clock (monotone, as a sim loop would) and
+                // drain everything due.
+                clock = clock.max(t);
+                let now = SimTime::from_millis(clock);
+                while let Some((at, got)) = q.pop_due(now) {
+                    prop_assert!(at <= now, "pop_due surfaced a future event");
+                    check_pop(&mut pending, (at, got));
+                }
+                // Nothing due may remain in the model.
+                prop_assert!(
+                    !pending.iter().any(|&(at, _)| at <= now),
+                    "pop_due left a due event behind"
+                );
+            } else {
+                let at = SimTime::from_millis(t);
+                q.schedule(at, seq);
+                pending.push((at, seq));
+                seq += 1;
+            }
+        }
+
+        // Final drain: the remainder must come out in (time, seq) order.
+        while let Some((at, got)) = q.pop() {
+            check_pop(&mut pending, (at, got));
+        }
+        prop_assert!(pending.is_empty(), "queue lost events");
+        prop_assert_eq!(q.pop(), None);
+    }
+}

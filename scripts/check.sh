@@ -100,4 +100,27 @@ if ! awk -v r="$recall" 'BEGIN { exit !(r >= 0.7) }'; then
   exit 1
 fi
 
+# Simnet scale gate: bench_simnet writes BENCH_simnet.json comparing
+# the discrete-event core driving a 1000-node broadcast/convergence
+# workload against the thread-per-node cluster at 100 nodes. The event
+# core runs 10x the fleet and ~10x the messages yet must still beat the
+# thread core's wall clock (speedup >= 1.0 here; ~2x in practice). One
+# retry absorbs wall-clock noise on a loaded box.
+echo "==> simnet scale bench (1000-node event core beats 100-node thread core)"
+simnet_ok=0
+for attempt in 1 2; do
+  cargo run -q --release -p proteus-bench --bin bench_simnet >/dev/null
+  nodes=$(sed -n 's/.*"event_nodes": \([0-9]*\).*/\1/p' BENCH_simnet.json)
+  spd=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' BENCH_simnet.json)
+  echo "    attempt ${attempt}: ${nodes} event-core nodes, speedup ${spd}x"
+  if awk -v n="$nodes" -v s="$spd" 'BEGIN { exit !(n >= 1000 && s >= 1.0) }'; then
+    simnet_ok=1
+    break
+  fi
+done
+if [ "$simnet_ok" -ne 1 ]; then
+  echo "error: event core failed the 1000-node scale gate twice (see BENCH_simnet.json)" >&2
+  exit 1
+fi
+
 echo "==> all checks passed"
