@@ -35,9 +35,9 @@ pub fn run_controller<A: MlApp>(
     app: Arc<A>,
     dataset_len: usize,
     events: Sender<JobEvent>,
-    initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
+    checkpoint: Option<ModelSnapshot>,
 ) {
-    let mut ctl = Controller::new(&ctx, cfg, app, dataset_len, events, initial_model);
+    let mut ctl = Controller::new(&ctx, cfg, app, dataset_len, events, checkpoint);
     loop {
         match ctx.recv() {
             Ok(Incoming::App(env)) => {
@@ -72,6 +72,10 @@ enum Pending {
     },
     /// Failure recovery phase 2: waiting for recovered owners' `Ready`.
     RecoveryInstall { failed: Vec<NodeId>, clock: u64 },
+    /// In-job reliable-tier repair: waiting for the surviving reliable
+    /// nodes receiving re-replicated backup partitions to report
+    /// `Ready` (all fills installed).
+    ReliableRepair { nodes: Vec<NodeId>, partitions: u64 },
 }
 
 /// In-flight snapshot collection.
@@ -112,6 +116,13 @@ struct Controller<A: MlApp> {
     /// so its failure must trigger full rollback recovery even if the
     /// source was already removed from membership (eviction in flight).
     migrations: BTreeMap<NodeId, Vec<(NodeId, Vec<PartitionId>)>>,
+    /// Backup re-replications in flight after a reliable-tier loss:
+    /// partition → `(serving source, new backup destination)`. While an
+    /// entry exists the destination holds no usable copy yet; if the
+    /// source dies first the partition's only surviving state is gone
+    /// and the job must restart from an external checkpoint. Entries
+    /// clear when the destination reports `Ready`.
+    filling: BTreeMap<PartitionId, (NodeId, NodeId)>,
     /// Nodes reported dead while another action was pending. Their
     /// `NodesFailed` sits in the command queue, but until it runs no new
     /// pending action may count on them (as a `Ready` sender, a new
@@ -134,13 +145,22 @@ impl<A: MlApp> Controller<A> {
         app: Arc<A>,
         dataset_len: usize,
         events: Sender<JobEvent>,
-        initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
+        checkpoint: Option<ModelSnapshot>,
     ) -> Self {
         // `AgileConfig::validate` rejects zero partitions before any
         // controller is spawned.
         #[allow(clippy::expect_used)]
         let layout = PartitionMap::new(cfg.partitions).expect("validated config");
         let _ = (ctx.id(), dataset_len); // Reserved for richer diagnostics.
+
+        // Restarting from a checkpoint resumes the consistent clock and
+        // epoch the snapshot captured: workers register at that clock,
+        // so progress (and the obs timeline) never time-travels back to
+        // zero across a session restart.
+        let (initial_model, resume_clock, resume_epoch) = match checkpoint {
+            Some(snap) => (Some(snap.params), snap.clock, snap.epoch),
+            None => (None, 0, 0),
+        };
         Controller {
             cfg,
             app,
@@ -149,9 +169,9 @@ impl<A: MlApp> Controller<A> {
             join_order: Vec::new(),
             helloed: BTreeSet::new(),
             clock: ClockTable::new(cfg.slack),
-            epoch: 0,
+            epoch: resume_epoch,
             started: false,
-            last_min_broadcast: 0,
+            last_min_broadcast: resume_clock,
             stage: Stage::Stage1,
             topo_version: 0,
             partition_owner: Vec::new(),
@@ -163,6 +183,7 @@ impl<A: MlApp> Controller<A> {
             queued: VecDeque::new(),
             snapshot: None,
             migrations: BTreeMap::new(),
+            filling: BTreeMap::new(),
             known_dead: BTreeSet::new(),
             initial_model,
             events,
@@ -295,6 +316,9 @@ impl<A: MlApp> Controller<A> {
                     batches.retain(|(dest, _)| *dest != from);
                 }
                 self.migrations.retain(|_, batches| !batches.is_empty());
+                // Backup fills into this node have landed too (same
+                // `Ready`-after-installs argument).
+                self.filling.retain(|_, (_, dst)| *dst != from);
                 self.dbg(|| format!("Ready from {from:?}, remaining {:?}", self.pending_ready));
                 self.try_finish_pending(ctx);
             }
@@ -435,7 +459,9 @@ impl<A: MlApp> Controller<A> {
                 if snap.expect.is_empty() {
                     let _ = snap.reply.send(ModelSnapshot {
                         params: BTreeMap::new(),
-                        clock: self.clock.min_clock().unwrap_or(0),
+                        clock: self.clock.min_clock().unwrap_or(self.last_min_broadcast),
+                        epoch: self.epoch,
+                        stage: self.stage,
                     });
                 } else {
                     self.snapshot = Some(snap);
@@ -481,7 +507,9 @@ impl<A: MlApp> Controller<A> {
         }
         let _ = snap.reply.send(ModelSnapshot {
             params,
-            clock: self.clock.min_clock().unwrap_or(0),
+            clock: self.clock.min_clock().unwrap_or(self.last_min_broadcast),
+            epoch: self.epoch,
+            stage: self.stage,
         });
         self.drain_queue(ctx);
     }
@@ -561,7 +589,10 @@ impl<A: MlApp> Controller<A> {
         self.assignment = DataAssignment::new(self.cfg.data_blocks, &workers);
         self.topo_version += 1;
 
-        // Configure every member; all state arrives via installs.
+        // Configure every member; all state arrives via installs. The
+        // resume clock is zero on a fresh start and the checkpoint's
+        // consistent clock on a restart-from-checkpoint.
+        let resume = self.last_min_broadcast;
         let topo = self.topology(stage);
         self.pending_ready.clear();
         for n in self.members.keys().copied().collect::<Vec<_>>() {
@@ -581,7 +612,7 @@ impl<A: MlApp> Controller<A> {
                 data_blocks: blocks,
                 await_installs,
                 topology: Arc::clone(&topo),
-                resume_clock: 0,
+                resume_clock: resume,
                 epoch: self.epoch,
             };
             let _ = ctx.send(n, AgileMsg::Configure(Box::new(assign)));
@@ -597,7 +628,7 @@ impl<A: MlApp> Controller<A> {
                 AgileMsg::InstallPartition {
                     partition: p,
                     image: image.clone(),
-                    clock: 0,
+                    clock: resume,
                 },
             );
             if let Some(backup) = self.backup_owner[p.0 as usize] {
@@ -606,14 +637,14 @@ impl<A: MlApp> Controller<A> {
                     AgileMsg::InstallPartition {
                         partition: p,
                         image,
-                        clock: 0,
+                        clock: resume,
                     },
                 );
             }
         }
-        // Register workers at clock zero.
+        // Register workers at the resume clock (zero on a fresh start).
         for w in &workers {
-            self.clock.register(w.0);
+            self.clock.register_at(w.0, resume);
         }
     }
 
@@ -826,7 +857,7 @@ impl<A: MlApp> Controller<A> {
                 self.broadcast(
                     ctx,
                     &AgileMsg::GlobalClock {
-                        min: 0,
+                        min: self.last_min_broadcast,
                         epoch: self.epoch,
                     },
                 );
@@ -851,6 +882,10 @@ impl<A: MlApp> Controller<A> {
                 });
                 self.drain_queue(ctx);
             }
+            Some(Pending::ReliableRepair { nodes, partitions }) => {
+                self.emit(JobEvent::ReliableRepaired { nodes, partitions });
+                self.drain_queue(ctx);
+            }
             other => self.pending = other,
         }
     }
@@ -864,17 +899,25 @@ impl<A: MlApp> Controller<A> {
             .into_iter()
             .filter(|n| self.members.contains_key(n))
             .partition(|n| self.members.get(n) == Some(&NodeClass::Transient));
+        // Warned reliable victims drain through the in-job repair path
+        // when surviving reliable capacity can absorb their state:
+        // serving partitions migrate, backup partitions re-replicate,
+        // no restart needed. When no survivor can take the state (or a
+        // victim is mid-protocol), refuse with a typed fault — the
+        // session treats it as a restart-from-checkpoint trigger.
+        let mut drained_reliable: Vec<NodeId> = Vec::new();
         if !reliable_victims.is_empty() {
-            // The market never revokes the reliable tier (paper Sec. 2),
-            // and draining solution state off it has no destination —
-            // refuse with a typed fault and keep the job running.
-            self.emit(JobEvent::Faulted {
-                fault: JobFault::ReliableNodesEvicted {
-                    nodes: reliable_victims,
-                },
-            });
+            if self.reliable_drainable(&reliable_victims, &victims) {
+                drained_reliable = reliable_victims;
+            } else {
+                self.emit(JobEvent::Faulted {
+                    fault: JobFault::ReliableNodesEvicted {
+                        nodes: reliable_victims,
+                    },
+                });
+            }
         }
-        if victims.is_empty() {
+        if victims.is_empty() && drained_reliable.is_empty() {
             // Nothing to do (unknown or already-gone nodes); report the
             // no-op so drivers waiting on the eviction don't hang.
             self.emit(JobEvent::NodesEvicted { nodes: Vec::new() });
@@ -883,11 +926,13 @@ impl<A: MlApp> Controller<A> {
         let old_stage = self.stage;
 
         // Compute post-eviction membership.
-        for v in &victims {
+        for v in victims.iter().chain(drained_reliable.iter()) {
             self.members.remove(v);
         }
-        self.join_order.retain(|n| !victims.contains(n));
-        self.helloed.retain(|n| !victims.contains(n));
+        self.join_order
+            .retain(|n| !victims.contains(n) && !drained_reliable.contains(n));
+        self.helloed
+            .retain(|n| !victims.contains(n) && !drained_reliable.contains(n));
 
         let mut new_stage = self.pick_stage();
         if self.transient().is_empty() && new_stage.uses_backups() {
@@ -993,10 +1038,89 @@ impl<A: MlApp> Controller<A> {
             debug_assert!(victims.iter().all(|v| !self.partition_owner.contains(v)));
         }
 
+        // Drain warned reliable victims while they are still alive:
+        // serving partitions (stage 1) migrate to the least-loaded
+        // reliable survivor; backup partitions re-replicate out of the
+        // victim's own backup store at the current broadcast floor.
+        // Per-sender FIFO orders all exports before the victim's `Stop`
+        // below, so the warning window is spent exactly on this drain.
+        let mut repair_fills = 0u64;
+        if !drained_reliable.is_empty() {
+            // Victims are already out of membership; the gate above
+            // guarantees at least one survivor remains.
+            let survivors = self.reliable();
+            for victim in &drained_reliable.clone() {
+                let serve = self.owned_by(*victim);
+                if !serve.is_empty() {
+                    if let Some(dst) = survivors
+                        .iter()
+                        .filter(|n| !self.known_dead.contains(n))
+                        .min_by_key(|n| (self.owned_by(**n).len(), n.0))
+                        .copied()
+                    {
+                        let _ = ctx.send(
+                            *victim,
+                            AgileMsg::MigratePartitions {
+                                to: dst,
+                                partitions: serve.clone(),
+                                retain_as_backup: false,
+                            },
+                        );
+                        self.migrations
+                            .entry(*victim)
+                            .or_default()
+                            .push((dst, serve.clone()));
+                        migrating_to
+                            .entry(dst)
+                            .or_default()
+                            .extend(serve.iter().copied());
+                        for p in serve {
+                            self.partition_owner[p.0 as usize] = dst;
+                        }
+                    }
+                }
+                let backed = self.backed_by(*victim);
+                let mut by_dst: BTreeMap<NodeId, Vec<PartitionId>> = BTreeMap::new();
+                for p in backed {
+                    let Some(dst) = survivors
+                        .iter()
+                        .filter(|n| !self.known_dead.contains(n))
+                        .min_by_key(|n| (self.backed_by(**n).len(), n.0))
+                        .copied()
+                    else {
+                        continue;
+                    };
+                    self.backup_owner[p.0 as usize] = Some(dst);
+                    self.filling.insert(p, (*victim, dst));
+                    by_dst.entry(dst).or_default().push(p);
+                    repair_fills += 1;
+                }
+                for (dst, parts) in by_dst {
+                    migrating_to
+                        .entry(dst)
+                        .or_default()
+                        .extend(parts.iter().copied());
+                    let _ = ctx.send(
+                        *victim,
+                        AgileMsg::RecoverPartitions {
+                            partitions: parts,
+                            new_owner: dst,
+                            clock: self.last_min_broadcast,
+                        },
+                    );
+                }
+            }
+        }
+        let all_victims: Vec<NodeId> = victims
+            .iter()
+            .chain(drained_reliable.iter())
+            .copied()
+            .collect();
+
         // Data blocks fall back to previous owners.
         let workers = self.worker_nodes(new_stage);
         if let Some(a) = self.assignment.as_mut() {
-            for v in &victims {
+            for v in &all_victims {
                 a.remove_worker(*v, &workers);
             }
             a.rebalance(&workers);
@@ -1004,7 +1128,7 @@ impl<A: MlApp> Controller<A> {
 
         // Deregister victim workers; reliable workers too on 2→3 flips,
         // re-register them on 3→2 flips.
-        for v in &victims {
+        for v in &all_victims {
             self.clock.deregister(v.0);
         }
         let worker_set: BTreeSet<NodeId> = workers.iter().copied().collect();
@@ -1056,7 +1180,7 @@ impl<A: MlApp> Controller<A> {
 
         // Victims: stop after their drain/migration work (per-sender
         // FIFO guarantees ordering).
-        for v in &victims {
+        for v in &all_victims {
             let _ = ctx.send(*v, AgileMsg::Stop);
         }
 
@@ -1066,8 +1190,58 @@ impl<A: MlApp> Controller<A> {
                 to: new_stage,
             });
         }
-        self.emit(JobEvent::NodesEvicted { nodes: victims });
+        self.emit(JobEvent::NodesEvicted { nodes: all_victims });
+        if !drained_reliable.is_empty() {
+            if repair_fills > 0 {
+                // Gate later commands on the fills landing: a recovery
+                // quorum run before a fresh backup installs its fill
+                // would read a meaningless zero clock from it.
+                self.pending_ready = self
+                    .filling
+                    .values()
+                    .filter(|(src, _)| drained_reliable.contains(src))
+                    .map(|(_, dst)| *dst)
+                    .collect();
+                self.pending = Some(Pending::ReliableRepair {
+                    nodes: drained_reliable,
+                    partitions: repair_fills,
+                });
+            } else {
+                self.emit(JobEvent::ReliableRepaired {
+                    nodes: drained_reliable,
+                    partitions: 0,
+                });
+            }
+        }
         self.maybe_broadcast_min(ctx);
+    }
+
+    /// Whether warned reliable victims can drain in-job: at least one
+    /// reliable survivor must remain to absorb their state, and no
+    /// victim may be mid-protocol (an unacknowledged outbound migration
+    /// or an in-flight backup fill touching it cannot be handed over
+    /// consistently within the warning window).
+    fn reliable_drainable(
+        &self,
+        reliable_victims: &[NodeId],
+        transient_victims: &[NodeId],
+    ) -> bool {
+        let survivors = self
+            .reliable()
+            .into_iter()
+            .filter(|n| !reliable_victims.contains(n) && !self.known_dead.contains(n))
+            .count();
+        if survivors == 0 {
+            return false;
+        }
+        let doomed = |n: &NodeId| reliable_victims.contains(n) || transient_victims.contains(n);
+        if self.migrations.keys().any(doomed) {
+            return false;
+        }
+        !self
+            .filling
+            .values()
+            .any(|(src, dst)| doomed(src) || doomed(dst))
     }
 
     /// Proactive demotion on a forecast alert: move the suspects'
@@ -1250,15 +1424,46 @@ impl<A: MlApp> Controller<A> {
             });
             return;
         }
+        // In-flight backup fills: a dead destination just re-orphans
+        // its partitions (`backup_owner` still names it, so the repair
+        // below re-replicates them); a dead *source* took the only
+        // usable copy before its fill landed — report each partition
+        // lost and let the session restart from its last checkpoint.
+        let mut lost_fills: Vec<PartitionId> = Vec::new();
+        self.filling.retain(|p, (src, dst)| {
+            if victims.contains(src) {
+                lost_fills.push(*p);
+                false
+            } else {
+                !victims.contains(dst)
+            }
+        });
+        if !lost_fills.is_empty() {
+            for p in lost_fills {
+                self.emit(JobEvent::Faulted {
+                    fault: JobFault::PartitionStateLost { partition: p.0 },
+                });
+            }
+            return;
+        }
         let reliable_victims: Vec<NodeId> = victims
             .iter()
             .filter(|v| self.members.get(v) == Some(&NodeClass::Reliable))
             .copied()
             .collect();
         if !reliable_victims.is_empty() {
-            // Reliable-node failures require external checkpointing
-            // (paper Sec. 3.3) and are not recoverable by the
-            // elasticity controller: report instead of panicking.
+            // First try to repair in-job: when the dead reliable nodes
+            // held only backup copies and enough reliable capacity
+            // survives, their partitions re-replicate from the live
+            // serving owners onto survivors (paper Sec. 3.3's tiered
+            // reliability, extended to partial reliable-tier loss).
+            // Only when the loss is unrepairable — no survivor, the
+            // victims held serving state, or a partition lost both its
+            // copies — does the controller report the typed fault that
+            // sends the session back to its external checkpoint.
+            if self.try_repair_reliable(&reliable_victims, &victims, ctx) {
+                return;
+            }
             self.emit(JobEvent::Faulted {
                 fault: JobFault::ReliableNodesFailed {
                     nodes: reliable_victims,
@@ -1542,6 +1747,177 @@ impl<A: MlApp> Controller<A> {
     // Fault-tolerance helpers
     // ------------------------------------------------------------------
 
+    /// Attempts in-job repair of a dead slice of the reliable tier:
+    /// the victims' backup partitions re-replicate from their live
+    /// serving owners onto surviving reliable nodes. Returns `false`
+    /// without mutating anything when the loss is unrepairable — no
+    /// reliable survivor, a victim held serving state or an in-flight
+    /// migration, or some orphaned partition's serving owner is dead
+    /// too (both copies gone). On success every victim (including any
+    /// transient worker-only nodes reported in the same failure) is
+    /// removed from the job and `ReliableRepaired` is emitted once the
+    /// fills install.
+    fn try_repair_reliable(
+        &mut self,
+        reliable_victims: &[NodeId],
+        victims: &[NodeId],
+        ctx: &NodeCtx<AgileMsg>,
+    ) -> bool {
+        let doomed = |n: &NodeId| victims.contains(n) || self.known_dead.contains(n);
+        let survivors: Vec<NodeId> = self.reliable().into_iter().filter(|n| !doomed(n)).collect();
+        if survivors.is_empty() {
+            return false;
+        }
+        // Victims holding serving state (stage 1 ParamServs, or a
+        // transient ActivePS dying in the same batch) or mid-migration
+        // sources cannot be repaired by re-replication: the only
+        // serving copy is gone or in flight from a corpse.
+        if victims
+            .iter()
+            .any(|v| self.partition_owner.contains(v) || self.migrations.contains_key(v))
+        {
+            return false;
+        }
+        // Every orphaned backup partition needs a live serving owner to
+        // re-replicate from.
+        let orphaned: Vec<PartitionId> = reliable_victims
+            .iter()
+            .flat_map(|v| self.backed_by(*v))
+            .collect();
+        for p in &orphaned {
+            let owner = self.partition_owner[p.0 as usize];
+            if !self.members.contains_key(&owner) || doomed(&owner) {
+                return false;
+            }
+        }
+
+        // Repairable: drop the victims from the job.
+        for v in victims {
+            self.members.remove(v);
+            self.clock.deregister(v.0);
+        }
+        self.join_order.retain(|n| !victims.contains(n));
+        self.helloed.retain(|n| !victims.contains(n));
+        self.active_hosts.retain(|n| !victims.contains(n));
+
+        // Losing reliable nodes can only raise the transient:reliable
+        // ratio, so the stage may flip 2→3 (never toward stage 1).
+        let old_stage = self.stage;
+        let new_stage = self.pick_stage();
+        self.stage = new_stage;
+
+        // Re-replicate each orphaned partition onto the least-backed
+        // survivor (ties broken by node id for determinism).
+        let mut by_pair: BTreeMap<(NodeId, NodeId), Vec<PartitionId>> = BTreeMap::new();
+        for p in &orphaned {
+            let Some(dst) = survivors
+                .iter()
+                .min_by_key(|n| (self.backed_by(**n).len(), n.0))
+                .copied()
+            else {
+                // Unreachable: survivors checked non-empty above.
+                return false;
+            };
+            let owner = self.partition_owner[p.0 as usize];
+            self.backup_owner[p.0 as usize] = Some(dst);
+            self.filling.insert(*p, (owner, dst));
+            by_pair.entry((owner, dst)).or_default().push(*p);
+        }
+        // Ship the fills BEFORE the reconfiguration below: per-sender
+        // FIFO makes each owner export its serving image (folding in
+        // unpushed deltas) before it sees the new topology and starts
+        // streaming incremental pushes to the fresh backup.
+        for ((owner, dst), parts) in &by_pair {
+            let _ = ctx.send(
+                *owner,
+                AgileMsg::ReplicateBackup {
+                    partitions: parts.clone(),
+                    to: *dst,
+                },
+            );
+        }
+
+        // Data blocks of dead workers fall back to survivors.
+        let workers = self.worker_nodes(new_stage);
+        if let Some(a) = self.assignment.as_mut() {
+            for v in victims {
+                a.remove_worker(*v, &workers);
+            }
+            a.rebalance(&workers);
+        }
+        let worker_set: BTreeSet<NodeId> = workers.iter().copied().collect();
+        for n in self.members.keys() {
+            if worker_set.contains(n) && !self.known_dead.contains(n) {
+                self.clock.register_at(n.0, self.last_min_broadcast);
+            } else {
+                self.clock.deregister(n.0);
+            }
+        }
+
+        // Reconfigure everyone. Fill destinations (and any still
+        // outstanding migration destinations) gate their `Ready` on the
+        // awaited installs.
+        let mut awaits: BTreeMap<NodeId, Vec<PartitionId>> = BTreeMap::new();
+        for ((_, dst), parts) in &by_pair {
+            awaits
+                .entry(*dst)
+                .or_default()
+                .extend(parts.iter().copied());
+        }
+        for batches in self.migrations.values() {
+            for (dest, parts) in batches {
+                awaits
+                    .entry(*dest)
+                    .or_default()
+                    .extend(parts.iter().copied());
+            }
+        }
+        self.topo_version += 1;
+        let topo = self.topology(new_stage);
+        let resume = self.last_min_broadcast;
+        self.pending_ready = by_pair.keys().map(|(_, dst)| *dst).collect();
+        for n in self.members.keys().copied().collect::<Vec<_>>() {
+            let assign = NodeAssignment {
+                serve_partitions: self.owned_by(n),
+                backup_partitions: self.backed_by(n),
+                is_active_ps: new_stage.uses_backups() && self.active_hosts.contains(&n),
+                data_blocks: self
+                    .assignment
+                    .as_ref()
+                    .map(|a| a.blocks_of(n))
+                    .unwrap_or_default(),
+                await_installs: awaits.get(&n).cloned().unwrap_or_default(),
+                topology: Arc::clone(&topo),
+                resume_clock: resume,
+                epoch: self.epoch,
+            };
+            let _ = ctx.send(n, AgileMsg::Configure(Box::new(assign)));
+        }
+        self.broadcast(ctx, &AgileMsg::Topology(Arc::clone(&topo)));
+        self.broadcast(ctx, &AgileMsg::Start);
+        if old_stage != new_stage {
+            self.emit(JobEvent::StageChanged {
+                from: old_stage,
+                to: new_stage,
+            });
+        }
+
+        let partitions = orphaned.len() as u64;
+        if self.pending_ready.is_empty() {
+            self.emit(JobEvent::ReliableRepaired {
+                nodes: reliable_victims.to_vec(),
+                partitions,
+            });
+        } else {
+            self.pending = Some(Pending::ReliableRepair {
+                nodes: reliable_victims.to_vec(),
+                partitions,
+            });
+        }
+        self.maybe_broadcast_min(ctx);
+        true
+    }
+
     /// Promotes every BackupPS copy to serving owner (degeneration to
     /// stage 1 after losing the whole ActivePS tier). A partition with
     /// no backup keeps its current owner when that owner is still a
@@ -1587,6 +1963,18 @@ impl<A: MlApp> Controller<A> {
             .flat_map(|batches| batches.iter().map(|(dest, _)| *dest))
             .collect();
         for n in stranded {
+            self.pending_ready.remove(&n);
+        }
+        // A backup-fill destination waiting on a dead source's export
+        // will never see it either; the queued `NodesFailed` will
+        // report the partition lost and the session restarts.
+        let stranded_fills: Vec<NodeId> = self
+            .filling
+            .values()
+            .filter(|(src, _)| dead.contains(src))
+            .map(|(_, dst)| *dst)
+            .collect();
+        for n in stranded_fills {
             self.pending_ready.remove(&n);
         }
         // Snapshot exports from a dead owner will never arrive.

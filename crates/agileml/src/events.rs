@@ -45,6 +45,16 @@ pub enum JobEvent {
         /// ActivePS partitions moved off the demoted nodes.
         partitions: u64,
     },
+    /// Part of the reliable tier died (or drained on a warning) and the
+    /// controller repaired it in-job: the victims' BackupPS partitions
+    /// were re-replicated onto surviving reliable nodes, so no restart
+    /// from an external checkpoint was needed.
+    ReliableRepaired {
+        /// The lost reliable nodes.
+        nodes: Vec<NodeId>,
+        /// Backup partitions re-replicated onto survivors.
+        partitions: u64,
+    },
     /// Nodes failed and rollback recovery ran.
     NodesFailedRecovered {
         /// The failed nodes.
@@ -91,6 +101,10 @@ impl JobEvent {
                 count: nodes.len() as u64,
             },
             JobEvent::NodesPreDrained { nodes, partitions } => O::NodesPreDrained {
+                count: nodes.len() as u64,
+                partitions: *partitions,
+            },
+            JobEvent::ReliableRepaired { nodes, partitions } => O::ReliableRepaired {
                 count: nodes.len() as u64,
                 partitions: *partitions,
             },

@@ -22,17 +22,24 @@ use crate::error::JobError;
 use crate::events::{JobEvent, JobStatus};
 use crate::msg::{AgileMsg, Command};
 use crate::node::run_node;
+use crate::stage::Stage;
 
 /// Default timeout for driver-side waits.
 const WAIT: Duration = Duration::from_secs(60);
 
-/// A point-in-time copy of the full model.
+/// A point-in-time copy of the full model, plus the progress metadata a
+/// restarted job needs to resume where the snapshot left off.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelSnapshot {
     /// Every materialized parameter.
     pub params: BTreeMap<ParamKey, DenseVec>,
     /// The minimum worker clock when the snapshot was taken.
     pub clock: u64,
+    /// The recovery epoch in force when the snapshot was taken.
+    pub epoch: u64,
+    /// The elasticity stage at snapshot time (informational: a restarted
+    /// job re-picks its stage from the machines it actually gets).
+    pub stage: Stage,
 }
 
 impl ModelSnapshot {
@@ -70,6 +77,9 @@ pub struct AgileMlJob<A: MlApp> {
     events: Receiver<JobEvent>,
     event_log: Vec<JobEvent>,
     obs: Option<Arc<Recorder>>,
+    /// Worker machines spawned on the reliable tier (the controller host,
+    /// also reliable, is tracked separately in `controller`).
+    reliable_machines: Vec<NodeId>,
 }
 
 impl<A: MlApp> AgileMlJob<A> {
@@ -117,13 +127,29 @@ impl<A: MlApp> AgileMlJob<A> {
         transient: usize,
         checkpoint: ModelSnapshot,
     ) -> Result<Self, JobError> {
-        Self::launch_with_model(
+        Self::launch_with_model(app, dataset, cfg, reliable, transient, Some(checkpoint))
+    }
+
+    /// [`AgileMlJob::launch_from_checkpoint`] with a [`FaultPlan`] installed
+    /// before any node spawns — a restarted job re-enters the same hostile
+    /// market it was restarted out of.
+    pub fn launch_from_checkpoint_with_faults(
+        app: A,
+        dataset: Vec<A::Datum>,
+        cfg: AgileConfig,
+        reliable: usize,
+        transient: usize,
+        checkpoint: ModelSnapshot,
+        faults: FaultPlan<AgileMsg>,
+    ) -> Result<Self, JobError> {
+        Self::launch_inner(
             app,
             dataset,
             cfg,
             reliable,
             transient,
-            Some(checkpoint.params),
+            Some(checkpoint),
+            Some(faults),
         )
     }
 
@@ -133,9 +159,9 @@ impl<A: MlApp> AgileMlJob<A> {
         cfg: AgileConfig,
         reliable: usize,
         transient: usize,
-        initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
+        checkpoint: Option<ModelSnapshot>,
     ) -> Result<Self, JobError> {
-        Self::launch_inner(app, dataset, cfg, reliable, transient, initial_model, None)
+        Self::launch_inner(app, dataset, cfg, reliable, transient, checkpoint, None)
     }
 
     fn launch_inner(
@@ -144,7 +170,7 @@ impl<A: MlApp> AgileMlJob<A> {
         cfg: AgileConfig,
         reliable: usize,
         transient: usize,
-        initial_model: Option<BTreeMap<ParamKey, DenseVec>>,
+        checkpoint: Option<ModelSnapshot>,
         faults: Option<FaultPlan<AgileMsg>>,
     ) -> Result<Self, JobError> {
         cfg.validate().map_err(JobError::InvalidConfig)?;
@@ -166,7 +192,7 @@ impl<A: MlApp> AgileMlJob<A> {
             let app = Arc::clone(&app);
             let len = dataset.len();
             cluster.spawn(NodeClass::Reliable, move |ctx| {
-                run_controller(ctx, cfg, app, len, ev_tx, initial_model)
+                run_controller(ctx, cfg, app, len, ev_tx, checkpoint)
             })
         };
 
@@ -180,6 +206,7 @@ impl<A: MlApp> AgileMlJob<A> {
             events: ev_rx,
             event_log: Vec::new(),
             obs: None,
+            reliable_machines: Vec::new(),
         };
 
         let mut nodes = job.spawn_machines(NodeClass::Reliable, reliable);
@@ -199,9 +226,90 @@ impl<A: MlApp> AgileMlJob<A> {
             let id = self.cluster.spawn(class, move |ctx| {
                 run_node(ctx, controller, app, dataset, cfg)
             });
+            if class == NodeClass::Reliable {
+                self.reliable_machines.push(id);
+            }
             out.push((id, class));
         }
         out
+    }
+
+    /// Worker machines currently spawned on the reliable tier. Includes
+    /// machines that have since died or been evicted — the list records
+    /// what was *provisioned* reliable, not what is still alive.
+    pub fn reliable_machines(&self) -> &[NodeId] {
+        &self.reliable_machines
+    }
+
+    /// The node id hosting the controller (reliable tier by construction).
+    pub fn controller_node(&self) -> NodeId {
+        self.controller
+    }
+
+    /// Kills `nodes` at the cluster layer *without* notifying the
+    /// controller — models abrupt machine loss (host crash, spot-market
+    /// reclaim of "reliable" capacity) where no failure report ever
+    /// arrives. Safe to include the controller host itself.
+    pub fn kill_silent(&self, nodes: &[NodeId]) {
+        for n in nodes {
+            self.cluster.kill(*n);
+        }
+    }
+
+    /// Tears the whole cluster down without the graceful `Shutdown`
+    /// round-trip — the only exit path when the controller host itself is
+    /// dead. Consumes the job; the caller relaunches from a checkpoint.
+    pub fn abort(self) {
+        self.cluster.clear_faults();
+        self.cluster.abort_all();
+    }
+
+    /// Aborts the (possibly headless) old cluster and relaunches the job
+    /// in a fresh one, resuming model, clock, and epoch from `checkpoint`
+    /// — or from scratch when `None` (no checkpoint was ever taken).
+    ///
+    /// App, dataset, config, and recorder carry over; the event log
+    /// restarts empty because its events belong to the dead incarnation.
+    /// This is the session-level recovery path for losing the tier that
+    /// "never fails": when even the controller host is gone, no in-job
+    /// protocol can help, and the only option is a new job that starts
+    /// where the last durable checkpoint left off.
+    pub fn relaunch_from_checkpoint(
+        &mut self,
+        reliable: usize,
+        transient: usize,
+        checkpoint: Option<ModelSnapshot>,
+    ) -> Result<(), JobError> {
+        if reliable == 0 {
+            return Err(JobError::InvalidConfig(
+                "AgileML needs at least one reliable machine".into(),
+            ));
+        }
+        let old = std::mem::replace(&mut self.cluster, Cluster::new());
+        old.clear_faults();
+        old.abort_all();
+        if let Some(rec) = &self.obs {
+            self.cluster.set_recorder(Arc::clone(rec));
+        }
+        let (ev_tx, ev_rx) = unbounded();
+        let cfg = self.cfg;
+        let app = Arc::clone(&self.app);
+        let len = self.dataset.len();
+        self.controller = self.cluster.spawn(NodeClass::Reliable, move |ctx| {
+            run_controller(ctx, cfg, app, len, ev_tx, checkpoint)
+        });
+        self.handle = self.cluster.handle();
+        self.events = ev_rx;
+        self.event_log.clear();
+        self.reliable_machines.clear();
+        let mut nodes = self.spawn_machines(NodeClass::Reliable, reliable);
+        nodes.extend(self.spawn_machines(NodeClass::Transient, transient));
+        self.send_cmd(Command::AddNodes { nodes })?;
+        self.wait_for_event(
+            |e| matches!(e, JobEvent::Started { .. }),
+            WAIT,
+            "job restart",
+        )
     }
 
     fn send_cmd(&self, cmd: Command) -> Result<(), JobError> {
@@ -330,6 +438,41 @@ impl<A: MlApp> AgileMlJob<A> {
             "failure recovery",
         )?;
         Ok(rolled)
+    }
+
+    /// Kills reliable-tier `nodes` abruptly and blocks until the
+    /// controller either repairs the loss in-job (re-replicating the
+    /// dead nodes' BackupPS partitions onto surviving reliable machines)
+    /// or declares it unrepairable with a typed fault. Returns the
+    /// number of re-replicated partitions on repair.
+    /// `Err(JobError::Fault(_))` means no in-job protocol can save this
+    /// incarnation — the caller restarts from a durable checkpoint.
+    pub fn fail_reliable_nodes(&mut self, nodes: &[NodeId]) -> Result<u64, JobError> {
+        for n in nodes {
+            self.cluster.kill(*n);
+        }
+        self.send_cmd(Command::NodesFailed {
+            nodes: nodes.to_vec(),
+        })?;
+        let want: Vec<NodeId> = nodes.to_vec();
+        let mut repaired = 0;
+        self.wait_for_event(
+            |e| match e {
+                JobEvent::ReliableRepaired { nodes, partitions }
+                    if nodes.iter().any(|n| want.contains(n)) =>
+                {
+                    repaired = *partitions;
+                    true
+                }
+                // A report that named no reliable machines falls through
+                // to ordinary rollback recovery.
+                JobEvent::NodesFailedRecovered { nodes, .. } if *nodes == want => true,
+                _ => false,
+            },
+            WAIT,
+            "reliable repair",
+        )?;
+        Ok(repaired)
     }
 
     /// Like [`AgileMlJob::fail_nodes`] but returns immediately after the

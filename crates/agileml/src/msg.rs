@@ -166,6 +166,18 @@ pub enum AgileMsg {
         /// The new recovery epoch.
         epoch: u64,
     },
+    /// Controller → serving owner: ship full images of `partitions` to
+    /// `to`, which becomes their fresh BackupPS (reliable-tier repair
+    /// after a backup holder died). The owner folds its unpushed dirty
+    /// deltas into the shipped image and resets its dirty tracking for
+    /// those partitions, so subsequent backup pushes continue from the
+    /// shipped baseline without double-applying.
+    ReplicateBackup {
+        /// Partitions to re-replicate.
+        partitions: Vec<PartitionId>,
+        /// The new backup owner.
+        to: NodeId,
+    },
     /// Controller → BackupPS: report the minimum clock to which your
     /// backed-up partitions are consistent (phase one of recovery).
     BackupClockQuery,

@@ -59,6 +59,8 @@ pub fn run_node<A: MlApp>(
         pending_updates: Vec::new(),
         stop_deferred: false,
         pending_exports: Vec::new(),
+        pending_replicas: Vec::new(),
+        pending_recovers: Vec::new(),
         epoch: 0,
         configured_once: false,
         last_push_min: 0,
@@ -109,6 +111,17 @@ struct NodeState<A: MlApp> {
     stop_deferred: bool,
     /// Export requests deferred until the awaited image arrives.
     pending_exports: Vec<(PartitionId, NodeId)>,
+    /// Backup re-replications deferred until the awaited serving image
+    /// arrives (a repair can target a partition this node is itself
+    /// still receiving mid-migration). Kept separate from
+    /// `pending_exports`: a replica ships *after* buffered updates are
+    /// applied and must also discard the dirty aggregate.
+    pending_replicas: Vec<(PartitionId, NodeId)>,
+    /// `RecoverPartitions` requests deferred because some named
+    /// partition's backup fill is still in flight to this node
+    /// (correlated kills can race a repair fill with the next
+    /// recovery). `(partitions, new_owner, clock, still-missing)`.
+    pending_recovers: Vec<(Vec<PartitionId>, NodeId, u64, BTreeSet<PartitionId>)>,
     epoch: u64,
     configured_once: bool,
     /// Global clock of the last backup push taken.
@@ -295,7 +308,7 @@ impl<A: MlApp> NodeState<A> {
                     }
                     return !self.stop_deferred || self.must_relay_before_stopping();
                 }
-                self.server.install_image(partition, image);
+                self.server.install_image(partition, image, clock);
                 self.awaiting.remove(&partition);
                 // Apply updates buffered while the image was in flight.
                 let buffered: Vec<(PartitionId, Values)> =
@@ -323,6 +336,27 @@ impl<A: MlApp> NodeState<A> {
                         );
                     } else {
                         self.pending_exports.push((p, requester));
+                    }
+                }
+                // Ship backup replicas that were waiting for this image.
+                let replicas: Vec<(PartitionId, NodeId)> =
+                    std::mem::take(&mut self.pending_replicas);
+                for (p, to) in replicas {
+                    if p == partition {
+                        self.replicate_one(p, to, ctx);
+                    } else {
+                        self.pending_replicas.push((p, to));
+                    }
+                }
+                // Run recoveries whose last missing backup fill just
+                // landed.
+                let recovers = std::mem::take(&mut self.pending_recovers);
+                for (parts, new_owner, at, mut missing) in recovers {
+                    missing.remove(&partition);
+                    if missing.is_empty() {
+                        self.recover_to(&parts, new_owner, at, ctx);
+                    } else {
+                        self.pending_recovers.push((parts, new_owner, at, missing));
                     }
                 }
                 if self.awaiting.is_empty() && self.ready_pending {
@@ -404,17 +438,39 @@ impl<A: MlApp> NodeState<A> {
                 new_owner,
                 clock,
             } => {
-                self.server.backup_rollback_to(clock);
+                let missing: BTreeSet<PartitionId> = partitions
+                    .iter()
+                    .copied()
+                    .filter(|p| self.awaiting.contains(p))
+                    .collect();
+                if missing.is_empty() {
+                    self.recover_to(&partitions, new_owner, clock, ctx);
+                } else {
+                    // Some named partition's backup fill is still in
+                    // flight to this node (a repair raced the next
+                    // failure). Exporting now would ship an empty
+                    // image; run once the fills land.
+                    self.pending_recovers
+                        .push((partitions, new_owner, clock, missing));
+                }
+            }
+            AgileMsg::ReplicateBackup { partitions, to } => {
                 for p in partitions {
-                    let image = self.server.export_backup(p);
-                    let _ = ctx.send(
-                        new_owner,
-                        AgileMsg::InstallPartition {
-                            partition: p,
-                            image,
-                            clock,
-                        },
-                    );
+                    if self.awaiting.contains(&p) {
+                        // Our own serving image is still in flight.
+                        self.pending_replicas.push((p, to));
+                    } else if let Some(&dest) = self.forward.get(&p) {
+                        // Migrated away: the new owner holds the state.
+                        let _ = ctx.send(
+                            dest,
+                            AgileMsg::ReplicateBackup {
+                                partitions: vec![p],
+                                to,
+                            },
+                        );
+                    } else {
+                        self.replicate_one(p, to, ctx);
+                    }
                 }
             }
             AgileMsg::RestartFrom { clock, epoch } => {
@@ -449,6 +505,47 @@ impl<A: MlApp> NodeState<A> {
             | AgileMsg::Cmd(_) => {}
         }
         true
+    }
+
+    /// Ships a full serving image of `p` to `to`, the partition's fresh
+    /// BackupPS (reliable-tier repair). The image bakes in whatever
+    /// dirty deltas have accumulated since the last push, so the local
+    /// dirty aggregate is discarded — pushing it later would apply those
+    /// deltas twice at the new backup.
+    fn replicate_one(&mut self, p: PartitionId, to: NodeId, ctx: &NodeCtx<AgileMsg>) {
+        let image = self.server.export_serving(p);
+        self.server.discard_dirty(p);
+        let _ = ctx.send(
+            to,
+            AgileMsg::InstallPartition {
+                partition: p,
+                image,
+                clock: self.last_push_min,
+            },
+        );
+    }
+
+    /// Rolls the backup store to `clock` and ships recovery images of
+    /// `partitions` to `new_owner`.
+    fn recover_to(
+        &mut self,
+        partitions: &[PartitionId],
+        new_owner: NodeId,
+        clock: u64,
+        ctx: &NodeCtx<AgileMsg>,
+    ) {
+        self.server.backup_rollback_to(clock);
+        for p in partitions {
+            let image = self.server.export_backup(*p);
+            let _ = ctx.send(
+                new_owner,
+                AgileMsg::InstallPartition {
+                    partition: *p,
+                    image,
+                    clock,
+                },
+            );
+        }
     }
 
     /// Whether any migrated-away partition's inbound image is still in

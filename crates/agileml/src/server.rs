@@ -142,7 +142,17 @@ impl ServerState {
 
     /// Installs a full partition image into whichever store holds the
     /// partition's role (serving preferred). Clears its dirty delta.
-    pub fn install_image(&mut self, partition: PartitionId, image: Values) {
+    /// `clock` is the clock the image is consistent with.
+    ///
+    /// A backup-side install is a *fresh baseline*: any previously
+    /// recorded push history described state this image just replaced,
+    /// so keeping it would let a later rollback subtract deltas the
+    /// image never contained. The bookkeeping resets to `clock` — a
+    /// re-replicated backup reports the baseline clock (never a stale
+    /// zero) to recovery quorums, and rollback stops at the baseline
+    /// (the same bounded-imprecision contract as the capped push
+    /// history).
+    pub fn install_image(&mut self, partition: PartitionId, image: Values, clock: u64) {
         if self.serve_set.contains(&partition) {
             // Replace wholesale: drop whatever is there, then import.
             self.serving.drop_partition(partition);
@@ -150,8 +160,23 @@ impl ServerState {
         } else {
             self.backup.drop_partition(partition);
             self.backup.import_partition(image);
-            self.backup_meta.entry(partition).or_default();
+            self.backup_meta.insert(
+                partition,
+                BackupPartition {
+                    last_clock: clock,
+                    pushes: VecDeque::new(),
+                    stream_ended: false,
+                },
+            );
         }
+    }
+
+    /// Drops the pending dirty deltas of one served partition without
+    /// pushing them. Used when a full serving image (which already
+    /// contains those deltas) was just shipped to a fresh backup:
+    /// pushing them afterwards would double-apply them there.
+    pub fn discard_dirty(&mut self, partition: PartitionId) {
+        let _ = self.serving.take_dirty_partition(partition);
     }
 
     /// Answers a read: values for the requested keys this node holds in
@@ -302,6 +327,9 @@ impl ServerState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use proteus_ps::{decode_model, encode_model};
+    use std::collections::BTreeMap;
 
     fn layout() -> PartitionMap {
         PartitionMap::new(4).expect("nonzero")
@@ -319,7 +347,7 @@ mod tests {
     fn serving_reads_and_updates() {
         let mut s = ServerState::new(layout());
         s.reconfigure(&[PartitionId(0)], &[], false);
-        s.install_image(PartitionId(0), image(&[(0, 1.0), (4, 2.0)]));
+        s.install_image(PartitionId(0), image(&[(0, 1.0), (4, 2.0)]), 0);
         assert!(s.serves(PartitionId(0)));
         assert!(s.handle_updates(PartitionId(0), &image(&[(0, 0.5)])));
         let keys = KeySet::from_sorted(&[ParamKey(0), ParamKey(1), ParamKey(4)]);
@@ -334,8 +362,8 @@ mod tests {
     fn take_push_groups_by_partition_and_drains() {
         let mut s = ServerState::new(layout());
         s.reconfigure(&[PartitionId(0), PartitionId(1)], &[], true);
-        s.install_image(PartitionId(0), image(&[(0, 0.0)]));
-        s.install_image(PartitionId(1), image(&[(1, 0.0)]));
+        s.install_image(PartitionId(0), image(&[(0, 0.0)]), 0);
+        s.install_image(PartitionId(1), image(&[(1, 0.0)]), 0);
         s.handle_updates(PartitionId(0), &image(&[(0, 1.0)]));
         s.handle_updates(PartitionId(1), &image(&[(1, 2.0)]));
         let push = s.take_push(5);
@@ -348,7 +376,7 @@ mod tests {
     fn backup_absorbs_pushes_and_rolls_back() {
         let mut b = ServerState::new(layout());
         b.reconfigure(&[], &[PartitionId(0)], false);
-        b.install_image(PartitionId(0), image(&[(0, 10.0)]));
+        b.install_image(PartitionId(0), image(&[(0, 10.0)]), 0);
         b.apply_push(PartitionId(0), 1, image(&[(0, 1.0)]), false);
         b.apply_push(PartitionId(0), 2, image(&[(0, 2.0)]), false);
         assert_eq!(b.read_backup(ParamKey(0)).unwrap().as_slice(), &[13.0]);
@@ -364,7 +392,7 @@ mod tests {
     fn promotion_moves_backup_state_to_serving() {
         let mut b = ServerState::new(layout());
         b.reconfigure(&[], &[PartitionId(2)], false);
-        b.install_image(PartitionId(2), image(&[(2, 7.0)]));
+        b.install_image(PartitionId(2), image(&[(2, 7.0)]), 0);
         // Promote: the backup becomes the serving ParamServ.
         b.reconfigure(&[PartitionId(2)], &[], false);
         assert!(b.serves(PartitionId(2)));
@@ -379,7 +407,7 @@ mod tests {
     fn demotion_moves_serving_state_to_backup() {
         let mut s = ServerState::new(layout());
         s.reconfigure(&[PartitionId(1)], &[], false);
-        s.install_image(PartitionId(1), image(&[(1, 3.0)]));
+        s.install_image(PartitionId(1), image(&[(1, 3.0)]), 0);
         // Stage 1→2: this reliable node hands off serving and becomes
         // the backup for the same partition.
         s.reconfigure(&[], &[PartitionId(1)], false);
@@ -393,7 +421,7 @@ mod tests {
     fn rollback_dirty_realigns_active_with_backup() {
         let mut a = ServerState::new(layout());
         a.reconfigure(&[PartitionId(0)], &[], true);
-        a.install_image(PartitionId(0), image(&[(0, 5.0)]));
+        a.install_image(PartitionId(0), image(&[(0, 5.0)]), 0);
         a.handle_updates(PartitionId(0), &image(&[(0, 1.0)]));
         let _pushed = a.take_push(1); // State 6.0 pushed at clock 1.
         a.handle_updates(PartitionId(0), &image(&[(0, 2.0)])); // 8.0, unpushed.
@@ -405,10 +433,10 @@ mod tests {
     fn install_replaces_existing_partition_state() {
         let mut s = ServerState::new(layout());
         s.reconfigure(&[PartitionId(0)], &[], false);
-        s.install_image(PartitionId(0), image(&[(0, 1.0), (4, 1.0)]));
+        s.install_image(PartitionId(0), image(&[(0, 1.0), (4, 1.0)]), 0);
         // Recovery install replaces wholesale (old key 4 disappears if
         // absent from the new image).
-        s.install_image(PartitionId(0), image(&[(0, 9.0)]));
+        s.install_image(PartitionId(0), image(&[(0, 9.0)]), 0);
         assert_eq!(s.read_serving(ParamKey(0)).unwrap().as_slice(), &[9.0]);
         assert!(s.read_serving(ParamKey(4)).is_none());
     }
@@ -428,11 +456,85 @@ mod tests {
     }
 
     #[test]
+    fn backup_install_resets_history_to_fresh_baseline() {
+        let mut b = ServerState::new(layout());
+        b.reconfigure(&[], &[PartitionId(0)], false);
+        b.install_image(PartitionId(0), image(&[(0, 10.0)]), 0);
+        b.apply_push(PartitionId(0), 1, image(&[(0, 1.0)]), false);
+        b.apply_push(PartitionId(0), 2, image(&[(0, 2.0)]), false);
+        // A re-replication install at clock 5 is a fresh baseline: the
+        // old push history described state the image just replaced.
+        b.install_image(PartitionId(0), image(&[(0, 50.0)]), 5);
+        assert_eq!(b.backup_consistent_clock(), Some(5));
+        // Rollback below the baseline cannot reach behind the install.
+        b.backup_rollback_to(1);
+        assert_eq!(b.read_backup(ParamKey(0)).unwrap().as_slice(), &[50.0]);
+        assert_eq!(b.backup_consistent_clock(), Some(5));
+    }
+
+    #[test]
+    fn discard_dirty_drops_unpushed_deltas() {
+        let mut s = ServerState::new(layout());
+        s.reconfigure(&[PartitionId(0)], &[], true);
+        s.install_image(PartitionId(0), image(&[(0, 1.0)]), 0);
+        s.handle_updates(PartitionId(0), &image(&[(0, 3.0)]));
+        s.discard_dirty(PartitionId(0));
+        // Serving state keeps the applied update; the push aggregate
+        // does not resend it.
+        assert_eq!(s.read_serving(ParamKey(0)).unwrap().as_slice(), &[4.0]);
+        assert!(s.take_push(1).is_empty());
+    }
+
+    proptest! {
+        /// Mid-migration snapshot fidelity: a serving partition that has
+        /// applied (but not yet pushed) dirty deltas exports an image
+        /// that survives the durable `PSNP` encoding bit-identically and
+        /// re-installs into a fresh server as the exact same serving
+        /// state — arbitrary key layouts, arbitrary f32 bit patterns.
+        #[test]
+        fn dirty_export_restores_bit_identically(
+            base in proptest::collection::btree_map(any::<u64>(), any::<u32>(), 1..16),
+            dirty in proptest::collection::btree_map(any::<u64>(), any::<u32>(), 0..16),
+        ) {
+            let one = || PartitionMap::new(1).expect("nonzero");
+            let mut src = ServerState::new(one());
+            src.reconfigure(&[PartitionId(0)], &[], true);
+            let img: Values = base
+                .iter()
+                .map(|(k, b)| (ParamKey(*k), dv(f32::from_bits(*b))))
+                .collect();
+            src.install_image(PartitionId(0), img, 0);
+            let deltas: Values = dirty
+                .iter()
+                .filter(|(k, _)| base.contains_key(k))
+                .map(|(k, b)| (ParamKey(*k), dv(f32::from_bits(*b))))
+                .collect();
+            src.handle_updates(PartitionId(0), &deltas);
+
+            let exported = src.export_serving(PartitionId(0));
+            let model: BTreeMap<ParamKey, DenseVec> =
+                exported.iter().cloned().collect();
+            let decoded = decode_model(&encode_model(&model)).expect("decode");
+
+            let mut dst = ServerState::new(one());
+            dst.reconfigure(&[PartitionId(0)], &[], true);
+            dst.install_image(PartitionId(0), decoded.into_iter().collect(), 0);
+            let restored = dst.export_serving(PartitionId(0));
+            let bits = |v: &Values| -> Vec<(u64, Vec<u32>)> {
+                v.iter()
+                    .map(|(k, x)| (k.0, x.as_slice().iter().map(|f| f.to_bits()).collect()))
+                    .collect()
+            };
+            prop_assert_eq!(bits(&exported), bits(&restored));
+        }
+    }
+
+    #[test]
     fn reconfigure_drops_unassigned_backups() {
         let mut b = ServerState::new(layout());
         b.reconfigure(&[], &[PartitionId(0), PartitionId(1)], false);
-        b.install_image(PartitionId(0), image(&[(0, 1.0)]));
-        b.install_image(PartitionId(1), image(&[(1, 1.0)]));
+        b.install_image(PartitionId(0), image(&[(0, 1.0)]), 0);
+        b.install_image(PartitionId(1), image(&[(1, 1.0)]), 0);
         b.reconfigure(&[], &[PartitionId(0)], false);
         assert!(b.backs_up(PartitionId(0)));
         assert!(!b.backs_up(PartitionId(1)));

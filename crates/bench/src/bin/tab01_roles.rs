@@ -34,13 +34,13 @@ fn main() {
     let p0 = PartitionId(0);
     let mut active = ServerState::new(layout);
     active.reconfigure(&[p0], &[], true);
-    active.install_image(p0, vec![(ParamKey(0), DenseVec::from(vec![1.0]))].into());
+    active.install_image(p0, vec![(ParamKey(0), DenseVec::from(vec![1.0]))].into(), 0);
     active.handle_updates(p0, &vec![(ParamKey(0), DenseVec::from(vec![0.5]))].into());
     let push = active.take_push(1);
 
     let mut backup = ServerState::new(layout);
     backup.reconfigure(&[], &[p0], false);
-    backup.install_image(p0, vec![(ParamKey(0), DenseVec::from(vec![1.0]))].into());
+    backup.install_image(p0, vec![(ParamKey(0), DenseVec::from(vec![1.0]))].into(), 0);
     for (p, deltas) in push {
         backup.apply_push(p, 1, deltas, false);
     }

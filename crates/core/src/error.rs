@@ -11,6 +11,7 @@ use std::fmt;
 
 use proteus_agileml::JobError;
 use proteus_market::MarketError;
+use proteus_ps::SnapshotError;
 
 /// An error surfaced by a [`Proteus`](crate::Proteus) session.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +22,8 @@ pub enum ProteusError {
     Market(MarketError),
     /// The elastic training job failed or became unrecoverable.
     Job(JobError),
+    /// A durable checkpoint could not be decoded during restart.
+    Checkpoint(SnapshotError),
 }
 
 impl fmt::Display for ProteusError {
@@ -29,6 +32,7 @@ impl fmt::Display for ProteusError {
             ProteusError::Config(why) => write!(f, "{why}"),
             ProteusError::Market(e) => write!(f, "{e}"),
             ProteusError::Job(e) => write!(f, "{e}"),
+            ProteusError::Checkpoint(e) => write!(f, "checkpoint restore failed: {e}"),
         }
     }
 }
@@ -39,7 +43,14 @@ impl std::error::Error for ProteusError {
             ProteusError::Config(_) => None,
             ProteusError::Market(e) => Some(e),
             ProteusError::Job(e) => Some(e),
+            ProteusError::Checkpoint(e) => Some(e),
         }
+    }
+}
+
+impl From<SnapshotError> for ProteusError {
+    fn from(e: SnapshotError) -> Self {
+        ProteusError::Checkpoint(e)
     }
 }
 

@@ -42,15 +42,17 @@
 // retained `expect` must document a real invariant at its use site.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod report;
 pub mod session;
 
+pub use checkpoint::CheckpointStore;
 pub use config::ProteusConfig;
 pub use error::ProteusError;
 pub use report::ProteusReport;
-pub use session::Proteus;
+pub use session::{Proteus, ReliableRecovery};
 
 // Re-export the component crates under their paper names.
 pub use proteus_agileml as agileml;

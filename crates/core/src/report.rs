@@ -42,6 +42,14 @@ pub struct ProteusReport {
     pub false_alerts: u32,
     /// Adaptive checkpoints taken at the hazard-chosen cadence.
     pub checkpoints: u32,
+    /// Reliable-tier machine losses injected or observed (each is either
+    /// repaired in-job or escalates to a session restart).
+    pub reliable_failures: u32,
+    /// Session-level restarts from the last durable checkpoint.
+    pub restarts: u32,
+    /// Global clocks of training progress forfeited across all restarts
+    /// (progress past the restored checkpoint at the moment of loss).
+    pub work_lost_to_restart: u64,
 }
 
 impl ProteusReport {
@@ -86,6 +94,9 @@ mod tests {
             forecast_hits: 0,
             false_alerts: 0,
             checkpoints: 0,
+            reliable_failures: 0,
+            restarts: 0,
+            work_lost_to_restart: 0,
         };
         assert!((report.on_demand_equivalent(0.2) - 2.0).abs() < 1e-12);
         assert!((report.free_fraction() - 0.2).abs() < 1e-12);

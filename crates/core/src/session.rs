@@ -19,7 +19,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use proteus_agileml::AgileMlJob;
+use proteus_agileml::{AgileMlJob, JobError};
 use proteus_bidbrain::{
     adaptive_interval, hazard_to_rate, AllocView, BetaEstimator, BidBrain, MarketBackoff,
     PreemptionForecaster,
@@ -32,6 +32,7 @@ use proteus_obs::{BidEvent, Event, Recorder, SessionEvent};
 use proteus_simnet::{NodeClass, NodeId};
 use proteus_simtime::{SimDuration, SimTime};
 
+use crate::checkpoint::CheckpointStore;
 use crate::config::ProteusConfig;
 use crate::error::ProteusError;
 use crate::report::ProteusReport;
@@ -45,6 +46,20 @@ pub const OBS_DEGRADED_GAUGE: &str = "session.degraded";
 
 /// Span name recorded for each completed degraded episode.
 pub const OBS_DEGRADED_SPAN: &str = "session.degraded_episode";
+
+/// How [`Proteus::inject_reliable_failure`] recovered the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReliableRecovery {
+    /// No live reliable machine was left to kill; nothing happened.
+    NoOp,
+    /// The controller re-replicated the dead machines' backup
+    /// partitions onto surviving reliable machines — no restart, no
+    /// rollback past what online recovery already cost.
+    Repaired,
+    /// The loss was unrepairable: the session tore the job down and
+    /// relaunched it from the last durable checkpoint.
+    Restarted,
+}
 
 /// Floor on the adaptive checkpoint cadence (never snapshot more often
 /// than every other decision step, whatever the hazard says).
@@ -104,11 +119,25 @@ pub struct Proteus<A: MlApp> {
     tracked_bids: BTreeMap<AllocationId, (MarketKey, f64)>,
     /// When the last adaptive checkpoint was taken.
     last_checkpoint: SimTime,
+    /// The latest durable checkpoint; session restarts resume from it.
+    checkpoint_store: CheckpointStore,
+    /// The reliable tier's on-demand allocation — re-acquired when a
+    /// restart replaces the tier that was never supposed to fail.
+    reliable_alloc: AllocationId,
+    /// Reliable machines already killed by chaos injection in the
+    /// current job incarnation (cleared on restart).
+    dead_reliable: BTreeSet<NodeId>,
+    /// Highest training clock the session has observed — the baseline
+    /// for `work_lost_to_restart` accounting.
+    last_known_clock: u64,
     forecast_alerts: u32,
     pre_drains: u32,
     forecast_hits: u32,
     false_alerts: u32,
     checkpoints: u32,
+    reliable_failures: u32,
+    restarts: u32,
+    work_lost_to_restart: u64,
     /// Observability recorder shared with the provider, the job's
     /// cluster, and BidBrain; `None` keeps the loop allocation-free.
     obs: Option<Arc<Recorder>>,
@@ -179,7 +208,8 @@ impl<A: MlApp> Proteus<A> {
             provider.set_recorder(Arc::clone(rec));
         }
         provider.advance_to(job_start)?;
-        provider.request_on_demand(config.on_demand_market, config.reliable_machines)?;
+        let reliable_alloc =
+            provider.request_on_demand(config.on_demand_market, config.reliable_machines)?;
 
         let mut job = AgileMlJob::launch(
             app,
@@ -229,11 +259,18 @@ impl<A: MlApp> Proteus<A> {
             alerted: BTreeMap::new(),
             tracked_bids: BTreeMap::new(),
             last_checkpoint: job_start,
+            checkpoint_store: CheckpointStore::new(),
+            reliable_alloc,
+            dead_reliable: BTreeSet::new(),
+            last_known_clock: 0,
             forecast_alerts: 0,
             pre_drains: 0,
             forecast_hits: 0,
             false_alerts: 0,
             checkpoints: 0,
+            reliable_failures: 0,
+            restarts: 0,
+            work_lost_to_restart: 0,
             obs,
         };
         session.consider_acquisition()?;
@@ -306,7 +343,9 @@ impl<A: MlApp> Proteus<A> {
 
     /// Waits until the training job completes `clock` global iterations.
     pub fn wait_clock(&mut self, clock: u64) -> Result<(), ProteusError> {
-        Ok(self.job.wait_clock(clock)?)
+        self.job.wait_clock(clock)?;
+        self.last_known_clock = self.last_known_clock.max(clock);
+        Ok(())
     }
 
     fn handle_event(&mut self, ev: ProviderEvent) -> Result<(), ProteusError> {
@@ -486,14 +525,37 @@ impl<A: MlApp> Proteus<A> {
         if now.since(self.last_checkpoint) < interval {
             return Ok(());
         }
+        self.take_checkpoint(now, interval.as_millis())
+    }
+
+    /// Forces a durable checkpoint immediately, regardless of the
+    /// adaptive cadence. Returns the checkpointed clock. Chaos
+    /// harnesses (and an operator about to do something risky) use this
+    /// to bound the work a subsequent restart can lose.
+    pub fn checkpoint_now(&mut self) -> Result<u64, ProteusError> {
+        let now = self.provider.now();
+        self.take_checkpoint(now, 0)?;
+        Ok(self.checkpoint_store.latest().map_or(0, |c| c.clock))
+    }
+
+    /// Fetches a consistent model snapshot from the job and serializes
+    /// it into the durable store, superseding the previous checkpoint.
+    /// All timing here is modeled sim-time — a fault-free run's
+    /// checkpoint schedule (and therefore its whole timeline) stays
+    /// bit-identical across repetitions.
+    fn take_checkpoint(&mut self, now: SimTime, interval_ms: u64) -> Result<(), ProteusError> {
         self.last_checkpoint = now;
         self.checkpoints += 1;
-        let _ = self.job.snapshot()?;
+        let snap = self.job.snapshot()?;
+        self.last_known_clock = self.last_known_clock.max(snap.clock);
+        let bytes = self.checkpoint_store.save(&snap, now);
         if let Some(rec) = self.obs.as_deref() {
             rec.record(
                 now,
                 Event::Session(SessionEvent::CheckpointTaken {
-                    interval_ms: interval.as_millis(),
+                    interval_ms,
+                    bytes,
+                    clock: snap.clock,
                 }),
             );
         }
@@ -714,6 +776,113 @@ impl<A: MlApp> Proteus<A> {
         Ok(Some(rolled))
     }
 
+    /// Chaos injection on the tier that "never fails": `count` reliable
+    /// worker machines die abruptly (no warning, no failure report
+    /// beyond the harness's own). The controller first attempts in-job
+    /// repair — re-replicating the dead machines' BackupPS partitions
+    /// onto surviving reliable machines; if the loss is unrepairable it
+    /// raises a typed fault and the session restarts the whole job from
+    /// the last durable checkpoint. Returns which of those happened.
+    pub fn inject_reliable_failure(
+        &mut self,
+        count: usize,
+    ) -> Result<ReliableRecovery, ProteusError> {
+        if let Ok(st) = self.job.status() {
+            self.last_known_clock = self.last_known_clock.max(st.min_clock);
+        }
+        let victims: Vec<NodeId> = self
+            .job
+            .reliable_machines()
+            .iter()
+            .copied()
+            .filter(|n| !self.dead_reliable.contains(n))
+            .take(count)
+            .collect();
+        if victims.is_empty() {
+            return Ok(ReliableRecovery::NoOp);
+        }
+        self.reliable_failures += 1;
+        self.dead_reliable.extend(victims.iter().copied());
+        match self.job.fail_reliable_nodes(&victims) {
+            Ok(_) => Ok(ReliableRecovery::Repaired),
+            Err(JobError::Fault(_)) => {
+                self.restart_from_checkpoint()?;
+                Ok(ReliableRecovery::Restarted)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Chaos injection: the **entire** reliable tier — every reliable
+    /// worker machine and the controller host itself — vanishes at
+    /// once. No in-job protocol can survive this (there is nobody left
+    /// to run one), so the session restarts from the last durable
+    /// checkpoint: tear down, re-acquire reliable capacity, relaunch.
+    /// Returns the clock the restarted job resumed from.
+    pub fn inject_total_reliable_failure(&mut self) -> Result<u64, ProteusError> {
+        if let Ok(st) = self.job.status() {
+            self.last_known_clock = self.last_known_clock.max(st.min_clock);
+        }
+        self.reliable_failures += 1;
+        let mut doomed: Vec<NodeId> = self.job.reliable_machines().to_vec();
+        doomed.push(self.job.controller_node());
+        self.job.kill_silent(&doomed);
+        self.restart_from_checkpoint()
+    }
+
+    /// Session-level restart: the current job incarnation is
+    /// unsalvageable (reliable tier gone, controller possibly
+    /// included). Bills the losses, tears the old cluster down,
+    /// re-acquires the reliable tier from the provider, and relaunches
+    /// the job from the last durable checkpoint — or from scratch if no
+    /// checkpoint was ever taken. Returns the resumed clock.
+    fn restart_from_checkpoint(&mut self) -> Result<u64, ProteusError> {
+        let now = self.provider.now();
+        self.restarts += 1;
+        let snap = self.checkpoint_store.restore()?;
+        let resumed = snap.as_ref().map_or(0, |s| s.clock);
+        let lost = self.last_known_clock.saturating_sub(resumed);
+        self.work_lost_to_restart += lost;
+
+        // Every transient holding dies with the old cluster — its
+        // machines are threads of the job being torn down. Terminate
+        // the allocations; their current hours are already paid.
+        for (id, _) in std::mem::take(&mut self.alloc_nodes) {
+            let _ = self.provider.terminate(id);
+        }
+        for (id, _) in std::mem::take(&mut self.pending_launches) {
+            let _ = self.provider.terminate(id);
+        }
+        self.fallback_allocs.clear();
+        self.warned.clear();
+        self.alerted.clear();
+        self.tracked_bids.clear();
+        self.dead_reliable.clear();
+
+        // The reliable hosts are dead too: release the old allocation
+        // and provision a fresh tier for the relaunch.
+        let _ = self.provider.terminate(self.reliable_alloc);
+        self.reliable_alloc = self
+            .provider
+            .request_on_demand(self.config.on_demand_market, self.config.reliable_machines)?;
+
+        self.job
+            .relaunch_from_checkpoint(self.config.reliable_machines as usize, 0, snap)?;
+        self.last_known_clock = resumed;
+        if let Some(rec) = self.obs.as_deref() {
+            rec.record(
+                now,
+                Event::Session(SessionEvent::CheckpointRestored {
+                    clock: resumed,
+                    work_lost: lost,
+                }),
+            );
+        }
+        // Spot re-acquisition resumes on the normal decision cadence.
+        self.consider_acquisition()?;
+        Ok(resumed)
+    }
+
     /// Hour-end renewal decisions: allocations not worth renewing are
     /// released (machines leave gracefully — a voluntary drain).
     fn renewals(&mut self) -> Result<(), ProteusError> {
@@ -811,6 +980,9 @@ impl<A: MlApp> Proteus<A> {
             forecast_hits: self.forecast_hits,
             false_alerts: self.false_alerts,
             checkpoints: self.checkpoints,
+            reliable_failures: self.reliable_failures,
+            restarts: self.restarts,
+            work_lost_to_restart: self.work_lost_to_restart,
         })
     }
 }

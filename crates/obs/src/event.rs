@@ -208,6 +208,15 @@ pub enum AgileEvent {
         /// How many ActivePS partitions moved.
         partitions: u64,
     },
+    /// Part of the reliable tier was lost and repaired in-job by
+    /// re-replicating its backup partitions onto surviving reliable
+    /// nodes (no restart from checkpoint).
+    ReliableRepaired {
+        /// How many reliable nodes were lost.
+        count: u64,
+        /// Backup partitions re-replicated onto survivors.
+        partitions: u64,
+    },
     /// Nodes failed and rollback recovery ran.
     NodesFailedRecovered {
         /// How many failed.
@@ -264,6 +273,18 @@ pub enum SessionEvent {
     CheckpointTaken {
         /// The interval that scheduled this checkpoint, in sim millis.
         interval_ms: u64,
+        /// Encoded snapshot size, in bytes.
+        bytes: u64,
+        /// The consistent clock the snapshot captures.
+        clock: u64,
+    },
+    /// The session restarted its job from the last durable checkpoint
+    /// after an unrepairable reliable-tier loss.
+    CheckpointRestored {
+        /// The clock the restored snapshot resumes from.
+        clock: u64,
+        /// Training clocks lost since the restored snapshot.
+        work_lost: u64,
     },
     /// The session finished and produced its report.
     Finished {
@@ -345,6 +366,7 @@ impl Event {
                 AgileEvent::NodesAdded { .. } => "agile.nodes_added",
                 AgileEvent::NodesEvicted { .. } => "agile.nodes_evicted",
                 AgileEvent::NodesPreDrained { .. } => "agile.pre_drained",
+                AgileEvent::ReliableRepaired { .. } => "agile.reliable_repaired",
                 AgileEvent::NodesFailedRecovered { .. } => "agile.recovered",
                 AgileEvent::Faulted { .. } => "agile.faulted",
                 AgileEvent::Trace { .. } => "agile.trace",
@@ -357,6 +379,7 @@ impl Event {
                 SessionEvent::PreDrained { .. } => "session.pre_drain",
                 SessionEvent::ForecastFalseAlert { .. } => "session.false_alert",
                 SessionEvent::CheckpointTaken { .. } => "session.checkpoint",
+                SessionEvent::CheckpointRestored { .. } => "session.checkpoint_restored",
                 SessionEvent::Finished { .. } => "session.finished",
             },
             Event::Cost(e) => match e {
@@ -489,7 +512,8 @@ impl Event {
                 AgileEvent::NodesAdded { count } | AgileEvent::NodesEvicted { count } => {
                     push_u64(out, "count", *count);
                 }
-                AgileEvent::NodesPreDrained { count, partitions } => {
+                AgileEvent::NodesPreDrained { count, partitions }
+                | AgileEvent::ReliableRepaired { count, partitions } => {
                     push_u64(out, "count", *count);
                     push_u64(out, "partitions", *partitions);
                 }
@@ -514,8 +538,18 @@ impl Event {
                 | SessionEvent::ForecastFalseAlert { allocation } => {
                     push_u64(out, "allocation", *allocation);
                 }
-                SessionEvent::CheckpointTaken { interval_ms } => {
+                SessionEvent::CheckpointTaken {
+                    interval_ms,
+                    bytes,
+                    clock,
+                } => {
                     push_u64(out, "interval_ms", *interval_ms);
+                    push_u64(out, "bytes", *bytes);
+                    push_u64(out, "clock", *clock);
+                }
+                SessionEvent::CheckpointRestored { clock, work_lost } => {
+                    push_u64(out, "clock", *clock);
+                    push_u64(out, "work_lost", *work_lost);
                 }
                 SessionEvent::Finished { cost, clocks } => {
                     push_f64(out, "cost", *cost);

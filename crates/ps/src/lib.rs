@@ -24,7 +24,9 @@
 //! * [`Values`] / [`KeySet`] — the zero-copy shared payload buffer and
 //!   the compressed key-range set the batched data plane ships;
 //! * [`kernels`] — explicit-width chunked slice kernels (the
-//!   autovectorized hot loops behind [`DenseVec`] and the ML apps).
+//!   autovectorized hot loops behind [`DenseVec`] and the ML apps);
+//! * [`snapshot`] — the durable, bit-exact checkpoint encoding of a
+//!   full parameter map (used by session-level restart-from-checkpoint).
 //!
 //! The elastic tiering logic (ActivePS/BackupPS, stages, recovery) lives
 //! one layer up in `proteus-agileml`; everything here is deliberately
@@ -41,6 +43,7 @@ pub mod keyset;
 pub mod partition;
 pub mod protocol;
 pub mod shard;
+pub mod snapshot;
 pub mod sparse;
 pub mod value;
 pub mod values;
@@ -51,6 +54,7 @@ pub use keyset::KeySet;
 pub use partition::{ParamKey, PartitionId, PartitionMap};
 pub use protocol::{PsRequest, PsResponse, UpdateBatch};
 pub use shard::ShardStore;
+pub use snapshot::{decode_model, encode_model, SnapshotError};
 pub use sparse::SparseVec;
 pub use value::{DenseVec, PsValue};
 pub use values::Values;

@@ -21,6 +21,16 @@ PROTEUS_CHAOS_SEEDS=3 cargo test -q -p proteus-agileml --test chaos
 echo "==> market chaos suite (fixed seed)"
 PROTEUS_CHAOS_SEEDS=3 cargo test -q -p proteus --test market_chaos
 
+# Reliable-tier chaos: one fixed seed bounds the wall clock like the
+# other chaos passes; PROTEUS_CHAOS_FULL=1 widens the sweep nightly.
+echo "==> reliable-tier chaos suite (fixed seed)"
+PROTEUS_CHAOS_SEEDS=3 cargo test -q -p proteus-agileml --test reliable_chaos
+
+# Session restarts from durable checkpoints (scripted scenarios, no
+# seed sweep: each run is already a full kill-and-relaunch).
+echo "==> restart-from-checkpoint chaos suite"
+cargo test -q -p proteus --test restart_chaos
+
 # Library crates report through the obs recorder, not stdout. The only
 # allowed direct prints are doc-comment examples and the two
 # export-write-failure warnings (a failed PROTEUS_OBS_OUT write has no
