@@ -152,6 +152,49 @@ fn main() {
         }
     }
 
+    // ---- fleet summary (present when the export came from FleetSim) -
+    let launches = kinds.get("fleet.gang_launched").copied().unwrap_or(0);
+    if launches > 0 {
+        let mut waited_ms = 0.0f64;
+        let mut work_forfeited = 0.0f64;
+        let mut by_market: BTreeMap<String, u64> = BTreeMap::new();
+        for line in text.lines() {
+            match field(line, "kind") {
+                Some("fleet.gang_launched") => {
+                    waited_ms += field(line, "waited_ms")
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .unwrap_or(0.0);
+                    *by_market
+                        .entry(field(line, "market").unwrap_or("?").to_string())
+                        .or_insert(0) += 1;
+                }
+                Some("fleet.trial_early_killed") => {
+                    work_forfeited += field(line, "work_done")
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .unwrap_or(0.0);
+                }
+                _ => {}
+            }
+        }
+        let get = |k: &str| kinds.get(k).copied().unwrap_or(0);
+        println!();
+        println!("fleet:");
+        println!(
+            "  {} admitted, {launches} gang launches (mean queue wait {:.1} min), {} requeues",
+            get("fleet.job_admitted"),
+            waited_ms / launches as f64 / 60_000.0,
+            get("fleet.gang_queued"),
+        );
+        println!(
+            "  {} early kills ({work_forfeited:.1} core-hours forfeited), {} priority preemptions",
+            get("fleet.trial_early_killed"),
+            get("fleet.preempted_by_priority"),
+        );
+        for (market, n) in &by_market {
+            println!("    {market:<22} {n:>6} launches");
+        }
+    }
+
     if let Some(csv_path) = csv_path {
         if let Err(e) = std::fs::write(&csv_path, &csv) {
             eprintln!("error: could not write {csv_path}: {e}");

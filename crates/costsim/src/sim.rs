@@ -182,13 +182,16 @@ impl<'a> JobSim<'a> {
         let params = AppParams {
             phi_per_doubling: scheme.job.phi_per_doubling,
             sigma: match scheme.kind {
-                SchemeKind::Proteus { scale_pause, .. } => scale_pause,
+                SchemeKind::Proteus { scale_pause, .. } | SchemeKind::Fleet { scale_pause, .. } => {
+                    scale_pause
+                }
                 SchemeKind::StandardCheckpoint { restart_delay, .. }
                 | SchemeKind::AdaptiveCheckpoint { restart_delay, .. } => restart_delay,
                 _ => SimDuration::from_secs(30),
             },
             lambda: match scheme.kind {
-                SchemeKind::Proteus { eviction_pause, .. } => eviction_pause,
+                SchemeKind::Proteus { eviction_pause, .. }
+                | SchemeKind::Fleet { eviction_pause, .. } => eviction_pause,
                 SchemeKind::StandardAgileML { eviction_pause } => eviction_pause,
                 SchemeKind::StandardCheckpoint { restart_delay, .. }
                 | SchemeKind::AdaptiveCheckpoint { restart_delay, .. } => restart_delay,
@@ -196,7 +199,9 @@ impl<'a> JobSim<'a> {
             },
         };
         let bid_deltas = match &scheme.kind {
-            SchemeKind::Proteus { bid_deltas, .. } => bid_deltas.clone(),
+            SchemeKind::Proteus { bid_deltas, .. } | SchemeKind::Fleet { bid_deltas, .. } => {
+                bid_deltas.clone()
+            }
             _ => BidBrainConfig::default().bid_deltas,
         };
         let brain = BidBrain::new(
@@ -567,7 +572,8 @@ impl<'a> JobSim<'a> {
                             self.pause(restart_delay);
                         }
                         SchemeKind::StandardAgileML { eviction_pause }
-                        | SchemeKind::Proteus { eviction_pause, .. } => {
+                        | SchemeKind::Proteus { eviction_pause, .. }
+                        | SchemeKind::Fleet { eviction_pause, .. } => {
                             self.pause(eviction_pause);
                         }
                         SchemeKind::AllOnDemand { .. } => {}
@@ -611,7 +617,7 @@ impl<'a> JobSim<'a> {
                 continue;
             }
             let keep = match self.kind {
-                SchemeKind::Proteus { .. } => {
+                SchemeKind::Proteus { .. } | SchemeKind::Fleet { .. } => {
                     let rest: Vec<AllocView> = self
                         .footprint()
                         .into_iter()
@@ -673,7 +679,7 @@ impl<'a> JobSim<'a> {
                     }
                 }
             }
-            SchemeKind::Proteus { scale_pause, .. } => {
+            SchemeKind::Proteus { scale_pause, .. } | SchemeKind::Fleet { scale_pause, .. } => {
                 // Walk the ranked candidates: a capacity refusal falls
                 // through to the next-best market per Eq. 4; a throttle
                 // is provider-wide, so stop and retry next step.

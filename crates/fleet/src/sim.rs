@@ -1,0 +1,1211 @@
+//! The fleet scheduler: many jobs, one market.
+//!
+//! [`FleetSim`] drives hundreds-to-thousands of concurrent training
+//! jobs against a single [`CloudProvider`] and a single shared
+//! reliable-machine pool. Each scheduling round (the paper's two-minute
+//! decision cadence) it:
+//!
+//! 1. **admits** submitted jobs while the active set has room,
+//!    assigning each a bin-packed slot on the shared reliable pool;
+//! 2. **evaluates** every pending gang's best `(market, bid-delta)`
+//!    candidate by Eq. 4 cost-per-work — a pure fan-out over the study
+//!    executor, collected in index order so results are bit-identical
+//!    whatever the thread count;
+//! 3. **ranks** pending gangs globally by aged fairness weight ×
+//!    marginal Eq. 4 value and walks the ranking, acquiring each gang
+//!    atomically ([`CloudProvider::request_spot_gang`]) — a capacity
+//!    shortfall triggers value-ordered **preemption** of running
+//!    low-value preemptible gangs (settled exactly like evictions);
+//! 4. **routes** provider events (evictions, launch failures) back to
+//!    their jobs via the allocation map and accrues φ-scaled work over
+//!    the exact live segments.
+//!
+//! Every job ends in a typed terminal state; an impossible market
+//! yields [`JobState::Unfinished`], never a hang or a panic.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proteus_bidbrain::{AllocView, AppParams, BetaEstimator, BidBrain, BidBrainConfig, Objective};
+use proteus_costsim::StudyExecutor;
+use proteus_market::{
+    AllocationId, CloudProvider, MarketError, MarketFaultPlan, MarketKey, ProviderEvent, TraceSet,
+    UsageBreakdown,
+};
+use proteus_obs::{Event, FleetEvent, Recorder};
+use proteus_simtime::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::binpack::ReliablePool;
+use crate::job::{FleetJobSpec, JobId, JobState, JobSummary};
+use crate::scheduler::{rank, FairnessConfig, RankEntry};
+
+/// Metrics-registry keys the fleet scheduler maintains.
+pub mod obs_keys {
+    /// Jobs that passed admission control.
+    pub const JOBS_ADMITTED: &str = "fleet.jobs_admitted";
+    /// Gang acquisition attempts that queued instead of launching.
+    pub const GANGS_QUEUED: &str = "fleet.gangs_queued";
+    /// Gangs launched (first launch plus relaunches).
+    pub const GANGS_LAUNCHED: &str = "fleet.gangs_launched";
+    /// Trials killed early by their owner (lag or successive halving).
+    pub const TRIALS_EARLY_KILLED: &str = "fleet.trials_early_killed";
+    /// Running gangs preempted for a higher-value gang.
+    pub const PREEMPTIONS: &str = "fleet.preemptions";
+    /// Histogram of time spent queued before each launch, in hours.
+    pub const QUEUE_WAIT_HOURS: &str = "fleet.queue_wait_hours";
+}
+
+/// Fleet-wide tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Scheduling cadence (the paper's 2-minute decision loop).
+    pub step: SimDuration,
+    /// Most jobs allowed past admission at once (Waiting + Running).
+    pub max_active_jobs: usize,
+    /// Reliable-slot density per shared on-demand machine.
+    pub slots_per_machine: u32,
+    /// Weighted-fair-queue tuning.
+    pub fairness: FairnessConfig,
+    /// Per-job progress pause after an eviction or preemption (λ).
+    pub eviction_pause: SimDuration,
+    /// Per-job progress pause after a (re)launch (σ).
+    pub scale_pause: SimDuration,
+    /// Bid deltas swept per candidate market.
+    pub bid_deltas: Vec<f64>,
+    /// A pending gang preempts a victim only when its value exceeds
+    /// `preemption_margin ×` the victim's (starved gangs ignore this).
+    pub preemption_margin: f64,
+    /// Market backing the shared reliable pool.
+    pub on_demand_market: MarketKey,
+    /// Candidate spot markets for gang acquisition.
+    pub markets: Vec<MarketKey>,
+}
+
+impl FleetConfig {
+    /// Paper-cadence defaults over the given markets, with the first
+    /// market anchoring the reliable pool.
+    pub fn paper_defaults(markets: Vec<MarketKey>) -> Self {
+        FleetConfig {
+            step: SimDuration::from_secs(120),
+            max_active_jobs: 64,
+            slots_per_machine: 8,
+            fairness: FairnessConfig::default(),
+            eviction_pause: SimDuration::from_secs(240),
+            scale_pause: SimDuration::from_secs(30),
+            bid_deltas: vec![0.0001, 0.01, 0.05, 0.4],
+            preemption_margin: 1.5,
+            on_demand_market: markets[0],
+            markets,
+        }
+    }
+}
+
+/// One job's live record.
+#[derive(Debug, Clone)]
+struct JobRec {
+    spec: FleetJobSpec,
+    state: JobState,
+    submit_at: SimTime,
+    /// Live gang, if running.
+    alloc: Option<AllocationId>,
+    alloc_market: Option<MarketKey>,
+    alloc_delta: f64,
+    /// Work accrues from here (launch + σ, or last accrual point).
+    accrued_until: SimTime,
+    /// No progress before this instant (λ/σ pauses).
+    usable_from: SimTime,
+    work_done: f64,
+    /// Current work target in φ-scaled core-hours (the sweep raises it
+    /// rung by rung).
+    target: f64,
+    queued_since: SimTime,
+    rounds_waiting: u32,
+    max_rounds_waited: u32,
+    evictions: u32,
+    preemptions: u32,
+    launches: u32,
+    /// Final-hour credits earned at completion/teardown.
+    credits: f64,
+    /// Slot machine index on the reliable pool, while admitted.
+    reliable_idx: Option<usize>,
+}
+
+/// Deterministic fleet outcome. Compares bit-for-bit across thread
+/// counts; wall-clock scheduler timing lives in [`FleetTiming`], kept
+/// out of this struct on purpose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// Per-job summaries, in job-id order.
+    pub jobs: Vec<JobSummary>,
+    /// Net dollars across the whole fleet: all billing minus eviction
+    /// refunds and final-hour credits (spot gangs + reliable pool).
+    pub total_cost: f64,
+    /// φ-scaled core-hours accrued across all jobs.
+    pub total_work: f64,
+    /// Provider evictions absorbed fleet-wide.
+    pub evictions: u64,
+    /// Scheduler preemptions issued fleet-wide.
+    pub preemptions: u64,
+    /// Jobs that reached their work target.
+    pub completed: usize,
+    /// Scheduling rounds executed.
+    pub scheduling_rounds: u64,
+    /// Most shared reliable machines held at once.
+    pub peak_reliable_machines: usize,
+    /// Machine-hours by kind across the fleet.
+    pub usage: UsageBreakdown,
+}
+
+impl FleetOutcome {
+    /// Fleet-wide dollars per unit work (Eq. 4 realized).
+    pub fn cost_per_work(&self) -> f64 {
+        if self.total_work <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_cost / self.total_work
+        }
+    }
+}
+
+/// Wall-clock scheduler bookkeeping time, reported separately from the
+/// deterministic outcome (timing differs run to run; decisions do not).
+#[derive(Debug, Clone, Copy)]
+pub struct FleetTiming {
+    /// Seconds spent in scheduler bookkeeping (admission, ranking,
+    /// victim selection, launch-walk decisions) — excludes the Eq. 4
+    /// evaluation fan-out and all provider calls (gang acquisition,
+    /// revocation, market advance), which any per-job baseline pays
+    /// too. This is the marginal cost of scheduling *globally*.
+    pub sched_seconds: f64,
+    /// Rounds over which the time accrued.
+    pub rounds: u64,
+}
+
+/// An Eq. 4 evaluation task: pending gang or running victim.
+struct EvalTask {
+    gang: u32,
+    phi: f64,
+    /// `Some((market, delta))` pins the evaluation to a live gang's
+    /// current footprint (victim valuation); `None` sweeps every
+    /// `(market, delta)` candidate (pending gang).
+    pinned: Option<(MarketKey, f64)>,
+}
+
+/// The best acquisition candidate for a pending gang.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    market: MarketKey,
+    price: f64,
+    delta: f64,
+    cost_per_work: f64,
+}
+
+/// The multi-tenant fleet scheduler (see the module docs for the round
+/// structure).
+pub struct FleetSim<'a> {
+    cfg: FleetConfig,
+    provider: CloudProvider<'a>,
+    beta: &'a BetaEstimator,
+    pool: ReliablePool,
+    jobs: Vec<JobRec>,
+    /// Live gang → job index.
+    alloc_to_job: BTreeMap<AllocationId, usize>,
+    /// Every gang ever → job index (ledger attribution; never pruned).
+    alloc_owner: BTreeMap<u64, usize>,
+    obs: Option<Arc<Recorder>>,
+    started_at: SimTime,
+    rounds: u64,
+    evictions: u64,
+    preemptions: u64,
+    /// Jobs awaiting admission, FIFO by (submission time, id). Entries
+    /// are lazily discarded if the job was killed while queued, so the
+    /// admission pass costs O(admitted) per round, not O(all jobs).
+    admission_queue: std::collections::BTreeSet<(SimTime, usize)>,
+    /// Jobs currently past admission (`Waiting` or `Running`),
+    /// maintained incrementally by [`Self::set_state`]. Transitions
+    /// *within* {Waiting, Running} (launch, eviction) don't move it, so
+    /// those sites may write `state` directly.
+    active: usize,
+    sched_nanos: u128,
+    /// Time spent inside provider calls (gang acquisition, revocation,
+    /// reliable-pool requests) while a scheduler timer was running.
+    /// Credited back out of `sched_nanos`: it is market simulation a
+    /// per-job runner pays identically, not the price of *global*
+    /// scheduling.
+    market_credit_nanos: u128,
+}
+
+impl<'a> FleetSim<'a> {
+    /// A fleet over shared price history and a shared trained β.
+    pub fn new(traces: &'a TraceSet, beta: &'a BetaEstimator, cfg: FleetConfig) -> Self {
+        let pool = ReliablePool::new(cfg.on_demand_market, cfg.slots_per_machine);
+        FleetSim {
+            cfg,
+            provider: CloudProvider::new(traces),
+            beta,
+            pool,
+            jobs: Vec::new(),
+            alloc_to_job: BTreeMap::new(),
+            alloc_owner: BTreeMap::new(),
+            obs: None,
+            started_at: SimTime::EPOCH,
+            rounds: 0,
+            evictions: 0,
+            preemptions: 0,
+            admission_queue: std::collections::BTreeSet::new(),
+            active: 0,
+            sched_nanos: 0,
+            market_credit_nanos: 0,
+        }
+    }
+
+    /// Attaches an observability recorder to the fleet and its provider.
+    pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        self.provider.set_recorder(Arc::clone(&rec));
+        self.obs = Some(rec);
+    }
+
+    /// Installs provider-side fault regimes (droughts, throttling, boot
+    /// delay, infant mortality). Per-tenant draw streams keep each job's
+    /// fate independent of the others' request patterns.
+    pub fn set_fault_plan(&mut self, plan: MarketFaultPlan) {
+        self.provider.set_fault_plan(plan);
+    }
+
+    /// Moves the fleet clock to `start` before any scheduling happens
+    /// (studies start mid-history). Must precede the first round.
+    pub fn start_at(&mut self, start: SimTime) -> Result<(), MarketError> {
+        self.provider.advance_to(start)?;
+        self.started_at = start;
+        Ok(())
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.provider.now()
+    }
+
+    /// The provider's billing account (read-only).
+    pub fn account(&self) -> &proteus_market::BillingAccount {
+        self.provider.account()
+    }
+
+    /// Submits a job; it competes for admission from `submit_at` (or
+    /// the current time, if later).
+    pub fn submit(&mut self, spec: FleetJobSpec, submit_at: SimTime) -> JobId {
+        let id = JobId(self.jobs.len() as u64);
+        let now = self.now();
+        self.jobs.push(JobRec {
+            spec,
+            state: JobState::Submitted,
+            submit_at: submit_at.max(now),
+            alloc: None,
+            alloc_market: None,
+            alloc_delta: 0.0,
+            accrued_until: now,
+            usable_from: now,
+            work_done: 0.0,
+            target: 0.0,
+            queued_since: now,
+            rounds_waiting: 0,
+            max_rounds_waited: 0,
+            evictions: 0,
+            preemptions: 0,
+            launches: 0,
+            credits: 0.0,
+            reliable_idx: None,
+        });
+        let idx = id.0 as usize;
+        self.jobs[idx].target = self.jobs[idx].spec.work_core_hours;
+        self.admission_queue.insert((self.jobs[idx].submit_at, idx));
+        id
+    }
+
+    /// The job's current lifecycle state.
+    pub fn state(&self, id: JobId) -> Option<JobState> {
+        self.jobs.get(id.0 as usize).map(|j| j.state)
+    }
+
+    /// φ-scaled core-hours the job has accrued.
+    pub fn work_done(&self, id: JobId) -> f64 {
+        self.jobs.get(id.0 as usize).map_or(0.0, |j| j.work_done)
+    }
+
+    /// The job's current work target.
+    pub fn target(&self, id: JobId) -> f64 {
+        self.jobs.get(id.0 as usize).map_or(0.0, |j| j.target)
+    }
+
+    /// Raises (or lowers) a job's work target. Raising the target of a
+    /// `Completed` job reopens it: it rejoins the gang queue and runs to
+    /// the new target (the sweep's rung-promotion primitive).
+    pub fn set_target(&mut self, id: JobId, target: f64) {
+        let now = self.now();
+        let reopened = {
+            let Some(job) = self.jobs.get_mut(id.0 as usize) else {
+                return;
+            };
+            job.target = target;
+            if job.state == JobState::Completed && job.work_done < target {
+                job.queued_since = now;
+                job.rounds_waiting = 0;
+                true
+            } else {
+                false
+            }
+        };
+        if reopened {
+            let idx = id.0 as usize;
+            self.set_state(idx, JobState::Waiting);
+            if self.jobs[idx].reliable_idx.is_none() {
+                self.assign_reliable_slot(idx);
+            }
+        }
+    }
+
+    /// Kills a job: its gang is voluntarily terminated (the paid hour
+    /// is forfeited — the tenant walked away), its reliable slot is
+    /// released, and the kill is recorded as an early-killed trial.
+    /// Killing a `Completed` job marks it `Killed` too — the sweep's
+    /// "completed this rung but ranked out" early stop.
+    pub fn kill(&mut self, id: JobId) {
+        let idx = id.0 as usize;
+        let now = self.now();
+        self.accrue(idx, now);
+        let Some(job) = self.jobs.get(idx) else {
+            return;
+        };
+        if matches!(job.state, JobState::Killed | JobState::Unfinished) {
+            return;
+        }
+        if let Some(alloc) = job.alloc {
+            let _ = self.provider.terminate(alloc);
+            self.alloc_to_job.remove(&alloc);
+        }
+        let work_done = {
+            let job = &mut self.jobs[idx];
+            job.alloc = None;
+            job.alloc_market = None;
+            job.work_done
+        };
+        self.set_state(idx, JobState::Killed);
+        self.release_reliable_slot(idx);
+        if let Some(rec) = self.obs.as_deref() {
+            rec.counter_add(obs_keys::TRIALS_EARLY_KILLED, 1);
+            rec.record(
+                now,
+                Event::Fleet(FleetEvent::TrialEarlyKilled {
+                    job: id.0,
+                    work_done,
+                }),
+            );
+        }
+    }
+
+    /// Runs scheduling rounds until the clock reaches `until`.
+    pub fn run_to(&mut self, until: SimTime, exec: &StudyExecutor) -> Result<(), MarketError> {
+        while self.now() < until {
+            let target = (self.now() + self.cfg.step).min(until);
+            self.step_to(target, exec)?;
+        }
+        Ok(())
+    }
+
+    /// One scheduling round: advance the market to `target`, route its
+    /// events, accrue work, settle completions, then admit/rank/launch.
+    fn step_to(&mut self, target: SimTime, exec: &StudyExecutor) -> Result<(), MarketError> {
+        let events = self.provider.advance_to(target)?;
+        for (t, ev) in events {
+            self.route_event(t, &ev);
+        }
+        for idx in 0..self.jobs.len() {
+            self.accrue(idx, target);
+        }
+        self.settle_completions();
+        self.schedule_round(exec);
+        self.rounds += 1;
+        Ok(())
+    }
+
+    /// Ends the fleet: outstanding gangs and the reliable pool are torn
+    /// down with final-hour credits, non-terminal jobs become
+    /// [`JobState::Unfinished`], and the deterministic outcome plus the
+    /// wall-clock scheduler timing are returned.
+    pub fn finish(mut self) -> (FleetOutcome, FleetTiming) {
+        let now = self.now();
+        for idx in 0..self.jobs.len() {
+            self.accrue(idx, now);
+            let state = self.jobs[idx].state;
+            if state.is_terminal() {
+                continue;
+            }
+            if let Some(alloc) = self.jobs[idx].alloc {
+                let credit = self.gang_credit(alloc);
+                let _ = self.provider.terminate(alloc);
+                self.alloc_to_job.remove(&alloc);
+                self.jobs[idx].credits += credit;
+                self.jobs[idx].alloc = None;
+            }
+            self.release_reliable_slot(idx);
+            self.jobs[idx].state = JobState::Unfinished;
+        }
+        let pool_credit = self.pool.teardown(&mut self.provider, now);
+
+        // Ledger attribution: every entry carries its allocation id, and
+        // `alloc_owner` remembers which job minted each gang.
+        let mut per_job_cost = vec![0.0f64; self.jobs.len()];
+        for entry in self.provider.account().entries() {
+            if let Some(&idx) = self.alloc_owner.get(&entry.allocation.0) {
+                per_job_cost[idx] += entry.amount;
+            }
+        }
+
+        let jobs: Vec<JobSummary> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(idx, j)| JobSummary {
+                id: JobId(idx as u64),
+                state: j.state,
+                work_done: j.work_done,
+                spot_cost: (per_job_cost[idx] - j.credits).max(0.0),
+                evictions: j.evictions,
+                preemptions: j.preemptions,
+                launches: j.launches,
+                max_rounds_waited: j.max_rounds_waited,
+            })
+            .collect();
+        let credits: f64 = self.jobs.iter().map(|j| j.credits).sum::<f64>() + pool_credit;
+        let outcome = FleetOutcome {
+            total_cost: (self.provider.account().total_cost() - credits).max(0.0),
+            total_work: self.jobs.iter().map(|j| j.work_done).sum(),
+            evictions: self.evictions,
+            preemptions: self.preemptions,
+            completed: jobs
+                .iter()
+                .filter(|j| j.state == JobState::Completed)
+                .count(),
+            scheduling_rounds: self.rounds,
+            peak_reliable_machines: self.pool.peak_machines(),
+            usage: *self.provider.account().usage(),
+            jobs,
+        };
+        let timing = FleetTiming {
+            sched_seconds: self.sched_nanos.saturating_sub(self.market_credit_nanos) as f64 / 1e9,
+            rounds: self.rounds,
+        };
+        (outcome, timing)
+    }
+
+    /// Routes one provider event back to its job.
+    fn route_event(&mut self, t: SimTime, ev: &ProviderEvent) {
+        match ev {
+            ProviderEvent::Evicted { allocation } => {
+                let Some(idx) = self.alloc_to_job.remove(allocation) else {
+                    return;
+                };
+                self.accrue(idx, t);
+                let job = &mut self.jobs[idx];
+                job.alloc = None;
+                job.alloc_market = None;
+                job.state = JobState::Waiting;
+                job.evictions += 1;
+                self.evictions += 1;
+                job.usable_from = t + self.cfg.eviction_pause;
+                job.queued_since = t;
+                job.rounds_waiting = 0;
+            }
+            ProviderEvent::LaunchFailed { allocation } => {
+                let Some(idx) = self.alloc_to_job.remove(allocation) else {
+                    return;
+                };
+                let job = &mut self.jobs[idx];
+                job.alloc = None;
+                job.alloc_market = None;
+                job.state = JobState::Waiting;
+                job.queued_since = t;
+                job.rounds_waiting = 0;
+            }
+            // Warnings, hour charges, and delayed launches need no job
+            // action: billing flows through the ledger and work accrual
+            // anchors on `usable_from`.
+            ProviderEvent::EvictionWarning { .. }
+            | ProviderEvent::HourCharged { .. }
+            | ProviderEvent::Launched { .. } => {}
+        }
+    }
+
+    /// Accrues φ-scaled work for job `idx` up to `upto`.
+    fn accrue(&mut self, idx: usize, upto: SimTime) {
+        let job = &mut self.jobs[idx];
+        if job.state != JobState::Running || job.alloc.is_none() {
+            job.accrued_until = upto.max(job.accrued_until);
+            return;
+        }
+        let from = job.accrued_until.max(job.usable_from);
+        if upto > from {
+            let cores = f64::from(job.spec.min_gang)
+                * job
+                    .alloc_market
+                    .map_or(0.0, |m| f64::from(m.instance_type().vcpus));
+            let phi = AppParams {
+                phi_per_doubling: job.spec.phi_per_doubling,
+                sigma: SimDuration::ZERO,
+                lambda: SimDuration::ZERO,
+            }
+            .phi(cores);
+            job.work_done += upto.since(from).as_hours_f64() * cores * phi;
+        }
+        job.accrued_until = upto.max(job.accrued_until);
+    }
+
+    /// Completes every running job that reached its target: the gang
+    /// terminates with the unused fraction of its current billing hour
+    /// credited (the paper's "final partial hours not charged" rule).
+    fn settle_completions(&mut self) {
+        for idx in 0..self.jobs.len() {
+            let job = &self.jobs[idx];
+            if job.state != JobState::Running || job.work_done < job.target {
+                continue;
+            }
+            if let Some(alloc) = job.alloc {
+                let credit = self.gang_credit(alloc);
+                let _ = self.provider.terminate(alloc);
+                self.alloc_to_job.remove(&alloc);
+                self.jobs[idx].credits += credit;
+            }
+            let job = &mut self.jobs[idx];
+            job.alloc = None;
+            job.alloc_market = None;
+            self.set_state(idx, JobState::Completed);
+            self.release_reliable_slot(idx);
+        }
+    }
+
+    /// The unused-hour credit a gang earns if terminated right now.
+    fn gang_credit(&self, id: AllocationId) -> f64 {
+        let Some(view) = self.provider.spot_allocation(id) else {
+            return 0.0;
+        };
+        if view.booting {
+            return 0.0;
+        }
+        let Ok(paid) = self.provider.spot_price_at(view.market, view.hour_start) else {
+            return 0.0;
+        };
+        let hour_end = view.hour_start + SimDuration::from_hours(1);
+        if hour_end > self.now() {
+            paid * f64::from(view.count) * hour_end.since(self.now()).as_hours_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// Assigns job `idx` its reliable slot; an impossible request (wider
+    /// than a machine) ends the job as `Unfinished` instead of looping.
+    fn assign_reliable_slot(&mut self, idx: usize) {
+        let slots = self.jobs[idx].spec.reliable_slots;
+        if slots == 0 {
+            return;
+        }
+        let now = self.now();
+        let m = std::time::Instant::now();
+        let assigned = self.pool.assign(&mut self.provider, slots, now);
+        self.market_credit_nanos += m.elapsed().as_nanos();
+        match assigned {
+            Ok(machine) => self.jobs[idx].reliable_idx = Some(machine),
+            Err(_) => self.set_state(idx, JobState::Unfinished),
+        }
+    }
+
+    fn release_reliable_slot(&mut self, idx: usize) {
+        if let Some(machine) = self.jobs[idx].reliable_idx.take() {
+            let slots = self.jobs[idx].spec.reliable_slots;
+            self.pool.release(&mut self.provider, machine, slots);
+        }
+    }
+
+    /// Jobs currently past admission and not terminal (recount; the
+    /// scheduler itself uses the incremental `active` field).
+    fn active_count(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.state, JobState::Waiting | JobState::Running))
+            .count()
+    }
+
+    /// Writes a job's state, keeping the incremental active count in
+    /// sync. Every transition that can cross the admitted/terminal
+    /// boundary must go through here.
+    fn set_state(&mut self, idx: usize, to: JobState) {
+        let was = matches!(self.jobs[idx].state, JobState::Waiting | JobState::Running);
+        let is = matches!(to, JobState::Waiting | JobState::Running);
+        self.jobs[idx].state = to;
+        match (was, is) {
+            (false, true) => self.active += 1,
+            (true, false) => self.active = self.active.saturating_sub(1),
+            _ => {}
+        }
+    }
+
+    /// One admission + evaluation + ranking + launch pass.
+    fn schedule_round(&mut self, exec: &StudyExecutor) {
+        let now = self.now();
+        debug_assert_eq!(self.active, self.active_count(), "active counter drifted");
+
+        // --- Admission (timed bookkeeping). ---
+        let t0 = std::time::Instant::now();
+        // Admission pops the FIFO queue — (submit time, id) order — so
+        // rounds with nothing to admit cost one comparison, not a scan.
+        if self
+            .admission_queue
+            .first()
+            .is_some_and(|&(at, _)| at <= now)
+        {
+            while self.active < self.cfg.max_active_jobs {
+                let Some(&(at, idx)) = self.admission_queue.first() else {
+                    break;
+                };
+                if at > now {
+                    break;
+                }
+                self.admission_queue.pop_first();
+                if self.jobs[idx].state != JobState::Submitted {
+                    continue; // killed while still queued for admission
+                }
+                self.set_state(idx, JobState::Waiting);
+                self.jobs[idx].queued_since = now;
+                self.jobs[idx].rounds_waiting = 0;
+                self.assign_reliable_slot(idx);
+                if self.jobs[idx].state != JobState::Waiting {
+                    continue; // the slot request refused: typed Unfinished
+                }
+                if let Some(rec) = self.obs.as_deref() {
+                    rec.counter_add(obs_keys::JOBS_ADMITTED, 1);
+                    rec.record(
+                        now,
+                        Event::Fleet(FleetEvent::JobAdmitted {
+                            job: idx as u64,
+                            tier: u64::from(self.jobs[idx].spec.tier),
+                        }),
+                    );
+                }
+            }
+        }
+        self.sched_nanos += t0.elapsed().as_nanos();
+
+        // --- Eq. 4 evaluation fan-out (untimed: a per-job baseline pays
+        // these same evaluations). Prices are sampled once, serially,
+        // then the pure evaluations fan across the pool and come back in
+        // index order — bit-identical for any thread count. ---
+        let prices: Vec<(MarketKey, f64)> = self
+            .cfg
+            .markets
+            .iter()
+            .filter_map(|&m| self.provider.spot_price(m).ok().map(|p| (m, p)))
+            .collect();
+
+        let pending: Vec<usize> = (0..self.jobs.len())
+            .filter(|&i| self.jobs[i].state == JobState::Waiting && self.jobs[i].usable_from <= now)
+            .collect();
+        // Preemption can only trigger where a capacity rule can refuse a
+        // gang; an uncapped market never needs victim valuations, so
+        // skip pricing the running fleet entirely.
+        let capacity_limited = self
+            .provider
+            .fault_plan()
+            .is_some_and(|p| !p.capacity.is_empty());
+        let victims: Vec<usize> = if capacity_limited {
+            (0..self.jobs.len())
+                .filter(|&i| {
+                    self.jobs[i].state == JobState::Running
+                        && self.jobs[i].spec.preemptible
+                        && self.jobs[i].alloc.is_some()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if pending.is_empty() {
+            return;
+        }
+
+        let tasks: Vec<EvalTask> = pending
+            .iter()
+            .map(|&i| EvalTask {
+                gang: self.jobs[i].spec.min_gang,
+                phi: self.jobs[i].spec.phi_per_doubling,
+                pinned: None,
+            })
+            .chain(victims.iter().map(|&i| {
+                EvalTask {
+                    gang: self.jobs[i].spec.min_gang,
+                    phi: self.jobs[i].spec.phi_per_doubling,
+                    pinned: self.jobs[i]
+                        .alloc_market
+                        .map(|m| (m, self.jobs[i].alloc_delta)),
+                }
+            }))
+            .collect();
+        let beta = self.beta;
+        let deltas = self.cfg.bid_deltas.clone();
+        let sigma = self.cfg.scale_pause;
+        let lambda = self.cfg.eviction_pause;
+        let evals: Vec<Option<Candidate>> = exec.run_indexed(tasks.len(), |ti| {
+            let task = &tasks[ti];
+            evaluate_task(task, beta, &prices, &deltas, sigma, lambda)
+        });
+
+        // --- Ranking + launch walk (timed bookkeeping). ---
+        let t1 = std::time::Instant::now();
+        let mut entries: Vec<RankEntry> = Vec::with_capacity(pending.len());
+        let mut candidates: BTreeMap<usize, Candidate> = BTreeMap::new();
+        for (slot, &idx) in pending.iter().enumerate() {
+            let Some(cand) = evals[slot] else {
+                self.queue_gang(idx, now);
+                continue;
+            };
+            if !cand.cost_per_work.is_finite() || cand.cost_per_work <= 0.0 {
+                self.queue_gang(idx, now);
+                continue;
+            }
+            let weight = self
+                .cfg
+                .fairness
+                .effective_weight(self.jobs[idx].spec.tier, self.jobs[idx].rounds_waiting);
+            candidates.insert(idx, cand);
+            entries.push(RankEntry {
+                job_idx: idx,
+                value: weight / cand.cost_per_work,
+                starved: self.cfg.fairness.is_starved(self.jobs[idx].rounds_waiting),
+            });
+        }
+        // Victim value: aged weight over its *current* footprint's Eq. 4
+        // score — what the fleet gives up by revoking it.
+        let mut victim_value: BTreeMap<usize, f64> = BTreeMap::new();
+        for (slot, &idx) in victims.iter().enumerate() {
+            if let Some(c) = evals[pending.len() + slot] {
+                if c.cost_per_work.is_finite() && c.cost_per_work > 0.0 {
+                    let weight = self
+                        .cfg
+                        .fairness
+                        .effective_weight(self.jobs[idx].spec.tier, 0);
+                    victim_value.insert(idx, weight / c.cost_per_work);
+                }
+            }
+        }
+        rank(&mut entries);
+        self.sched_nanos += t1.elapsed().as_nanos();
+
+        // One timer pair for the whole walk: per-attempt timers would
+        // cost more clock reads than the decisions they measure.
+        let t2 = std::time::Instant::now();
+        for entry in entries {
+            let idx = entry.job_idx;
+            // A victim revoked earlier in this walk is no longer Running.
+            if self.jobs[idx].state != JobState::Waiting {
+                continue;
+            }
+            let Some(cand) = candidates.get(&idx).copied() else {
+                continue;
+            };
+            let launched = self.try_launch(idx, cand, entry, &victim_value, now);
+            if !launched {
+                self.queue_gang(idx, now);
+            }
+        }
+        self.sched_nanos += t2.elapsed().as_nanos();
+    }
+
+    /// One gang acquisition attempt, with value-ordered preemption on a
+    /// capacity shortfall. Returns whether the gang launched.
+    fn try_launch(
+        &mut self,
+        idx: usize,
+        cand: Candidate,
+        entry: RankEntry,
+        victim_value: &BTreeMap<usize, f64>,
+        now: SimTime,
+    ) -> bool {
+        let tenant = JobId(idx as u64).tenant();
+        let gang = self.jobs[idx].spec.min_gang;
+        let bid = cand.price + cand.delta;
+        let m = std::time::Instant::now();
+        let first_try = self
+            .provider
+            .request_spot_gang(tenant, cand.market, gang, bid);
+        self.market_credit_nanos += m.elapsed().as_nanos();
+        match first_try {
+            Ok(grant) => {
+                self.commit_launch(idx, cand, grant.id, grant.usable_at, now);
+                true
+            }
+            Err(MarketError::InsufficientCapacity { available, .. }) => {
+                let needed = gang.saturating_sub(available);
+                if !self.preempt_for(idx, cand.market, needed, entry, victim_value, now) {
+                    return false;
+                }
+                // Capacity was freed; one retry.
+                let m = std::time::Instant::now();
+                let retry = self
+                    .provider
+                    .request_spot_gang(tenant, cand.market, gang, bid);
+                self.market_credit_nanos += m.elapsed().as_nanos();
+                match retry {
+                    Ok(grant) => {
+                        self.commit_launch(idx, cand, grant.id, grant.usable_at, now);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Revokes running preemptible gangs in `market`, lowest value
+    /// first, until `needed` instances are free — but only victims worth
+    /// less than the gang's value over the preemption margin (starved
+    /// gangs preempt regardless of margin). Returns whether enough
+    /// capacity was freed.
+    fn preempt_for(
+        &mut self,
+        for_idx: usize,
+        market: MarketKey,
+        needed: u32,
+        entry: RankEntry,
+        victim_value: &BTreeMap<usize, f64>,
+        now: SimTime,
+    ) -> bool {
+        let mut pool: Vec<(f64, usize)> = victim_value
+            .iter()
+            .filter(|&(&v_idx, _)| {
+                v_idx != for_idx
+                    && self.jobs[v_idx].state == JobState::Running
+                    && self.jobs[v_idx].alloc_market == Some(market)
+            })
+            .map(|(&v_idx, &value)| (value, v_idx))
+            .collect();
+        pool.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+        // Plan first: commit only if the victims cover the shortfall.
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut freed = 0u32;
+        for &(value, v_idx) in &pool {
+            if freed >= needed {
+                break;
+            }
+            let worthwhile = entry.starved || entry.value > self.cfg.preemption_margin * value;
+            if !worthwhile {
+                break; // pool is value-sorted: nothing further qualifies
+            }
+            chosen.push(v_idx);
+            freed += self.jobs[v_idx].spec.min_gang;
+        }
+        if freed < needed {
+            return false;
+        }
+        for v_idx in chosen {
+            let Some(alloc) = self.jobs[v_idx].alloc else {
+                continue;
+            };
+            self.accrue(v_idx, now);
+            let m = std::time::Instant::now();
+            let revoked = self.provider.revoke(alloc);
+            self.market_credit_nanos += m.elapsed().as_nanos();
+            if revoked.is_err() {
+                continue;
+            }
+            self.alloc_to_job.remove(&alloc);
+            let job = &mut self.jobs[v_idx];
+            job.alloc = None;
+            job.alloc_market = None;
+            job.state = JobState::Waiting;
+            job.preemptions += 1;
+            self.preemptions += 1;
+            job.usable_from = now + self.cfg.eviction_pause;
+            job.queued_since = now;
+            job.rounds_waiting = 0;
+            if let Some(rec) = self.obs.as_deref() {
+                rec.counter_add(obs_keys::PREEMPTIONS, 1);
+                rec.record(
+                    now,
+                    Event::Fleet(FleetEvent::PreemptedByPriority {
+                        job: v_idx as u64,
+                        by: for_idx as u64,
+                    }),
+                );
+            }
+        }
+        true
+    }
+
+    /// Finalizes a successful gang grant into the job record.
+    fn commit_launch(
+        &mut self,
+        idx: usize,
+        cand: Candidate,
+        alloc: AllocationId,
+        usable_at: SimTime,
+        now: SimTime,
+    ) {
+        self.alloc_to_job.insert(alloc, idx);
+        self.alloc_owner.insert(alloc.0, idx);
+        let waited = now.since(self.jobs[idx].queued_since);
+        let job = &mut self.jobs[idx];
+        job.alloc = Some(alloc);
+        job.alloc_market = Some(cand.market);
+        job.alloc_delta = cand.delta;
+        job.state = JobState::Running;
+        job.launches += 1;
+        job.max_rounds_waited = job.max_rounds_waited.max(job.rounds_waiting);
+        job.rounds_waiting = 0;
+        job.accrued_until = now;
+        job.usable_from = usable_at.max(now) + self.cfg.scale_pause;
+        if let Some(rec) = self.obs.as_deref() {
+            rec.counter_add(obs_keys::GANGS_LAUNCHED, 1);
+            rec.hist_add(
+                obs_keys::QUEUE_WAIT_HOURS,
+                waited.as_hours_f64(),
+                SimDuration::from_mins(1),
+            );
+            rec.record(
+                now,
+                Event::Fleet(FleetEvent::GangLaunched {
+                    job: idx as u64,
+                    market: cand.market.interned_name(),
+                    count: u64::from(self.jobs[idx].spec.min_gang),
+                    bid: cand.price + cand.delta,
+                    waited_ms: waited.as_millis(),
+                }),
+            );
+        }
+    }
+
+    /// Records one more round of waiting for a gang that did not launch.
+    fn queue_gang(&mut self, idx: usize, now: SimTime) {
+        let job = &mut self.jobs[idx];
+        job.rounds_waiting += 1;
+        job.max_rounds_waited = job.max_rounds_waited.max(job.rounds_waiting);
+        if let Some(rec) = self.obs.as_deref() {
+            rec.counter_add(obs_keys::GANGS_QUEUED, 1);
+            rec.record(
+                now,
+                Event::Fleet(FleetEvent::GangQueued {
+                    job: idx as u64,
+                    count: u64::from(job.spec.min_gang),
+                }),
+            );
+        }
+    }
+}
+
+/// Pure Eq. 4 evaluation of one task: best `(market, delta)` candidate
+/// for a pending gang, or the pinned current footprint for a victim.
+fn evaluate_task(
+    task: &EvalTask,
+    beta: &BetaEstimator,
+    prices: &[(MarketKey, f64)],
+    deltas: &[f64],
+    sigma: SimDuration,
+    lambda: SimDuration,
+) -> Option<Candidate> {
+    let params = AppParams {
+        phi_per_doubling: task.phi,
+        sigma,
+        lambda,
+    };
+    let config = BidBrainConfig {
+        target_cores: u32::MAX,
+        max_alloc_instances: task.gang,
+        bid_deltas: deltas.to_vec(),
+        min_improvement: 0.0,
+        objective: Objective::CostPerWork,
+    };
+    let brain = BidBrain::new(params, beta, config);
+    let view = |market: MarketKey, price: f64, delta: f64| AllocView {
+        market,
+        count: task.gang,
+        hourly_price: price,
+        bid_delta: Some(delta),
+        time_remaining: SimDuration::from_hours(1),
+        work_rate: f64::from(market.instance_type().vcpus),
+    };
+    match task.pinned {
+        Some((market, delta)) => {
+            let price = prices.iter().find(|(m, _)| *m == market).map(|(_, p)| *p)?;
+            let eval = brain.evaluate(&[view(market, price, delta)], false);
+            Some(Candidate {
+                market,
+                price,
+                delta,
+                cost_per_work: eval.cost_per_work(),
+            })
+        }
+        None => {
+            let mut best: Option<Candidate> = None;
+            for &(market, price) in prices {
+                for &delta in deltas {
+                    let eval = brain.evaluate(&[view(market, price, delta)], true);
+                    let e = eval.cost_per_work();
+                    if best.as_ref().is_none_or(|b| e < b.cost_per_work) {
+                        best = Some(Candidate {
+                            market,
+                            price,
+                            delta,
+                            cost_per_work: e,
+                        });
+                    }
+                }
+            }
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_market::{catalog, PriceTrace, Zone};
+
+    fn key() -> MarketKey {
+        MarketKey::new(catalog::c4_xlarge(), Zone(0))
+    }
+
+    fn traces() -> TraceSet {
+        let mut set = TraceSet::new();
+        set.insert(
+            key(),
+            PriceTrace::from_points(vec![(SimTime::EPOCH, 0.05)]).expect("trace"),
+        );
+        set
+    }
+
+    fn cfg() -> FleetConfig {
+        FleetConfig::paper_defaults(vec![key()])
+    }
+
+    #[test]
+    fn a_small_fleet_completes_its_jobs() {
+        let traces = traces();
+        let beta = BetaEstimator::new();
+        let mut fleet = FleetSim::new(&traces, &beta, cfg());
+        let exec = StudyExecutor::serial();
+        let _ = fleet.submit(FleetJobSpec::trial(2.0, 2, 0), SimTime::EPOCH);
+        let _ = fleet.submit(FleetJobSpec::trial(1.0, 2, 1), SimTime::EPOCH);
+        fleet.run_to(SimTime::from_hours(4), &exec).expect("run");
+        let (out, timing) = fleet.finish();
+        assert_eq!(out.jobs.len(), 2);
+        for j in &out.jobs {
+            assert_eq!(j.state, JobState::Completed, "{j:?}");
+            assert!(j.work_done >= 1.0 - 1e-9);
+            assert!(j.spot_cost > 0.0);
+        }
+        assert!(out.total_cost > 0.0);
+        assert!(out.total_work >= 3.0 - 1e-9);
+        assert!(out.cost_per_work().is_finite());
+        assert_eq!(out.completed, 2);
+        // Two one-slot jobs share a single reliable machine.
+        assert_eq!(out.peak_reliable_machines, 1);
+        assert!(timing.rounds > 0);
+    }
+
+    #[test]
+    fn outcome_is_identical_across_thread_counts() {
+        let traces = traces();
+        let beta = BetaEstimator::new();
+        let run = |threads: usize| {
+            let mut fleet = FleetSim::new(&traces, &beta, cfg());
+            for i in 0..8 {
+                fleet.submit(
+                    FleetJobSpec::trial(1.0 + 0.25 * i as f64, 2, (i % 3) as u32),
+                    SimTime::EPOCH + SimDuration::from_mins(2 * i),
+                );
+            }
+            let exec = StudyExecutor::new(threads);
+            fleet.run_to(SimTime::from_hours(6), &exec).expect("run");
+            fleet.finish().0
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn admission_control_bounds_the_active_set() {
+        let traces = traces();
+        let beta = BetaEstimator::new();
+        let mut c = cfg();
+        c.max_active_jobs = 2;
+        let mut fleet = FleetSim::new(&traces, &beta, c);
+        let ids: Vec<JobId> = (0..4)
+            .map(|_| fleet.submit(FleetJobSpec::trial(50.0, 2, 0), SimTime::EPOCH))
+            .collect();
+        let exec = StudyExecutor::serial();
+        fleet
+            .run_to(SimTime::EPOCH + SimDuration::from_mins(10), &exec)
+            .expect("run");
+        let admitted = ids
+            .iter()
+            .filter(|&&id| matches!(fleet.state(id), Some(JobState::Waiting | JobState::Running)))
+            .count();
+        let submitted = ids
+            .iter()
+            .filter(|&&id| fleet.state(id) == Some(JobState::Submitted))
+            .count();
+        assert_eq!(admitted, 2);
+        assert_eq!(submitted, 2);
+    }
+
+    #[test]
+    fn kill_terminates_and_marks_killed() {
+        let traces = traces();
+        let beta = BetaEstimator::new();
+        let mut fleet = FleetSim::new(&traces, &beta, cfg());
+        let id = fleet.submit(FleetJobSpec::trial(100.0, 2, 0), SimTime::EPOCH);
+        let exec = StudyExecutor::serial();
+        fleet
+            .run_to(SimTime::EPOCH + SimDuration::from_mins(30), &exec)
+            .expect("run");
+        assert_eq!(fleet.state(id), Some(JobState::Running));
+        fleet.kill(id);
+        assert_eq!(fleet.state(id), Some(JobState::Killed));
+        let (out, _) = fleet.finish();
+        assert_eq!(out.jobs[0].state, JobState::Killed);
+        // The kill forfeited the paid hour: cost stays positive.
+        assert!(out.jobs[0].spot_cost > 0.0);
+        assert!(out.jobs[0].work_done > 0.0);
+    }
+
+    #[test]
+    fn set_target_reopens_a_completed_job() {
+        let traces = traces();
+        let beta = BetaEstimator::new();
+        let mut fleet = FleetSim::new(&traces, &beta, cfg());
+        let id = fleet.submit(FleetJobSpec::trial(1.0, 2, 0), SimTime::EPOCH);
+        let exec = StudyExecutor::serial();
+        fleet.run_to(SimTime::from_hours(2), &exec).expect("run");
+        assert_eq!(fleet.state(id), Some(JobState::Completed));
+        let w1 = fleet.work_done(id);
+        fleet.set_target(id, w1 + 2.0);
+        assert_eq!(fleet.state(id), Some(JobState::Waiting));
+        fleet.run_to(SimTime::from_hours(4), &exec).expect("run");
+        assert_eq!(fleet.state(id), Some(JobState::Completed));
+        assert!(fleet.work_done(id) >= w1 + 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn horizon_end_yields_typed_unfinished() {
+        let traces = traces();
+        let beta = BetaEstimator::new();
+        let mut fleet = FleetSim::new(&traces, &beta, cfg());
+        let id = fleet.submit(FleetJobSpec::trial(1e6, 2, 0), SimTime::EPOCH);
+        let exec = StudyExecutor::serial();
+        fleet.run_to(SimTime::from_hours(1), &exec).expect("run");
+        let (out, _) = fleet.finish();
+        assert_eq!(out.jobs[0].state, JobState::Unfinished);
+        let _ = id;
+    }
+}

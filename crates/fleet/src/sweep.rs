@@ -1,0 +1,406 @@
+//! SpotTune-style hyperparameter sweep driven through the fleet.
+//!
+//! A sweep submits many preemptible trials as fleet jobs and reallocates
+//! budget between them with asynchronous successive halving (ASHA):
+//! each trial runs to a **rung** (a cumulative work milestone), reports
+//! a score, and is **promoted** to the next rung only if it ranks in the
+//! configured keep-fraction of everything seen at that rung so far —
+//! otherwise it is killed early and its budget flows to the survivors.
+//! A lag rule additionally kills trials whose realized throughput falls
+//! far behind nominal (stuck in a starved market), so a drought cannot
+//! pin the sweep's budget on a trial that is not producing work.
+//!
+//! Trial quality is a pure function of `(sweep seed, trial id, rung)` —
+//! seed-stable, so the whole sweep is bit-identical across scheduler
+//! thread counts. The winning configuration can be handed to a real
+//! [`proteus::Proteus`] training session via [`promote_winner`].
+
+use proteus_bidbrain::{AppParams, BetaEstimator};
+use proteus_costsim::StudyExecutor;
+use proteus_market::{MarketError, TraceSet};
+use proteus_simtime::rng::derive_seed;
+use proteus_simtime::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::job::{FleetJobSpec, JobId, JobState};
+use crate::sim::{FleetConfig, FleetOutcome, FleetSim, FleetTiming};
+
+/// Sweep parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Number of trials to generate.
+    pub trials: usize,
+    /// Gang size per trial.
+    pub gang: u32,
+    /// Priority tier trials run at.
+    pub tier: u32,
+    /// Cumulative work milestones in φ-scaled core-hours, strictly
+    /// increasing; a trial completing the last rung is a finisher.
+    pub rungs: Vec<f64>,
+    /// Fraction of trials seen at a rung that get promoted past it.
+    pub keep_fraction: f64,
+    /// Kill a running trial whose realized work is below `lag_factor ×`
+    /// nominal after the grace period.
+    pub lag_factor: f64,
+    /// How long a trial may run before the lag rule applies.
+    pub lag_grace: SimDuration,
+    /// Sweep seed: trial qualities derive from it, nothing else.
+    pub seed: u64,
+    /// Submission stagger between consecutive trials.
+    pub submit_every: SimDuration,
+    /// Sweep horizon; unfinished trials end typed-`Unfinished`.
+    pub horizon: SimDuration,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            trials: 32,
+            gang: 2,
+            tier: 2,
+            rungs: vec![2.0, 4.0, 8.0],
+            keep_fraction: 0.5,
+            lag_factor: 0.25,
+            lag_grace: SimDuration::from_mins(30),
+            seed: 1,
+            submit_every: SimDuration::from_secs(120),
+            horizon: SimDuration::from_hours(48),
+        }
+    }
+}
+
+/// One trial's final record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// The fleet job backing the trial.
+    pub job: JobId,
+    /// Terminal fleet state.
+    pub state: JobState,
+    /// Rungs fully completed (0..=rungs.len()).
+    pub rungs_completed: usize,
+    /// Best (lowest) score observed; infinite if never scored.
+    pub score: f64,
+    /// φ-scaled core-hours the trial accrued.
+    pub work_done: f64,
+}
+
+/// The whole sweep's result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// Per-trial records, in trial order.
+    pub trials: Vec<TrialResult>,
+    /// The underlying fleet's deterministic outcome.
+    pub fleet: FleetOutcome,
+    /// The finisher with the lowest final score, if any trial finished.
+    pub best: Option<JobId>,
+}
+
+/// Per-trial driver state.
+struct TrialState {
+    rung: usize,
+    score: f64,
+    first_ran_at: Option<SimTime>,
+    done: bool,
+}
+
+/// The score trial `trial` reports at rung `rung`: a trial-intrinsic
+/// base quality plus rung-shrinking noise, all derived from the sweep
+/// seed (lower is better). Pure, so replays are exact.
+fn trial_score(seed: u64, trial: u64, rung: usize) -> f64 {
+    let unit = |s: u64| (s >> 11) as f64 / (1u64 << 53) as f64;
+    let base = unit(derive_seed(seed, trial));
+    let noise = unit(derive_seed(
+        seed,
+        trial.wrapping_mul(0x10_0001).wrapping_add(rung as u64),
+    ));
+    base + (noise - 0.5) * 0.3 / (rung as f64 + 1.0)
+}
+
+/// Runs a full sweep through a fresh [`FleetSim`] over the shared
+/// traces and β. Returns the outcome plus the fleet's wall-clock
+/// scheduler timing.
+pub fn run_sweep(
+    traces: &TraceSet,
+    beta: &BetaEstimator,
+    fleet_cfg: FleetConfig,
+    cfg: &SweepConfig,
+    exec: &StudyExecutor,
+) -> Result<(SweepOutcome, FleetTiming), MarketError> {
+    let step = fleet_cfg.step;
+    let nominal_rate = {
+        // Work a healthy gang produces per hour on the first market.
+        let vcpus = f64::from(fleet_cfg.markets[0].instance_type().vcpus);
+        let cores = f64::from(cfg.gang) * vcpus;
+        let params = AppParams {
+            phi_per_doubling: 0.97,
+            sigma: SimDuration::ZERO,
+            lambda: SimDuration::ZERO,
+        };
+        cores * params.phi(cores)
+    };
+    let mut fleet = FleetSim::new(traces, beta, fleet_cfg);
+    let first_rung = cfg.rungs.first().copied().unwrap_or(1.0);
+    let ids: Vec<JobId> = (0..cfg.trials)
+        .map(|i| {
+            fleet.submit(
+                FleetJobSpec::trial(first_rung, cfg.gang, cfg.tier),
+                SimTime::EPOCH + SimDuration::from_millis(cfg.submit_every.as_millis() * i as u64),
+            )
+        })
+        .collect();
+    let mut trials: Vec<TrialState> = (0..cfg.trials)
+        .map(|_| TrialState {
+            rung: 0,
+            score: f64::INFINITY,
+            first_ran_at: None,
+            done: false,
+        })
+        .collect();
+    // Scores seen at each rung, in completion order (the ASHA ledger).
+    let mut rung_scores: Vec<Vec<f64>> = vec![Vec::new(); cfg.rungs.len()];
+
+    let end = SimTime::EPOCH + cfg.horizon;
+    while fleet.now() < end {
+        let target = (fleet.now() + step).min(end);
+        fleet.run_to(target, exec)?;
+        let now = fleet.now();
+
+        for (i, &id) in ids.iter().enumerate() {
+            if trials[i].done {
+                continue;
+            }
+            let Some(state) = fleet.state(id) else {
+                continue;
+            };
+            match state {
+                JobState::Running => {
+                    let first = *trials[i].first_ran_at.get_or_insert(now);
+                    let elapsed = now.since(first).as_hours_f64();
+                    if now.since(first) > cfg.lag_grace
+                        && fleet.work_done(id) < cfg.lag_factor * nominal_rate * elapsed
+                    {
+                        fleet.kill(id);
+                        trials[i].done = true;
+                    }
+                }
+                JobState::Completed => {
+                    let rung = trials[i].rung;
+                    let observed = trial_score(cfg.seed, i as u64, rung);
+                    trials[i].score = observed.min(trials[i].score);
+                    let seen = &mut rung_scores[rung];
+                    seen.push(observed);
+                    trials[i].rung = rung + 1;
+                    if rung + 1 >= cfg.rungs.len() {
+                        // The final rung has no promotion gate: every
+                        // completer is a finisher; selection happens at
+                        // the end.
+                        trials[i].done = true;
+                        continue;
+                    }
+                    let keep = ((seen.len() as f64 * cfg.keep_fraction).ceil() as usize).max(1);
+                    let mut sorted = seen.clone();
+                    sorted.sort_by(f64::total_cmp);
+                    let cutoff = sorted[keep - 1];
+                    if observed <= cutoff {
+                        fleet.set_target(id, cfg.rungs[rung + 1]);
+                    } else {
+                        fleet.kill(id);
+                        trials[i].done = true;
+                    }
+                }
+                JobState::Killed | JobState::Unfinished => {
+                    trials[i].done = true;
+                }
+                JobState::Submitted | JobState::Waiting => {}
+            }
+        }
+        if trials.iter().all(|t| t.done) {
+            break;
+        }
+    }
+
+    let (fleet_out, timing) = fleet.finish();
+    let results: Vec<TrialResult> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| TrialResult {
+            job: id,
+            state: fleet_out.jobs[id.0 as usize].state,
+            rungs_completed: trials[i].rung.min(cfg.rungs.len()),
+            score: trials[i].score,
+            work_done: fleet_out.jobs[id.0 as usize].work_done,
+        })
+        .collect();
+    let best = results
+        .iter()
+        .filter(|t| t.state == JobState::Completed && t.rungs_completed == cfg.rungs.len())
+        .min_by(|a, b| a.score.total_cmp(&b.score).then(a.job.0.cmp(&b.job.0)))
+        .map(|t| t.job);
+    Ok((
+        SweepOutcome {
+            trials: results,
+            fleet: fleet_out,
+            best,
+        },
+        timing,
+    ))
+}
+
+/// Promotes the sweep winner to a real (tiny) Proteus training session:
+/// the fleet found the configuration, the production stack trains it.
+/// Returns `None` when no trial finished.
+pub fn promote_winner(
+    outcome: &SweepOutcome,
+) -> Option<Result<proteus::ProteusReport, proteus::ProteusError>> {
+    let _best = outcome.best?;
+    let app = proteus_mlapps::mf::MatrixFactorization::new(proteus_mlapps::mf::MfConfig {
+        rows: 30,
+        cols: 20,
+        rank: 3,
+        learning_rate: 0.05,
+        reg: 1e-4,
+        init_scale: 0.2,
+    });
+    let data = proteus_mlapps::data::netflix_like(
+        &proteus_mlapps::data::MfDataConfig {
+            rows: 30,
+            cols: 20,
+            true_rank: 2,
+            observed: 500,
+            noise: 0.02,
+        },
+        7,
+    );
+    let config = proteus::ProteusConfig {
+        max_machines: 4,
+        reliable_machines: 1,
+        ..proteus::ProteusConfig::default()
+    };
+    let run = || {
+        let mut session = proteus::Proteus::launch(app, data, config)?;
+        session.run_market_hours(0.5)?;
+        session.wait_clock(5)?;
+        session.finish()
+    };
+    Some(run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_market::{catalog, MarketKey, PriceTrace, Zone};
+
+    fn key() -> MarketKey {
+        MarketKey::new(catalog::c4_xlarge(), Zone(0))
+    }
+
+    fn traces() -> TraceSet {
+        let mut set = TraceSet::new();
+        set.insert(
+            key(),
+            PriceTrace::from_points(vec![(SimTime::EPOCH, 0.05)]).expect("trace"),
+        );
+        set
+    }
+
+    fn sweep_cfg() -> SweepConfig {
+        SweepConfig {
+            trials: 12,
+            gang: 2,
+            tier: 2,
+            rungs: vec![1.0, 2.0],
+            keep_fraction: 0.5,
+            lag_factor: 0.25,
+            lag_grace: SimDuration::from_mins(30),
+            seed: 11,
+            submit_every: SimDuration::from_secs(120),
+            horizon: SimDuration::from_hours(12),
+        }
+    }
+
+    #[test]
+    fn halving_kills_losers_and_crowns_a_winner() {
+        let traces = traces();
+        let beta = BetaEstimator::new();
+        let (out, _) = run_sweep(
+            &traces,
+            &beta,
+            FleetConfig::paper_defaults(vec![key()]),
+            &sweep_cfg(),
+            &StudyExecutor::serial(),
+        )
+        .expect("sweep");
+        assert_eq!(out.trials.len(), 12);
+        let finished = out
+            .trials
+            .iter()
+            .filter(|t| t.rungs_completed == 2 && t.state == JobState::Completed)
+            .count();
+        let killed = out
+            .trials
+            .iter()
+            .filter(|t| t.state == JobState::Killed)
+            .count();
+        assert!(finished >= 1, "at least one finisher: {out:?}");
+        assert!(killed >= 1, "halving must kill someone: {out:?}");
+        let best = out.best.expect("winner");
+        let winner = &out.trials[best.0 as usize];
+        // The winner's score is minimal among finishers.
+        for t in &out.trials {
+            if t.rungs_completed == 2 && t.state == JobState::Completed {
+                assert!(winner.score <= t.score + 1e-12);
+            }
+        }
+        // Early kills saved work: killed trials accrued less than a
+        // finisher's full budget.
+        for t in &out.trials {
+            if t.state == JobState::Killed {
+                assert!(t.work_done < 2.0, "{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_thread_counts() {
+        let traces = traces();
+        let beta = BetaEstimator::new();
+        let run = |threads: usize| {
+            run_sweep(
+                &traces,
+                &beta,
+                FleetConfig::paper_defaults(vec![key()]),
+                &sweep_cfg(),
+                &StudyExecutor::new(threads),
+            )
+            .expect("sweep")
+            .0
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            assert_eq!(serial, run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scores_are_seed_stable_and_seed_sensitive() {
+        assert_eq!(trial_score(1, 3, 0), trial_score(1, 3, 0));
+        assert_ne!(trial_score(1, 3, 0), trial_score(2, 3, 0));
+        assert_ne!(trial_score(1, 3, 0), trial_score(1, 4, 0));
+    }
+
+    #[test]
+    fn promote_winner_trains_through_the_production_stack() {
+        let traces = traces();
+        let beta = BetaEstimator::new();
+        let (out, _) = run_sweep(
+            &traces,
+            &beta,
+            FleetConfig::paper_defaults(vec![key()]),
+            &sweep_cfg(),
+            &StudyExecutor::serial(),
+        )
+        .expect("sweep");
+        let report = promote_winner(&out).expect("winner exists").expect("run");
+        assert!(report.final_objective.is_finite());
+    }
+}

@@ -1,0 +1,183 @@
+//! Seed-deterministic chaos suite for the fleet scheduler.
+//!
+//! Every scenario drives ≥100 concurrent jobs through a volatile
+//! market with provider-side fault regimes layered on top: eviction
+//! storms (spiky prices under tight bids), capacity droughts, API
+//! throttling, slow boots, and infant mortality. The contract under
+//! every schedule is the same: the fleet run finishes, every job lands
+//! in a typed terminal state ([`JobState::is_terminal`]), the books
+//! balance to finite numbers, and the whole outcome replays
+//! bit-identically from the seed — zero panics, zero hangs.
+//!
+//! Each run prints `chaos: scenario=<name> seed=<seed>` *before* doing
+//! anything, so a failure in CI is reproducible from the printed seed
+//! alone: `PROTEUS_CHAOS_SEEDS=<seed> cargo test -p proteus-fleet
+//! --test fleet_chaos <name>`. `PROTEUS_CHAOS_FULL=1` widens the sweep.
+
+use proteus_bidbrain::BetaEstimator;
+use proteus_costsim::StudyExecutor;
+use proteus_fleet::{FleetConfig, FleetJobSpec, FleetOutcome, FleetSim};
+use proteus_market::{catalog, MarketFaultPlan, MarketKey, MarketModel, TraceGenerator, TraceSet};
+use proteus_simtime::{SimDuration, SimTime};
+
+/// Jobs per scenario — the "many jobs, one market" floor.
+const JOBS: usize = 120;
+/// Scenario horizon.
+const HORIZON: SimDuration = SimDuration::from_hours(24);
+
+/// Seeds to sweep. Chaos seeds double as trace seeds so the market a
+/// faulted run perturbs is the exact market the replay reproduces.
+fn seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("PROTEUS_CHAOS_SEEDS") {
+        return s.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+    }
+    if std::env::var("PROTEUS_CHAOS_FULL").is_ok() {
+        return vec![3, 5, 7, 11, 13, 17, 19, 23];
+    }
+    vec![3, 11]
+}
+
+fn markets() -> Vec<MarketKey> {
+    catalog::paper_markets().into_iter().take(3).collect()
+}
+
+/// A turbulent price history: frequent spikes make bid crossings (and
+/// so eviction storms) routine rather than exceptional.
+fn volatile_traces(seed: u64) -> TraceSet {
+    let gen = TraceGenerator::new(seed, MarketModel::volatile());
+    gen.generate_set(&markets(), HORIZON + SimDuration::from_hours(2))
+}
+
+/// β trained on the first stretch of the same volatile history, so the
+/// bids the fleet places are informed rather than arbitrary.
+fn trained_beta(traces: &TraceSet) -> BetaEstimator {
+    let mut beta = BetaEstimator::new();
+    for k in &markets() {
+        if let Some(trace) = traces.get(k) {
+            beta.train(
+                *k,
+                trace,
+                SimTime::EPOCH,
+                SimTime::from_hours(12),
+                SimDuration::from_mins(30),
+                &BetaEstimator::default_deltas(),
+            );
+        }
+    }
+    beta
+}
+
+/// The canonical chaos fleet: 120 trials of mixed size, tier, and
+/// arrival time, most preemptible, a few protected.
+fn submit_fleet(fleet: &mut FleetSim<'_>) {
+    for i in 0..JOBS {
+        let mut spec = FleetJobSpec::trial(
+            0.5 + 0.1 * (i % 7) as f64,
+            1 + (i % 3) as u32,
+            (i % 4) as u32,
+        );
+        spec.preemptible = i % 5 != 0;
+        let at = SimTime::EPOCH + SimDuration::from_mins(3 * i as u64);
+        fleet.submit(spec, at);
+    }
+}
+
+fn run_scenario(name: &str, seed: u64, plan: Option<MarketFaultPlan>) -> FleetOutcome {
+    println!("chaos: scenario={name} seed={seed}");
+    let traces = volatile_traces(seed);
+    let beta = trained_beta(&traces);
+    let mut cfg = FleetConfig::paper_defaults(markets());
+    cfg.max_active_jobs = JOBS; // chaos comes from the market, not admission
+    let mut fleet = FleetSim::new(&traces, &beta, cfg);
+    if let Some(plan) = plan {
+        fleet.set_fault_plan(plan);
+    }
+    submit_fleet(&mut fleet);
+    let exec = StudyExecutor::from_env();
+    fleet
+        .run_to(SimTime::EPOCH + HORIZON, &exec)
+        .expect("fleet run never surfaces a fatal market error");
+    let (out, _) = fleet.finish();
+    assert_outcome_sane(name, seed, &out);
+    out
+}
+
+/// The universal postcondition: typed terminal states and finite books.
+fn assert_outcome_sane(name: &str, seed: u64, out: &FleetOutcome) {
+    assert_eq!(out.jobs.len(), JOBS, "{name} seed={seed}");
+    for j in &out.jobs {
+        assert!(
+            j.state.is_terminal(),
+            "{name} seed={seed}: non-terminal job {j:?}"
+        );
+        assert!(
+            j.spot_cost.is_finite() && j.work_done.is_finite(),
+            "{name} seed={seed}: non-finite books {j:?}"
+        );
+    }
+    assert!(out.total_cost.is_finite() && out.total_cost >= 0.0);
+    assert!(out.total_work.is_finite() && out.total_work >= 0.0);
+    // Some jobs must actually get through even under chaos: the market
+    // always has capacity outside drought windows.
+    assert!(
+        out.completed > 0,
+        "{name} seed={seed}: nothing completed ({} evictions, {} preemptions)",
+        out.evictions,
+        out.preemptions
+    );
+}
+
+#[test]
+fn eviction_storms_leave_every_job_typed() {
+    for seed in seeds() {
+        let out = run_scenario("eviction_storms", seed, None);
+        // Volatile prices must actually have produced storms; otherwise
+        // the scenario tests nothing.
+        assert!(
+            out.evictions > 0,
+            "seed={seed}: volatile market produced no evictions"
+        );
+    }
+}
+
+#[test]
+fn capacity_drought_starves_but_never_wedges() {
+    for seed in seeds() {
+        let plan = MarketFaultPlan::new(seed)
+            .with_drought(SimTime::from_hours(4), SimTime::from_hours(9), 6)
+            .with_drought(SimTime::from_hours(14), SimTime::from_hours(17), 2);
+        let out = run_scenario("capacity_drought", seed, Some(plan));
+        // Drought forces queueing; gangs must have waited at least once.
+        assert!(
+            out.jobs.iter().any(|j| j.max_rounds_waited > 0),
+            "seed={seed}: drought never queued a gang"
+        );
+    }
+}
+
+#[test]
+fn full_fault_stack_converges_or_types_out() {
+    for seed in seeds() {
+        let plan = MarketFaultPlan::new(seed)
+            .with_drought(SimTime::from_hours(6), SimTime::from_hours(10), 8)
+            .with_throttle(0.15, SimDuration::from_mins(5))
+            .with_boot_delay(SimDuration::from_secs(30), SimDuration::from_mins(4))
+            .with_infant_mortality(0.08, SimDuration::from_mins(20));
+        run_scenario("full_fault_stack", seed, Some(plan));
+    }
+}
+
+#[test]
+fn chaos_outcome_replays_bit_identically() {
+    for seed in seeds() {
+        let plan = || {
+            MarketFaultPlan::new(seed)
+                .with_throttle(0.1, SimDuration::from_mins(5))
+                .with_boot_delay(SimDuration::from_secs(30), SimDuration::from_mins(2))
+                .with_infant_mortality(0.05, SimDuration::from_mins(15))
+        };
+        let a = run_scenario("replay_a", seed, Some(plan()));
+        let b = run_scenario("replay_b", seed, Some(plan()));
+        assert_eq!(a, b, "seed={seed}: chaos outcome failed to replay");
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based gang-billing conservation.
+//!
+//! Gang acquisition is all-or-nothing, so the ledger must be too: a
+//! gang that queues or is denied leaves *zero* ledger entries — no
+//! charge, no refund, no usage — and a gang the scheduler preempts
+//! ([`CloudProvider::revoke`]) settles exactly like a provider
+//! eviction: current billing hour refunded, usage up to the revocation
+//! reclassified as free. These properties are what make global
+//! preemption safe to use as a scheduling primitive — the preempted
+//! tenant is made whole, mechanically.
+
+use proptest::prelude::*;
+use proteus_market::{
+    catalog, CloudProvider, LedgerKind, MarketError, MarketFaultPlan, MarketKey, PriceTrace,
+    TenantId, TraceSet, Zone,
+};
+use proteus_simtime::{SimDuration, SimTime};
+
+fn market() -> MarketKey {
+    MarketKey::new(catalog::c4_xlarge(), Zone(0))
+}
+
+/// A provider over a hand-scripted trace: flat `base` price until
+/// `spike_at`, then a spike far above any bid. Warning lead is zero so
+/// a market eviction settles at the crossing instant itself, directly
+/// comparable to a scheduler revocation at the same instant.
+fn provider(base: f64, spike_at: Option<SimTime>) -> CloudProvider<'static> {
+    let mut points = vec![(SimTime::EPOCH, base)];
+    if let Some(t) = spike_at {
+        points.push((t, base * 100.0));
+    }
+    let mut set = TraceSet::new();
+    set.insert(market(), PriceTrace::from_points(points).expect("trace"));
+    CloudProvider::with_warning_lead(set, SimDuration::ZERO)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A gang refused for capacity adds nothing to the books: no ledger
+    /// entry, no usage, no live instances. Queued-not-launched must be
+    /// financially indistinguishable from never-asked.
+    #[test]
+    fn refused_gang_leaves_a_zero_ledger(
+        gang in 2u32..12,
+        cap in 0u32..2,
+        tenant in 0u64..50,
+        delta in 0.001f64..0.5,
+    ) {
+        let mut p = provider(0.05, None);
+        p.set_fault_plan(MarketFaultPlan::new(tenant).with_drought(
+            SimTime::EPOCH,
+            SimTime::from_hours(1000),
+            cap, // below any gang width drawn above
+        ));
+        let price = p.spot_price(market()).expect("trace");
+        let got = p.request_spot_gang(TenantId(tenant), market(), gang, price + delta);
+        prop_assert!(
+            matches!(got, Err(MarketError::InsufficientCapacity { available, .. }) if available == cap)
+        );
+        prop_assert!(p.account().entries().is_empty());
+        prop_assert_eq!(p.account().total_cost(), 0.0);
+        prop_assert_eq!(p.account().usage().total_hours(), 0.0);
+        prop_assert_eq!(p.live_instance_count(), 0);
+    }
+
+    /// A gang denied for an under-market bid is equally free.
+    #[test]
+    fn underbid_gang_leaves_a_zero_ledger(
+        gang in 1u32..12,
+        frac in 0.01f64..0.99,
+    ) {
+        let mut p = provider(0.05, None);
+        let price = p.spot_price(market()).expect("trace");
+        let got = p.request_spot_gang(TenantId(1), market(), gang, price * frac);
+        prop_assert!(matches!(got, Err(MarketError::BidBelowMarket { .. })));
+        prop_assert!(p.account().entries().is_empty());
+        prop_assert_eq!(p.live_instance_count(), 0);
+    }
+
+    /// Scheduler preemption settles *exactly* like a provider eviction:
+    /// launch the same gang on the same trace twice — once revoked by
+    /// the scheduler at minute `m`, once evicted by a price spike at
+    /// minute `m` — and the two ledgers and usage breakdowns must be
+    /// identical, entry for entry.
+    #[test]
+    fn preemption_settles_exactly_like_eviction(
+        gang in 1u32..8,
+        minute in 5u64..55,
+        base in 0.02f64..0.5,
+        delta in 0.001f64..0.05,
+    ) {
+        let when = SimTime::EPOCH + SimDuration::from_mins(minute);
+
+        // Arm A: the scheduler revokes the gang at `when`.
+        let mut a = provider(base, None);
+        let grant = a
+            .request_spot_gang(TenantId(9), market(), gang, base + delta)
+            .expect("grant");
+        a.advance_to(when).expect("advance");
+        a.revoke(grant.id).expect("revoke");
+
+        // Arm B: the market price crosses the bid at `when`.
+        let mut b = provider(base, Some(when));
+        let _ = b
+            .request_spot_gang(TenantId(9), market(), gang, base + delta)
+            .expect("grant");
+        b.advance_to(when + SimDuration::from_mins(1)).expect("advance");
+
+        let ea = a.account().entries();
+        let eb = b.account().entries();
+        prop_assert_eq!(ea.len(), eb.len(), "a={:?} b={:?}", ea, eb);
+        for (x, y) in ea.iter().zip(eb.iter()) {
+            prop_assert_eq!(x.kind, y.kind);
+            prop_assert_eq!(x.instances, y.instances);
+            prop_assert!((x.amount - y.amount).abs() < 1e-12, "{:?} vs {:?}", x, y);
+            prop_assert_eq!(x.time, y.time);
+        }
+        prop_assert_eq!(a.account().usage(), b.account().usage());
+        // Both arms refunded the whole (and only) charged hour.
+        let refunds: f64 = ea
+            .iter()
+            .filter(|e| e.kind == LedgerKind::EvictionRefund)
+            .map(|e| -e.amount)
+            .sum();
+        let charges: f64 = ea
+            .iter()
+            .filter(|e| e.kind == LedgerKind::SpotHour)
+            .map(|e| e.amount)
+            .sum();
+        prop_assert!((refunds - charges).abs() < 1e-12);
+        prop_assert!(a.account().total_cost().abs() < 1e-12);
+    }
+
+    /// Termination (the tenant walking away) is the asymmetry check:
+    /// the paid hour is forfeited, so unlike revocation the ledger keeps
+    /// its charge and the usage stays in the paid bucket.
+    #[test]
+    fn termination_forfeits_where_revocation_refunds(
+        gang in 1u32..8,
+        minute in 5u64..55,
+    ) {
+        let when = SimTime::EPOCH + SimDuration::from_mins(minute);
+        let mut p = provider(0.05, None);
+        let grant = p
+            .request_spot_gang(TenantId(2), market(), gang, 0.06)
+            .expect("grant");
+        p.advance_to(when).expect("advance");
+        p.terminate(grant.id).expect("terminate");
+        prop_assert!(p.account().total_cost() > 0.0);
+        prop_assert_eq!(p.account().total_refunds(), 0.0);
+        prop_assert_eq!(p.account().usage().free_hours, 0.0);
+        prop_assert!(p.account().usage().spot_paid_hours > 0.0);
+    }
+}

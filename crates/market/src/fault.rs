@@ -23,18 +23,43 @@
 //!
 //! # Determinism
 //!
-//! The plan owns one SplitMix64 stream (the same generator simnet's
+//! The plan owns one root SplitMix64 stream (the same generator simnet's
 //! message [`FaultPlan`](proteus_simnet::FaultPlan) uses) seeded from
 //! `plan.seed`. The provider is single-threaded and requests arrive in
 //! program order, so the n-th spot request always consumes the same
 //! draws: a chaos failure replays from the printed seed alone. Every
 //! regime is off by default, and a provider with no plan installed
 //! draws nothing — existing traces and benches are bit-identical.
+//!
+//! Multi-tenant callers (the fleet scheduler) tag requests with a
+//! [`TenantId`]: each tenant draws from its own stream, seeded from
+//! `(plan.seed, tenant)`, so one job's fault fate depends only on its
+//! own request ordinal — never on how many requests *other* jobs made
+//! first, or on the scheduler's interleaving. [`TenantId::DEFAULT`]
+//! routes to the root stream, keeping every single-job caller
+//! bit-identical to earlier builds.
+
+use std::collections::BTreeMap;
 
 use proteus_simtime::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::instance::MarketKey;
+
+/// Identifies one tenant (job) of a shared provider for fault draws.
+///
+/// The fleet scheduler maps each job onto a distinct tenant so fault
+/// streams split per job id; everything else uses
+/// [`TenantId::DEFAULT`], which draws from the plan's root stream.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct TenantId(pub u64);
+
+impl TenantId {
+    /// The root stream every non-fleet caller draws from.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
 
 /// SplitMix64 — tiny, seedable, and identical to the stream generator
 /// used by simnet's message-fault plan.
@@ -238,13 +263,25 @@ pub struct MarketFaultStats {
     pub infant_deaths: u64,
 }
 
-/// Live fault state a provider carries: the plan, its single draw
-/// stream, and activity counters.
+/// Live fault state a provider carries: the plan, its draw streams
+/// (the root stream plus lazily-split per-tenant streams), and
+/// activity counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) struct FaultState {
     pub(crate) plan: MarketFaultPlan,
     rng: SplitMix64,
+    /// Per-tenant independent streams, keyed by tenant id and seeded
+    /// from `(plan.seed, tenant)` on first use. [`TenantId::DEFAULT`]
+    /// never lands here — it draws from the root `rng` above.
+    tenant_rngs: BTreeMap<u64, SplitMix64>,
     pub(crate) stats: MarketFaultStats,
+}
+
+/// Seeds a tenant's draw stream from the plan's root seed: one
+/// SplitMix64 scramble of the combined word spreads adjacent tenant
+/// ids across the full state space.
+fn tenant_seed(root: u64, tenant: u64) -> u64 {
+    SplitMix64::new(root ^ tenant.wrapping_mul(0x9e37_79b9_7f4a_7c15)).next_u64()
 }
 
 impl FaultState {
@@ -253,20 +290,34 @@ impl FaultState {
         FaultState {
             plan,
             rng,
+            tenant_rngs: BTreeMap::new(),
             stats: MarketFaultStats::default(),
         }
     }
 
-    /// Draws the throttle gate for a request at `now`. Returns the
-    /// suggested retry delay when the request is rejected.
-    pub(crate) fn draw_throttle(&mut self, now: SimTime) -> Option<SimDuration> {
+    /// The draw stream for `tenant`: the root stream for the default
+    /// tenant, a seed-stable split stream otherwise.
+    fn rng_for(&mut self, tenant: TenantId) -> &mut SplitMix64 {
+        if tenant == TenantId::DEFAULT {
+            &mut self.rng
+        } else {
+            let seed = tenant_seed(self.plan.seed, tenant.0);
+            self.tenant_rngs
+                .entry(tenant.0)
+                .or_insert_with(|| SplitMix64::new(seed))
+        }
+    }
+
+    /// Draws the throttle gate for `tenant`'s request at `now`. Returns
+    /// the suggested retry delay when the request is rejected.
+    pub(crate) fn draw_throttle(&mut self, tenant: TenantId, now: SimTime) -> Option<SimDuration> {
         let rule = self.plan.throttle.as_ref()?;
         if !rule.active(now) {
             return None;
         }
         let p = rule.probability;
         let retry_after = rule.retry_after;
-        if self.rng.next_f64() < p {
+        if self.rng_for(tenant).next_f64() < p {
             self.stats.throttled += 1;
             Some(retry_after)
         } else {
@@ -274,14 +325,14 @@ impl FaultState {
         }
     }
 
-    /// Draws the boot delay for a fresh grant ([`SimDuration::ZERO`]
-    /// when the regime is off).
-    pub(crate) fn draw_boot_delay(&mut self) -> SimDuration {
+    /// Draws the boot delay for `tenant`'s fresh grant
+    /// ([`SimDuration::ZERO`] when the regime is off).
+    pub(crate) fn draw_boot_delay(&mut self, tenant: TenantId) -> SimDuration {
         let Some(rule) = self.plan.boot else {
             return SimDuration::ZERO;
         };
         let span = rule.max.as_millis().saturating_sub(rule.min.as_millis());
-        let extra = (self.rng.next_f64() * span as f64) as u64;
+        let extra = (self.rng_for(tenant).next_f64() * span as f64) as u64;
         let delay = rule.min + SimDuration::from_millis(extra);
         if delay > SimDuration::ZERO {
             self.stats.boot_delays += 1;
@@ -289,17 +340,23 @@ impl FaultState {
         delay
     }
 
-    /// Draws the infant-mortality fate for a grant that becomes usable
-    /// at `usable_at`: `Some(dies_at)` when the allocation is doomed.
-    pub(crate) fn draw_infant_death(&mut self, usable_at: SimTime) -> Option<SimTime> {
+    /// Draws the infant-mortality fate for `tenant`'s grant that
+    /// becomes usable at `usable_at`: `Some(dies_at)` when the
+    /// allocation is doomed.
+    pub(crate) fn draw_infant_death(
+        &mut self,
+        tenant: TenantId,
+        usable_at: SimTime,
+    ) -> Option<SimTime> {
         let rule = self.plan.infant?;
-        if self.rng.next_f64() >= rule.probability {
+        let rng = self.rng_for(tenant);
+        if rng.next_f64() >= rule.probability {
             return None;
         }
         // Strictly positive lifetime so the death is observable after
         // the launch.
         let max_ms = rule.max_lifetime.as_millis().max(1);
-        let life_ms = ((self.rng.next_f64() * max_ms as f64) as u64).max(1);
+        let life_ms = ((rng.next_f64() * max_ms as f64) as u64).max(1);
         Some(usable_at + SimDuration::from_millis(life_ms))
     }
 }
@@ -355,8 +412,8 @@ mod tests {
         let mut b = mk(5);
         let mut hits = 0;
         for _ in 0..1000 {
-            let ra = a.draw_throttle(SimTime::EPOCH);
-            assert_eq!(ra, b.draw_throttle(SimTime::EPOCH));
+            let ra = a.draw_throttle(TenantId::DEFAULT, SimTime::EPOCH);
+            assert_eq!(ra, b.draw_throttle(TenantId::DEFAULT, SimTime::EPOCH));
             hits += u32::from(ra.is_some());
         }
         assert!((200..400).contains(&hits), "≈30% expected, got {hits}");
@@ -370,7 +427,7 @@ mod tests {
                 .with_boot_delay(SimDuration::from_secs(60), SimDuration::from_secs(300)),
         );
         for _ in 0..100 {
-            let d = fs.draw_boot_delay();
+            let d = fs.draw_boot_delay(TenantId::DEFAULT);
             assert!(d >= SimDuration::from_secs(60) && d <= SimDuration::from_secs(300));
         }
         assert_eq!(fs.stats.boot_delays, 100);
@@ -383,7 +440,9 @@ mod tests {
         );
         let usable = SimTime::from_hours(1);
         for _ in 0..50 {
-            let dies = fs.draw_infant_death(usable).expect("p=1 always dooms");
+            let dies = fs
+                .draw_infant_death(TenantId::DEFAULT, usable)
+                .expect("p=1 always dooms");
             assert!(dies > usable);
             assert!(dies <= usable + SimDuration::from_mins(10));
         }
@@ -392,10 +451,62 @@ mod tests {
     #[test]
     fn disabled_regimes_draw_nothing() {
         let mut fs = FaultState::new(MarketFaultPlan::new(4));
-        assert_eq!(fs.draw_throttle(SimTime::EPOCH), None);
-        assert_eq!(fs.draw_boot_delay(), SimDuration::ZERO);
-        assert_eq!(fs.draw_infant_death(SimTime::EPOCH), None);
+        assert_eq!(fs.draw_throttle(TenantId::DEFAULT, SimTime::EPOCH), None);
+        assert_eq!(fs.draw_boot_delay(TenantId::DEFAULT), SimDuration::ZERO);
+        assert_eq!(
+            fs.draw_infant_death(TenantId::DEFAULT, SimTime::EPOCH),
+            None
+        );
         assert_eq!(fs.stats, MarketFaultStats::default());
+    }
+
+    /// The satellite contract: one tenant's draws are a pure function of
+    /// `(plan.seed, tenant, its own request ordinal)` — interleaving a
+    /// second tenant's draws between them changes nothing.
+    #[test]
+    fn tenant_streams_are_independent_of_interleaving() {
+        let plan = || MarketFaultPlan::new(21).with_throttle(0.5, SimDuration::from_secs(30));
+        // Tenant 1 alone.
+        let mut alone = FaultState::new(plan());
+        let solo: Vec<_> = (0..50)
+            .map(|_| alone.draw_throttle(TenantId(1), SimTime::EPOCH))
+            .collect();
+        // Tenant 1 interleaved with tenants 2 and the default stream.
+        let mut mixed = FaultState::new(plan());
+        let inter: Vec<_> = (0..50)
+            .map(|_| {
+                let _ = mixed.draw_throttle(TenantId(2), SimTime::EPOCH);
+                let _ = mixed.draw_throttle(TenantId::DEFAULT, SimTime::EPOCH);
+                mixed.draw_throttle(TenantId(1), SimTime::EPOCH)
+            })
+            .collect();
+        assert_eq!(solo, inter, "tenant streams must not couple");
+    }
+
+    /// Distinct tenants under one plan see distinct streams, and the
+    /// default tenant's stream is the root stream (bit-identical to the
+    /// pre-tenant behavior).
+    #[test]
+    fn tenant_streams_diverge_and_default_matches_root() {
+        let plan = || MarketFaultPlan::new(33).with_throttle(0.5, SimDuration::from_secs(30));
+        let mut fs = FaultState::new(plan());
+        let t7: Vec<_> = (0..64)
+            .map(|_| fs.draw_throttle(TenantId(7), SimTime::EPOCH).is_some())
+            .collect();
+        let t8: Vec<_> = (0..64)
+            .map(|_| fs.draw_throttle(TenantId(8), SimTime::EPOCH).is_some())
+            .collect();
+        assert_ne!(t7, t8, "different tenants should diverge");
+
+        // Default draws reproduce a raw root stream over the same plan.
+        let mut root = SplitMix64::new(33);
+        let mut fresh = FaultState::new(plan());
+        for _ in 0..64 {
+            let hit = fresh
+                .draw_throttle(TenantId::DEFAULT, SimTime::EPOCH)
+                .is_some();
+            assert_eq!(hit, root.next_f64() < 0.5);
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use analytics::{find_spikes, market_stats, MarketStats, Spike};
 pub use billing::{BillingAccount, LedgerEntry, LedgerKind, UsageBreakdown};
 pub use error::MarketError;
 pub use fault::{
-    BootDelayRule, CapacityRule, InfantMortalityRule, MarketFaultPlan, MarketFaultStats,
+    BootDelayRule, CapacityRule, InfantMortalityRule, MarketFaultPlan, MarketFaultStats, TenantId,
     ThrottleRule,
 };
 pub use gen::{MarketModel, TraceGenerator};

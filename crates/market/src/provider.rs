@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::billing::{BillingAccount, LedgerEntry, LedgerKind};
 use crate::error::MarketError;
-use crate::fault::{FaultState, MarketFaultPlan, MarketFaultStats};
+use crate::fault::{FaultState, MarketFaultPlan, MarketFaultStats, TenantId};
 use crate::instance::MarketKey;
 use crate::spot::{SpotLease, SpotState};
 use crate::trace::TraceSet;
@@ -334,6 +334,50 @@ impl<'a> CloudProvider<'a> {
         count: u32,
         bid: f64,
     ) -> Result<SpotGrant, MarketError> {
+        self.request_spot_inner(TenantId::DEFAULT, market, count, bid, false)
+    }
+
+    /// [`request_spot`](Self::request_spot) on behalf of a tenant: fault
+    /// draws (throttle, boot delay, infant mortality) come from that
+    /// tenant's own seed-split stream, so one tenant's request pattern
+    /// never perturbs another's fate. `TenantId::DEFAULT` reproduces
+    /// `request_spot` bit-for-bit.
+    pub fn request_spot_for(
+        &mut self,
+        tenant: TenantId,
+        market: MarketKey,
+        count: u32,
+        bid: f64,
+    ) -> Result<SpotGrant, MarketError> {
+        self.request_spot_inner(tenant, market, count, bid, false)
+    }
+
+    /// All-or-nothing spot request: either every one of the `count`
+    /// instances is granted as a single allocation, or the request is
+    /// refused and **nothing is billed**. Capacity shortfalls that
+    /// would partially grant a plain request instead return
+    /// [`MarketError::InsufficientCapacity`] carrying the available
+    /// headroom. This is the gang-scheduling primitive: a job's minimum
+    /// worker set launches atomically or not at all, so a half-launched
+    /// gang can never bleed money.
+    pub fn request_spot_gang(
+        &mut self,
+        tenant: TenantId,
+        market: MarketKey,
+        count: u32,
+        bid: f64,
+    ) -> Result<SpotGrant, MarketError> {
+        self.request_spot_inner(tenant, market, count, bid, true)
+    }
+
+    fn request_spot_inner(
+        &mut self,
+        tenant: TenantId,
+        market: MarketKey,
+        count: u32,
+        bid: f64,
+        atomic: bool,
+    ) -> Result<SpotGrant, MarketError> {
         if count == 0 {
             return Err(MarketError::EmptyRequest);
         }
@@ -341,7 +385,7 @@ impl<'a> CloudProvider<'a> {
         let throttled = self
             .faults
             .as_mut()
-            .and_then(|fs| fs.draw_throttle(self.now));
+            .and_then(|fs| fs.draw_throttle(tenant, self.now));
         if let Some(retry_after) = throttled {
             self.obs_count(obs_keys::THROTTLED);
             self.obs_event(
@@ -382,7 +426,9 @@ impl<'a> CloudProvider<'a> {
                 .map(|l| l.count)
                 .sum();
             let available = cap.saturating_sub(live);
-            if available == 0 {
+            if available == 0 || (atomic && available < count) {
+                // An atomic (gang) request refuses rather than accept a
+                // partial grant; nothing has been billed yet.
                 if let Some(fs) = self.faults.as_mut() {
                     fs.stats.capacity_refusals += 1;
                 }
@@ -397,7 +443,7 @@ impl<'a> CloudProvider<'a> {
                 return Err(MarketError::InsufficientCapacity {
                     market,
                     requested: count,
-                    available: 0,
+                    available,
                 });
             }
             if available < count {
@@ -419,8 +465,8 @@ impl<'a> CloudProvider<'a> {
         let (usable_at, dies_at) = match self.faults.as_mut() {
             None => (self.now, None),
             Some(fs) => {
-                let usable_at = self.now + fs.draw_boot_delay();
-                (usable_at, fs.draw_infant_death(usable_at))
+                let usable_at = self.now + fs.draw_boot_delay(tenant);
+                (usable_at, fs.draw_infant_death(tenant, usable_at))
             }
         };
         let id = self.fresh_id();
@@ -532,6 +578,43 @@ impl<'a> CloudProvider<'a> {
             return Ok(());
         }
         Err(MarketError::UnknownAllocation(id))
+    }
+
+    /// Revokes a spot allocation with eviction settlement: the current
+    /// billing hour is refunded and usage up to `now` was free.
+    ///
+    /// This is the scheduler-preemption primitive. Where
+    /// [`terminate`](Self::terminate) models a tenant walking away (the
+    /// paid hour is forfeited), `revoke` models the platform reclaiming
+    /// the instances — the tenant is made whole exactly as if the
+    /// provider had evicted them, so billing-conservation properties
+    /// hold identically for market evictions and fleet preemptions.
+    /// Revoking a still-booting allocation is free (nothing was billed).
+    pub fn revoke(&mut self, id: AllocationId) -> Result<(), MarketError> {
+        match self.spot.get(&id) {
+            Some(lease) if lease.is_live() => {}
+            _ => return Err(MarketError::UnknownAllocation(id)),
+        }
+        // The lookup above proved the lease is present and live.
+        #[allow(clippy::expect_used)]
+        let lease = self.spot.remove(&id).expect("lease exists");
+        if lease.is_booting() {
+            // Nothing billed, nothing computed: a free cancel.
+            self.obs_event(self.now, MarketEvent::Evicted { allocation: id.0 });
+            return Ok(());
+        }
+        self.account.record(LedgerEntry {
+            time: self.now,
+            allocation: id,
+            kind: LedgerKind::EvictionRefund,
+            amount: -lease.current_hour_charge,
+            instances: lease.count,
+        });
+        let used = self.now.since(lease.hour_start).as_hours_f64();
+        self.account.add_free_usage(used * f64::from(lease.count));
+        self.obs_count(obs_keys::EVICTIONS);
+        self.obs_event(self.now, MarketEvent::Evicted { allocation: id.0 });
+        Ok(())
     }
 
     /// Advances simulated time to `target`, processing hour boundaries,
@@ -1162,6 +1245,115 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42).0, run(43).0, "different seeds should diverge");
+    }
+
+    #[test]
+    fn gang_request_is_all_or_nothing() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        p.set_fault_plan(MarketFaultPlan::new(7).with_drought(
+            SimTime::EPOCH,
+            SimTime::from_hours(10),
+            3,
+        ));
+        // A plain request would be partially granted; the gang refuses.
+        let err = p
+            .request_spot_gang(TenantId(1), key(), 5, 0.10)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MarketError::InsufficientCapacity {
+                market: key(),
+                requested: 5,
+                available: 3,
+            }
+        );
+        // A refused gang bills nothing and leaves no allocation behind.
+        assert_eq!(p.account().total_cost(), 0.0);
+        assert!(p.account().entries().is_empty());
+        assert_eq!(p.live_instance_count(), 0);
+        assert_eq!(p.fault_stats().expect("plan").capacity_refusals, 1);
+        // A gang that fits is granted in full.
+        let grant = p
+            .request_spot_gang(TenantId(1), key(), 3, 0.10)
+            .expect("granted");
+        assert_eq!(grant.granted, 3);
+        assert!(!grant.is_partial());
+    }
+
+    #[test]
+    fn revoke_settles_like_an_eviction() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        let id = p.request_spot(key(), 2, 0.10).expect("granted").id;
+        p.advance_to(SimTime::EPOCH + SimDuration::from_mins(30))
+            .expect("advance");
+        p.revoke(id).expect("revoke");
+        // Charge refunded; the half hour of usage was free.
+        assert!(p.account().total_cost().abs() < 1e-12);
+        assert!((p.account().usage().free_hours - 1.0).abs() < 1e-9);
+        assert_eq!(p.account().usage().spot_paid_hours, 0.0);
+        assert!(p.spot_allocation(id).is_none());
+        assert!(p.revoke(id).is_err(), "double revoke rejected");
+    }
+
+    #[test]
+    fn revoke_of_booting_allocation_is_free() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        let delay = SimDuration::from_mins(10);
+        p.set_fault_plan(MarketFaultPlan::new(11).with_boot_delay(delay, delay));
+        let grant = p.request_spot(key(), 4, 0.10).expect("granted");
+        p.revoke(grant.id).expect("revoke");
+        assert_eq!(p.account().total_cost(), 0.0);
+        assert!(p.account().entries().is_empty());
+        assert_eq!(p.account().usage().free_hours, 0.0);
+    }
+
+    #[test]
+    fn revoke_rejects_on_demand_and_unknown_ids() {
+        let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+        let od = p.request_on_demand(key(), 1).expect("od");
+        assert!(p.revoke(od).is_err(), "on-demand is never revoked");
+        assert!(p.revoke(AllocationId(999)).is_err());
+    }
+
+    #[test]
+    fn tenant_fates_are_independent_of_other_tenants_traffic() {
+        // Tenant 5's k-th request must draw the same fate whether or not
+        // other tenants issued requests in between.
+        let plan = || {
+            MarketFaultPlan::new(21)
+                .with_throttle(0.4, SimDuration::from_mins(1))
+                .with_boot_delay(SimDuration::from_secs(30), SimDuration::from_mins(5))
+                .with_infant_mortality(0.3, SimDuration::from_mins(45))
+        };
+        let solo = {
+            let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+            p.set_fault_plan(plan());
+            (0..10)
+                .map(|_| p.request_spot_for(TenantId(5), key(), 1, 0.10))
+                .collect::<Vec<_>>()
+        };
+        let interleaved = {
+            let mut p = provider_with(vec![(SimTime::EPOCH, 0.05)]);
+            p.set_fault_plan(plan());
+            let mut out = Vec::new();
+            for _ in 0..10 {
+                let _ = p.request_spot(key(), 1, 0.10);
+                let _ = p.request_spot_for(TenantId(9), key(), 1, 0.10);
+                out.push(p.request_spot_for(TenantId(5), key(), 1, 0.10));
+            }
+            out
+        };
+        // Allocation ids differ (the interleaved run mints more), so
+        // compare the fate-bearing fields only.
+        let fates = |v: &[Result<SpotGrant, MarketError>]| {
+            v.iter()
+                .map(|r| match r {
+                    Ok(g) => Ok((g.granted, g.usable_at)),
+                    Err(e) => Err(e.clone()),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fates(&solo), fates(&interleaved));
     }
 
     #[test]

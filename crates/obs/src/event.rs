@@ -21,6 +21,8 @@ pub enum Event {
     Session(SessionEvent),
     /// Cost-study plane: per-scheme cumulative cost/work samples.
     Cost(CostEvent),
+    /// Fleet plane: multi-job admission, gang scheduling, preemption.
+    Fleet(FleetEvent),
 }
 
 /// Provider-side market happenings.
@@ -334,6 +336,56 @@ pub enum CostEvent {
     },
 }
 
+/// Fleet-scheduler events — the multi-tenant control plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetEvent {
+    /// A submitted job passed admission control and entered the pending
+    /// queue.
+    JobAdmitted {
+        /// Fleet-assigned job id.
+        job: u64,
+        /// Priority tier (0 = highest).
+        tier: u64,
+    },
+    /// A job's gang could not acquire this round and (re)joined the
+    /// queue.
+    GangQueued {
+        /// Fleet-assigned job id.
+        job: u64,
+        /// Gang size (minimum worker set).
+        count: u64,
+    },
+    /// A job's gang acquired atomically and the job started (or
+    /// resumed) running.
+    GangLaunched {
+        /// Fleet-assigned job id.
+        job: u64,
+        /// Market key, interned (see `MarketKey::interned_name`).
+        market: std::sync::Arc<str>,
+        /// Instances in the gang.
+        count: u64,
+        /// Standing bid per instance-hour.
+        bid: f64,
+        /// Time spent queued before this launch, in sim millis.
+        waited_ms: u64,
+    },
+    /// The sweep driver killed a lagging or out-competed trial early.
+    TrialEarlyKilled {
+        /// Fleet-assigned job id.
+        job: u64,
+        /// Work the trial had accrued when killed, in core-hours.
+        work_done: f64,
+    },
+    /// A running low-value trial was preempted to make room for a
+    /// higher-value gang; its bill settled like an eviction.
+    PreemptedByPriority {
+        /// The preempted job.
+        job: u64,
+        /// The higher-value job whose gang took the capacity.
+        by: u64,
+    },
+}
+
 impl Event {
     /// The dotted kind string identifying this event in queries and in
     /// the JSONL export.
@@ -386,6 +438,13 @@ impl Event {
                 CostEvent::RunStart { .. } => "costsim.run_start",
                 CostEvent::Sample { .. } => "costsim.sample",
                 CostEvent::RunEnd { .. } => "costsim.run_end",
+            },
+            Event::Fleet(e) => match e {
+                FleetEvent::JobAdmitted { .. } => "fleet.job_admitted",
+                FleetEvent::GangQueued { .. } => "fleet.gang_queued",
+                FleetEvent::GangLaunched { .. } => "fleet.gang_launched",
+                FleetEvent::TrialEarlyKilled { .. } => "fleet.trial_early_killed",
+                FleetEvent::PreemptedByPriority { .. } => "fleet.preempted_by_priority",
             },
         }
     }
@@ -589,6 +648,37 @@ impl Event {
                     push_f64(out, "work", *work);
                     push_u64(out, "evictions", *evictions);
                     push_u64(out, "fallback_count", *fallback_count);
+                }
+            },
+            Event::Fleet(e) => match e {
+                FleetEvent::JobAdmitted { job, tier } => {
+                    push_u64(out, "job", *job);
+                    push_u64(out, "tier", *tier);
+                }
+                FleetEvent::GangQueued { job, count } => {
+                    push_u64(out, "job", *job);
+                    push_u64(out, "count", *count);
+                }
+                FleetEvent::GangLaunched {
+                    job,
+                    market,
+                    count,
+                    bid,
+                    waited_ms,
+                } => {
+                    push_u64(out, "job", *job);
+                    push_str(out, "market", market);
+                    push_u64(out, "count", *count);
+                    push_f64(out, "bid", *bid);
+                    push_u64(out, "waited_ms", *waited_ms);
+                }
+                FleetEvent::TrialEarlyKilled { job, work_done } => {
+                    push_u64(out, "job", *job);
+                    push_f64(out, "work_done", *work_done);
+                }
+                FleetEvent::PreemptedByPriority { job, by } => {
+                    push_u64(out, "job", *job);
+                    push_u64(out, "by", *by);
                 }
             },
         }

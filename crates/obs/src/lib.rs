@@ -41,7 +41,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod timeline;
 
-pub use event::{AgileEvent, BidEvent, CostEvent, Event, MarketEvent, SessionEvent};
+pub use event::{AgileEvent, BidEvent, CostEvent, Event, FleetEvent, MarketEvent, SessionEvent};
 pub use metrics::{MetricsSnapshot, SpanStats, TimeWeightedHist};
 pub use recorder::Recorder;
 pub use timeline::{TimedEvent, Timeline};

@@ -26,6 +26,12 @@ PROTEUS_CHAOS_SEEDS=3 cargo test -q -p proteus --test market_chaos
 echo "==> reliable-tier chaos suite (fixed seed)"
 PROTEUS_CHAOS_SEEDS=3 cargo test -q -p proteus-agileml --test reliable_chaos
 
+# Fleet chaos: 120 concurrent jobs through eviction storms, capacity
+# droughts, and the full fault stack; every job must reach a typed
+# terminal state with no panics, and replays must be bit-identical.
+echo "==> fleet chaos suite (fixed seed)"
+PROTEUS_CHAOS_SEEDS=3 cargo test -q -p proteus-fleet --test fleet_chaos
+
 # Session restarts from durable checkpoints (scripted scenarios, no
 # seed sweep: each run is already a full kill-and-relaunch).
 echo "==> restart-from-checkpoint chaos suite"
@@ -130,6 +136,36 @@ for attempt in 1 2; do
 done
 if [ "$simnet_ok" -ne 1 ]; then
   echo "error: event core failed the 1000-node scale gate twice (see BENCH_simnet.json)" >&2
+  exit 1
+fi
+
+# Fleet scale gate: bench_fleet writes BENCH_fleet.json from a
+# 500-trial shared-market sweep. Four things must hold: the sweep
+# completes at full trial count, scheduler bookkeeping stays under 5%
+# of the sweep's wall clock, the fleet's realized $/work beats the
+# per-job-independent baseline, and the outcome is bit-identical
+# across thread counts. One retry absorbs wall-clock noise in the
+# overhead ratio; the other three legs are deterministic.
+echo "==> fleet scale bench (500 trials, sched < 5%, beats per-job baseline)"
+fleet_ok=0
+for attempt in 1 2; do
+  cargo run -q --release -p proteus-bench --bin bench_fleet >/dev/null
+  ftrials=$(sed -n 's/.*"trials": \([0-9]*\).*/\1/p' BENCH_fleet.json)
+  fpct=$(sed -n 's/.*"overhead_pct": \([0-9.]*\).*/\1/p' BENCH_fleet.json)
+  fcpw=$(sed -n 's/.*"fleet_cost_per_work": \([0-9.]*\).*/\1/p' BENCH_fleet.json)
+  bcpw=$(sed -n 's/.*"baseline_cost_per_work": \([0-9.]*\).*/\1/p' BENCH_fleet.json)
+  fdet=$(sed -n 's/.*"deterministic": \(true\|false\).*/\1/p' BENCH_fleet.json)
+  echo "    attempt ${attempt}: ${ftrials} trials, sched ${fpct}%, \$${fcpw}/work vs \$${bcpw}/work baseline, deterministic=${fdet}"
+  if [ "$fdet" = "true" ] \
+    && awk -v n="$ftrials" 'BEGIN { exit !(n >= 500) }' \
+    && awk -v p="$fpct" 'BEGIN { exit !(p < 5.0) }' \
+    && awk -v f="$fcpw" -v b="$bcpw" 'BEGIN { exit !(f < b) }'; then
+    fleet_ok=1
+    break
+  fi
+done
+if [ "$fleet_ok" -ne 1 ]; then
+  echo "error: fleet scale gate failed twice (see BENCH_fleet.json)" >&2
   exit 1
 fi
 
